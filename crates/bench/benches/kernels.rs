@@ -1,0 +1,140 @@
+//! Criterion microbenchmarks of the hot kernels: block scoring (every
+//! metric), the floating-point codecs, marching tetrahedra, the
+//! distributed sort, and synthetic storm generation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use apc_cm1::{ReflectivityDataset, StormModel, DBZ_ISOVALUE};
+use apc_comm::{sort, NetModel, Runtime};
+use apc_compress::{FloatCodec, Fpz, Lz77, Zfpx};
+use apc_grid::{Dims3, RectilinearCoords};
+use apc_metrics::standard_six;
+use apc_render::marching_tetrahedra;
+
+/// One paper-scaled block of real storm data (11×11×19).
+fn storm_block() -> (Vec<f32>, Dims3) {
+    let dataset = ReflectivityDataset::paper_scaled(64, 7).expect("dataset");
+    let it = dataset.sample_iterations(3)[1];
+    // A block near the storm center: dense, noisy content.
+    let storm_center = dataset.storm().center(dataset.storm().tau(it));
+    let gb = dataset.decomp().global_block_grid();
+    let bi = (storm_center[0] * gb.nx as f32) as usize;
+    let bj = (storm_center[1] * gb.ny as f32) as usize;
+    let id = dataset.decomp().block_id_at((bi, bj, 1));
+    let block = dataset.block(it, id);
+    let dims = block.dims();
+    (block.samples().into_owned(), dims)
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let (data, dims) = storm_block();
+    let mut group = c.benchmark_group("metrics");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    for metric in standard_six() {
+        group.bench_function(metric.name(), |b| {
+            b.iter(|| metric.score(std::hint::black_box(&data), dims))
+        });
+    }
+    group.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let (data, dims) = storm_block();
+    let shape = (dims.nx, dims.ny, dims.nz);
+    let mut group = c.benchmark_group("codecs");
+    group.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    group.bench_function("fpz_encode", |b| b.iter(|| Fpz.encode(&data, shape)));
+    group.bench_function("zfpx_encode", |b| {
+        b.iter(|| Zfpx::default().encode(&data, shape))
+    });
+    group.bench_function("lz77_encode", |b| b.iter(|| Lz77.encode(&data, shape)));
+    let enc = Fpz.encode(&data, shape);
+    group.bench_function("fpz_decode", |b| b.iter(|| Fpz.decode(&enc, shape).unwrap()));
+    group.finish();
+}
+
+fn bench_isosurface(c: &mut Criterion) {
+    let dims = Dims3::new(48, 48, 24);
+    let coords = RectilinearCoords::uniform(dims, 1.0);
+    let storm = StormModel::new(7);
+    let field = storm.reflectivity(&coords, 300);
+    let mut group = c.benchmark_group("isosurface");
+    group.throughput(Throughput::Elements(
+        ((dims.nx - 1) * (dims.ny - 1) * (dims.nz - 1)) as u64,
+    ));
+    group.bench_function("marching_tetrahedra_48x48x24", |b| {
+        b.iter(|| {
+            marching_tetrahedra(field.as_slice(), dims, DBZ_ISOVALUE, |i, j, k| {
+                coords.position(i, j, k)
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_storm_generation(c: &mut Criterion) {
+    let dims = Dims3::new(44, 44, 19);
+    let coords = RectilinearCoords::stretched(dims, 1.0, 4, 1.12);
+    let storm = StormModel::new(7);
+    let mut group = c.benchmark_group("cm1");
+    group.throughput(Throughput::Elements(dims.len() as u64));
+    group.bench_function("reflectivity_44x44x19", |b| {
+        b.iter(|| storm.reflectivity(&coords, 300))
+    });
+    group.finish();
+}
+
+fn bench_distributed_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort");
+    // 6400 scored blocks over 8 ranks, like one pipeline iteration.
+    let make_input = |rank: usize| -> Vec<(u32, f64)> {
+        (0..800u32)
+            .map(|i| {
+                let id = rank as u32 * 800 + i;
+                (id, ((id as f64 * 0.61803).sin() * 1e3).round())
+            })
+            .collect()
+    };
+    group.bench_function("gather_sort_broadcast_6400x8", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                Runtime::new(8, NetModel::blue_waters()).run(|rank| {
+                    let local = make_input(rank.rank());
+                    sort::gather_sort_broadcast(rank, local, |a, b| {
+                        a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0))
+                    })
+                    .len()
+                })
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("sample_sort_6400x8", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                Runtime::new(8, NetModel::blue_waters()).run(|rank| {
+                    let local = make_input(rank.rank());
+                    sort::sample_sort(rank, local, |a, b| {
+                        a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0))
+                    })
+                    .len()
+                })
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_metrics, bench_codecs, bench_isosurface, bench_storm_generation,
+        bench_distributed_sort
+);
+criterion_main!(kernels);

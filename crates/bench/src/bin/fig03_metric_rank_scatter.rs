@@ -1,0 +1,8 @@
+//! Standalone harness for fig03 — see DESIGN.md §4.
+
+use apc_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    experiments::fig03::run(&scale);
+}

@@ -1,0 +1,10 @@
+//! Standalone harness for fig07 — see DESIGN.md §4.
+
+use apc_bench::experiments::{self, Ctx};
+use apc_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ctx = Ctx::new(&scale);
+    experiments::fig07::run(&ctx, &scale);
+}

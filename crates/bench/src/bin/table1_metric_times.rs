@@ -1,0 +1,8 @@
+//! Standalone harness for table1 — see DESIGN.md §4.
+
+use apc_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    experiments::table1::run(&scale);
+}

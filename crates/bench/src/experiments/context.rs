@@ -1,0 +1,40 @@
+//! Shared experiment context: one prepared dataset per rank count.
+
+use crate::harness::{Prepared, Scale};
+
+/// Prepared inputs for every rank count in the scale. Building this once
+/// and sharing it across experiments amortizes the synthetic-CM1 data
+/// generation the same way the paper amortizes its 3-day CM1 run by
+/// replaying a stored dataset.
+pub struct Ctx {
+    pub prepared: Vec<Prepared>,
+}
+
+impl Ctx {
+    pub fn new(scale: &Scale) -> Self {
+        let prepared = scale
+            .rank_counts
+            .iter()
+            .map(|&nranks| {
+                let dataset = apc_cm1::ReflectivityDataset::paper_scaled(nranks, scale.seed)
+                    .expect("paper-scaled decomposition");
+                let iters = dataset.sample_iterations(scale.adapt_iters);
+                eprintln!(
+                    "[prep] generating {} iterations at {} ranks ...",
+                    iters.len(),
+                    nranks
+                );
+                Prepared::new(nranks, scale.seed, iters)
+            })
+            .collect();
+        Self { prepared }
+    }
+
+    /// The prepared input for a given rank count.
+    pub fn at(&self, nranks: usize) -> &Prepared {
+        self.prepared
+            .iter()
+            .find(|p| p.dataset.decomp().nranks() == nranks)
+            .unwrap_or_else(|| panic!("no prepared dataset for {nranks} ranks"))
+    }
+}

@@ -1,0 +1,49 @@
+//! Fig 6: per-iteration rendering time at fixed reduction percentages
+//! (no redistribution; VAR scores, as in the paper's §V-D).
+
+use apc_core::PipelineConfig;
+
+use crate::experiments::Ctx;
+use crate::harness::{print_table, write_csv, Scale};
+
+/// The paper's percentage sets per scale.
+pub fn percent_set(nranks: usize) -> &'static [f64] {
+    if nranks == 64 {
+        &[0.0, 80.0, 90.0, 98.0, 100.0]
+    } else {
+        &[0.0, 90.0, 94.0, 98.0, 100.0]
+    }
+}
+
+pub fn run(ctx: &Ctx, scale: &Scale) {
+    let mut csv = Vec::new();
+    for &nranks in &scale.rank_counts {
+        let prepared = ctx.at(nranks);
+        let iters = prepared.subset(scale.component_iters);
+        let mut rows = Vec::new();
+        for &p in percent_set(nranks) {
+            let reports =
+                prepared.run(PipelineConfig::default().with_fixed_percent(p), &iters);
+            let mut row = vec![format!("{p:.0}%")];
+            for r in &reports {
+                row.push(format!("{:.1}", r.t_render));
+                csv.push(format!("{nranks},{p},{},{:.4}", r.iteration, r.t_render));
+            }
+            rows.push(row);
+        }
+        let mut headers: Vec<String> = vec!["reduced".to_string()];
+        headers.extend(iters.iter().map(|it| format!("it{it}")));
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        print_table(
+            &format!("Fig 6 — per-iteration rendering time (s), {nranks} ranks"),
+            &headers_ref,
+            &rows,
+        );
+    }
+    let path = write_csv(
+        "fig06_fixed_percent.csv",
+        "nranks,percent,iteration,t_render",
+        &csv,
+    );
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,50 @@
+//! Fig 9: rendering time vs reduction percentage with redistribution
+//! enabled or disabled (None / round-robin / random shuffle).
+//!
+//! Paper findings to reproduce: redistribution improves rendering time *and*
+//! reduces its variability, and round-robin ≈ random (score-guided
+//! placement buys nothing over statistical balancing).
+
+use apc_core::{PipelineConfig, Redistribution};
+
+use crate::experiments::Ctx;
+use crate::harness::{print_table, stats, write_csv, Scale};
+
+pub fn run(ctx: &Ctx, scale: &Scale) {
+    let mut csv = Vec::new();
+    for &nranks in &scale.rank_counts {
+        let prepared = ctx.at(nranks);
+        let iters = prepared.subset(scale.component_iters);
+        let mut rows = Vec::new();
+        for &p in &scale.sweep {
+            let mut row = vec![format!("{p:.0}")];
+            for (label, strat) in [
+                ("NONE", Redistribution::None),
+                ("RR", Redistribution::RoundRobin),
+                ("SHUFFLE", Redistribution::RandomShuffle { seed: scale.seed }),
+            ] {
+                let reports = prepared.run(
+                    PipelineConfig::default()
+                        .with_redistribution(strat)
+                        .with_fixed_percent(p),
+                    &iters,
+                );
+                let (avg, min, max) = stats(reports.iter().map(|r| r.t_render));
+                row.push(format!("{avg:.1} [{min:.1},{max:.1}]"));
+                csv.push(format!("{nranks},{label},{p},{avg:.4},{min:.4},{max:.4}"));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("Fig 9 — rendering time vs percentage and strategy, {nranks} ranks (s)"),
+            &["percent", "none", "round-robin", "random"],
+            &rows,
+        );
+    }
+    let path = write_csv(
+        "fig09_reduce_plus_redist.csv",
+        "nranks,strategy,percent,avg_render,min_render,max_render",
+        &csv,
+    );
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,30 @@
+//! Fig 11: dynamic adaptation of the *full* pipeline (redistribution
+//! enabled) — paper targets 25/10 s at 64 ranks, 7/3 s at 400 ranks.
+
+use apc_core::{PipelineConfig, Redistribution};
+
+use crate::experiments::{fig10::run_adaptation, Ctx};
+use crate::harness::Scale;
+
+pub fn targets(nranks: usize) -> &'static [f64] {
+    if nranks == 64 {
+        &[25.0, 10.0]
+    } else {
+        &[7.0, 3.0]
+    }
+}
+
+pub fn run(ctx: &Ctx, scale: &Scale) {
+    run_adaptation(
+        ctx,
+        scale,
+        "Fig 11 — adaptation of the full pipeline (with round-robin redistribution)",
+        "fig11_adapt_full.csv",
+        |target| {
+            PipelineConfig::default()
+                .with_redistribution(Redistribution::RoundRobin)
+                .with_target(target)
+        },
+        targets,
+    );
+}

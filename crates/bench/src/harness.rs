@@ -1,0 +1,186 @@
+//! Shared experiment-harness utilities.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use apc_cm1::ReflectivityDataset;
+use apc_comm::NetModel;
+use apc_core::{run_experiment_prepared, IterationReport, PipelineConfig, StatsCache};
+use apc_grid::Block;
+
+/// Experiment scale. `quick` (default) shrinks iteration counts and sweep
+/// resolution so the whole figure suite completes in minutes on one core;
+/// `APC_SCALE=full` reproduces the paper's exact settings (10 iterations
+/// for component experiments, 30 for adaptation, 5%-step sweeps).
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Rank counts to evaluate (the paper: 64 and 400).
+    pub rank_counts: Vec<usize>,
+    /// Iterations for component experiments (paper: 10).
+    pub component_iters: usize,
+    /// Iterations for adaptation experiments (paper: 30).
+    pub adapt_iters: usize,
+    /// Reduction percentages for sweep figures.
+    pub sweep: Vec<f64>,
+    /// Dataset seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    pub fn quick() -> Self {
+        Self {
+            rank_counts: vec![64, 400],
+            component_iters: 4,
+            adapt_iters: 12,
+            sweep: vec![0.0, 20.0, 40.0, 60.0, 70.0, 80.0, 90.0, 95.0, 100.0],
+            seed: 42,
+        }
+    }
+
+    pub fn full() -> Self {
+        Self {
+            rank_counts: vec![64, 400],
+            component_iters: 10,
+            adapt_iters: 30,
+            sweep: (0..=20).map(|i| i as f64 * 5.0).collect(),
+            seed: 42,
+        }
+    }
+
+    /// Reads `APC_SCALE` (`full` or anything else ⇒ quick).
+    pub fn from_env() -> Self {
+        match std::env::var("APC_SCALE").as_deref() {
+            Ok("full") => Self::full(),
+            _ => Self::quick(),
+        }
+    }
+}
+
+/// Output directory for CSVs and images: `target/experiments/`.
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    std::fs::create_dir_all(&dir).expect("create experiment output dir");
+    dir
+}
+
+/// Write rows as CSV under [`out_dir`]; returns the file path.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = out_dir().join(name);
+    let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    body.push_str(header);
+    body.push('\n');
+    for r in rows {
+        body.push_str(r);
+        body.push('\n');
+    }
+    std::fs::write(&path, body).expect("write csv");
+    path
+}
+
+/// Print an ASCII table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Pre-generated pipeline input for one `(rank count, iteration set)`:
+/// blocks for every `(iteration, rank)` and a shared isosurface-stats
+/// cache. Generating once and replaying across configurations is exactly
+/// what the paper does by reloading its stored dataset with BIL (§V-A).
+pub struct Prepared {
+    pub dataset: ReflectivityDataset,
+    pub iterations: Vec<usize>,
+    cache: Arc<StatsCache>,
+    blocks: HashMap<(usize, usize), Vec<Block>>,
+}
+
+impl Prepared {
+    pub fn new(nranks: usize, seed: u64, iterations: Vec<usize>) -> Self {
+        let dataset = ReflectivityDataset::paper_scaled(nranks, seed)
+            .expect("paper-scaled decomposition");
+        let mut blocks = HashMap::new();
+        for &it in &iterations {
+            for rank in 0..nranks {
+                blocks.insert((it, rank), dataset.rank_blocks(it, rank));
+            }
+        }
+        Self { dataset, iterations, cache: Arc::new(StatsCache::new()), blocks }
+    }
+
+    /// The component-experiment iteration subset (`n` equally spaced out of
+    /// the prepared set).
+    pub fn subset(&self, n: usize) -> Vec<usize> {
+        if n >= self.iterations.len() {
+            return self.iterations.clone();
+        }
+        (0..n)
+            .map(|i| self.iterations[i * (self.iterations.len() - 1) / (n - 1).max(1)])
+            .collect()
+    }
+
+    /// Run a pipeline configuration over `iterations` (must be prepared).
+    pub fn run(&self, mut config: PipelineConfig, iterations: &[usize]) -> Vec<IterationReport> {
+        config.stats_cache = Some(Arc::clone(&self.cache));
+        run_experiment_prepared(
+            self.dataset.decomp(),
+            self.dataset.coords(),
+            config,
+            iterations,
+            NetModel::blue_waters().for_paper_scale(),
+            |it, rank| {
+                self.blocks
+                    .get(&(it, rank))
+                    .unwrap_or_else(|| panic!("iteration {it} not prepared"))
+                    .clone()
+            },
+        )
+    }
+
+    /// Like [`Prepared::run`] with an explicit network model.
+    pub fn run_on(
+        &self,
+        mut config: PipelineConfig,
+        iterations: &[usize],
+        net: NetModel,
+    ) -> Vec<IterationReport> {
+        config.stats_cache = Some(Arc::clone(&self.cache));
+        run_experiment_prepared(
+            self.dataset.decomp(),
+            self.dataset.coords(),
+            config,
+            iterations,
+            net,
+            |it, rank| self.blocks[&(it, rank)].clone(),
+        )
+    }
+}
+
+/// Average / min / max of a series.
+pub fn stats(series: impl IntoIterator<Item = f64>) -> (f64, f64, f64) {
+    let v: Vec<f64> = series.into_iter().collect();
+    if v.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let sum: f64 = v.iter().sum();
+    let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    (sum / v.len() as f64, min, max)
+}

@@ -1,0 +1,17 @@
+//! Benchmark harnesses regenerating every table and figure of the paper.
+//!
+//! Layout:
+//!
+//! * [`harness`] — run scales (quick vs `APC_SCALE=full`), CSV output under
+//!   `target/experiments/`, ASCII tables;
+//! * [`experiments`] — one module per paper table/figure plus the ablations
+//!   listed in DESIGN.md §4. Each exposes `run(&Scale)`, prints the
+//!   series/rows the paper reports, and writes CSV.
+//!
+//! Thin binaries in `src/bin/` wrap single experiments; the `figures` bench
+//! target (`cargo bench -p apc-bench --bench figures`) runs the whole set.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::Scale;

@@ -1,0 +1,169 @@
+//! Microphysics-style radar reflectivity derivation.
+//!
+//! CM1's reflectivity "derives from a calculation based on cloud rain,
+//! hail, and snow microphysical variables, and it can be compared with real
+//! weather radar observations" (paper §II-A). We follow the standard
+//! single-moment relations (Smith et al. 1975 family, as used by CM1's
+//! radar-reflectivity diagnostic): each species contributes a power law in
+//! its *rain-water content* `ρ·q`, summed in linear Z (mm⁶/m³) and
+//! converted to dBZ.
+
+use apc_grid::Field3;
+
+/// Mixing ratios (kg/kg) of the three precipitating species on a grid box.
+#[derive(Debug, Clone)]
+pub struct Hydrometeors {
+    /// Rain.
+    pub qr: Field3,
+    /// Snow.
+    pub qs: Field3,
+    /// Graupel / hail.
+    pub qg: Field3,
+}
+
+/// Air density (kg/m³) at normalized height `z ∈ [0,1]` (≈0–20 km):
+/// exponential profile with ~8 km scale height.
+#[inline]
+pub fn air_density(z: f32) -> f32 {
+    1.2 * (-2.5 * z).exp()
+}
+
+/// Z–q power laws, linear Z in mm⁶/m³ for content in kg/m³.
+#[inline]
+fn z_rain(rwc: f32) -> f32 {
+    if rwc <= 0.0 {
+        0.0
+    } else {
+        3.63e9 * rwc.powf(1.75)
+    }
+}
+
+#[inline]
+fn z_snow(swc: f32) -> f32 {
+    if swc <= 0.0 {
+        0.0
+    } else {
+        9.80e8 * swc.powf(1.66)
+    }
+}
+
+#[inline]
+fn z_hail(gwc: f32) -> f32 {
+    if gwc <= 0.0 {
+        0.0
+    } else {
+        4.33e10 * gwc.powf(1.71)
+    }
+}
+
+/// Convert hydrometeor fields to radar reflectivity (dBZ).
+///
+/// `heights` gives the normalized height (`z ∈ [0,1]`) of each z-plane of
+/// the box — callers generating a sub-box of a larger domain must pass the
+/// *global* heights so air density matches the full-field computation.
+pub fn reflectivity_from_hydrometeors_at(h: &Hydrometeors, heights: &[f32]) -> Field3 {
+    let dims = h.qr.dims();
+    assert_eq!(dims, h.qs.dims(), "hydrometeor fields must share dims");
+    assert_eq!(dims, h.qg.dims(), "hydrometeor fields must share dims");
+    assert_eq!(heights.len(), dims.nz, "one height per z-plane");
+    let qr = h.qr.as_slice();
+    let qs = h.qs.as_slice();
+    let qg = h.qg.as_slice();
+    let plane = dims.nx * dims.ny;
+    let mut out = Vec::with_capacity(dims.len());
+    for (idx, ((&r, &s), &g)) in qr.iter().zip(qs).zip(qg).enumerate() {
+        let rho = air_density(heights[idx / plane.max(1)]);
+        let zsum = z_rain(rho * r) + z_snow(rho * s) + z_hail(rho * g);
+        // 1e-6 mm⁶/m³ floor ⇒ −60 dBZ, the radar sensitivity floor.
+        out.push(10.0 * zsum.max(1e-6).log10());
+    }
+    Field3::from_vec(dims, out).expect("capacity matches dims")
+}
+
+/// [`reflectivity_from_hydrometeors_at`] with the box assumed to span the
+/// full height range `[0, 1]`.
+pub fn reflectivity_from_hydrometeors(h: &Hydrometeors) -> Field3 {
+    let nz = h.qr.dims().nz;
+    let denom = (nz.max(2) - 1) as f32;
+    let heights: Vec<f32> = (0..nz).map(|k| k as f32 / denom).collect();
+    reflectivity_from_hydrometeors_at(h, &heights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apc_grid::Dims3;
+
+    #[test]
+    fn density_profile_decreases() {
+        assert!(air_density(0.0) > air_density(0.5));
+        assert!(air_density(0.5) > air_density(1.0));
+        assert!((air_density(0.0) - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_hydrometeors_hit_the_floor() {
+        let dims = Dims3::new(3, 3, 3);
+        let h = Hydrometeors {
+            qr: Field3::zeros(dims),
+            qs: Field3::zeros(dims),
+            qg: Field3::zeros(dims),
+        };
+        let dbz = reflectivity_from_hydrometeors(&h);
+        assert!(dbz.as_slice().iter().all(|&v| (v - (-60.0)).abs() < 1e-4));
+    }
+
+    #[test]
+    fn heavy_rain_is_realistic_dbz() {
+        // 6 g/kg of rain at the surface ⇒ upper-50s dBZ, a strong storm.
+        let dims = Dims3::new(1, 1, 2);
+        let h = Hydrometeors {
+            qr: Field3::from_vec(dims, vec![6.0e-3, 0.0]).unwrap(),
+            qs: Field3::zeros(dims),
+            qg: Field3::zeros(dims),
+        };
+        let dbz = reflectivity_from_hydrometeors(&h);
+        let surface = dbz.get(0, 0, 0);
+        assert!((50.0..65.0).contains(&surface), "surface dBZ = {surface}");
+    }
+
+    #[test]
+    fn hail_outshines_equal_snow() {
+        let dims = Dims3::new(1, 1, 2);
+        let mk = |qs: f32, qg: f32| Hydrometeors {
+            qr: Field3::zeros(dims),
+            qs: Field3::from_vec(dims, vec![qs, 0.0]).unwrap(),
+            qg: Field3::from_vec(dims, vec![qg, 0.0]).unwrap(),
+        };
+        let snow = reflectivity_from_hydrometeors(&mk(3e-3, 0.0)).get(0, 0, 0);
+        let hail = reflectivity_from_hydrometeors(&mk(0.0, 3e-3)).get(0, 0, 0);
+        assert!(hail > snow + 10.0, "hail {hail} dBZ vs snow {snow} dBZ");
+    }
+
+    #[test]
+    fn reflectivity_monotone_in_content() {
+        let dims = Dims3::new(1, 1, 2);
+        let mut prev = f32::MIN;
+        for q in [1e-4f32, 1e-3, 3e-3, 8e-3] {
+            let h = Hydrometeors {
+                qr: Field3::from_vec(dims, vec![q, 0.0]).unwrap(),
+                qs: Field3::zeros(dims),
+                qg: Field3::zeros(dims),
+            };
+            let v = reflectivity_from_hydrometeors(&h).get(0, 0, 0);
+            assert!(v > prev, "dBZ must grow with rain content");
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share dims")]
+    fn mismatched_dims_rejected() {
+        let h = Hydrometeors {
+            qr: Field3::zeros(Dims3::new(2, 2, 2)),
+            qs: Field3::zeros(Dims3::new(3, 2, 2)),
+            qg: Field3::zeros(Dims3::new(2, 2, 2)),
+        };
+        let _ = reflectivity_from_hydrometeors(&h);
+    }
+}

@@ -1,0 +1,323 @@
+//! Block-oriented dataset files — the stand-in for the Block I/O Library
+//! (BIL, Kendall et al. 2011).
+//!
+//! The paper avoids re-running CM1 by storing 572 iterations of
+//! reflectivity and reloading them "using the Block I/O Library (BIL) into
+//! an in situ visualization kernel" (§V-A). This module provides that
+//! storage path: one file per iteration, blocks stored *contiguously in
+//! block-id order*, so a rank can seek straight to its own blocks without
+//! reading the rest of the domain — BIL's defining access pattern.
+//!
+//! File layout (little-endian):
+//!
+//! ```text
+//! magic   b"APCD"                     4 bytes
+//! version u32                         (currently 1)
+//! domain  3 × u32                     points per axis
+//! block   3 × u32                     block dims
+//! procs   3 × u32                     process grid the writer used
+//! iter    u32                         simulation iteration stored
+//! seed    u64                         storm seed (provenance)
+//! data    n_blocks × block_len × f32  x-fastest samples, block-id order
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use apc_grid::{Block, BlockData, BlockId, Dims3, DomainDecomp, ProcGrid};
+
+use crate::dataset::ReflectivityDataset;
+
+const MAGIC: &[u8; 4] = b"APCD";
+const VERSION: u32 = 1;
+const HEADER_LEN: u64 = 4 + 4 + 12 + 12 + 12 + 4 + 8;
+
+/// Errors from dataset files.
+#[derive(Debug)]
+pub enum IoError {
+    Io(io::Error),
+    /// Not an APCD file or unsupported version.
+    BadHeader(&'static str),
+    /// Header geometry is inconsistent (e.g. indivisible decomposition).
+    BadGeometry(apc_grid::GridError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::BadHeader(what) => write!(f, "bad dataset header: {what}"),
+            IoError::BadGeometry(e) => write!(f, "bad dataset geometry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_dims(w: &mut impl Write, d: Dims3) -> io::Result<()> {
+    write_u32(w, d.nx as u32)?;
+    write_u32(w, d.ny as u32)?;
+    write_u32(w, d.nz as u32)
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_dims(r: &mut impl Read) -> io::Result<Dims3> {
+    Ok(Dims3::new(read_u32(r)? as usize, read_u32(r)? as usize, read_u32(r)? as usize))
+}
+
+/// File name used for iteration `it` under a dataset directory.
+pub fn iteration_file_name(it: usize) -> String {
+    format!("iter_{it:06}.apcd")
+}
+
+/// Write one iteration of a dataset to `path` in block order.
+pub fn write_iteration(
+    dataset: &ReflectivityDataset,
+    iteration: usize,
+    path: &Path,
+) -> Result<(), IoError> {
+    let decomp = dataset.decomp();
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_dims(&mut w, decomp.domain())?;
+    write_dims(&mut w, decomp.block_dims())?;
+    let p = decomp.procs();
+    write_dims(&mut w, Dims3::new(p.px, p.py, p.pz))?;
+    write_u32(&mut w, iteration as u32)?;
+    w.write_all(&dataset.storm().seed.to_le_bytes())?;
+    // Blocks in id order (generate per block to bound memory).
+    for id in decomp.all_blocks() {
+        let block = dataset.block(iteration, id);
+        let BlockData::Full(samples) = &block.data else {
+            unreachable!("dataset blocks are always full")
+        };
+        for v in samples {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write `iterations` of `dataset` into `dir` (created if missing).
+pub fn write_dataset(
+    dataset: &ReflectivityDataset,
+    iterations: &[usize],
+    dir: &Path,
+) -> Result<Vec<PathBuf>, IoError> {
+    std::fs::create_dir_all(dir)?;
+    iterations
+        .iter()
+        .map(|&it| {
+            let path = dir.join(iteration_file_name(it));
+            write_iteration(dataset, it, &path)?;
+            Ok(path)
+        })
+        .collect()
+}
+
+/// One stored iteration, readable block by block.
+pub struct IterationFile {
+    file: BufReader<File>,
+    decomp: DomainDecomp,
+    iteration: usize,
+    seed: u64,
+}
+
+impl IterationFile {
+    pub fn open(path: &Path) -> Result<Self, IoError> {
+        let mut file = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 4];
+        file.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(IoError::BadHeader("magic mismatch"));
+        }
+        if read_u32(&mut file)? != VERSION {
+            return Err(IoError::BadHeader("unsupported version"));
+        }
+        let domain = read_dims(&mut file)?;
+        let block = read_dims(&mut file)?;
+        let procs = read_dims(&mut file)?;
+        let iteration = read_u32(&mut file)? as usize;
+        let mut seed_b = [0u8; 8];
+        file.read_exact(&mut seed_b)?;
+        let decomp =
+            DomainDecomp::new(domain, ProcGrid::new(procs.nx, procs.ny, procs.nz), block)
+                .map_err(IoError::BadGeometry)?;
+        Ok(Self { file, decomp, iteration, seed: u64::from_le_bytes(seed_b) })
+    }
+
+    pub fn decomp(&self) -> &DomainDecomp {
+        &self.decomp
+    }
+
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Read one block by id — a single seek + contiguous read, the BIL
+    /// access pattern.
+    pub fn read_block(&mut self, id: BlockId) -> Result<Block, IoError> {
+        let block_len = self.decomp.block_dims().len();
+        let offset = HEADER_LEN + id as u64 * (block_len as u64 * 4);
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut bytes = vec![0u8; block_len * 4];
+        self.file.read_exact(&mut bytes)?;
+        let samples: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Ok(Block {
+            id,
+            extent: self.decomp.block_extent(id),
+            data: BlockData::Full(samples),
+        })
+    }
+
+    /// Read all blocks of one rank, as the in situ kernel would at the
+    /// start of an iteration.
+    pub fn read_rank_blocks(&mut self, rank: usize) -> Result<Vec<Block>, IoError> {
+        self.decomp
+            .blocks_of_rank(rank)
+            .into_iter()
+            .map(|id| self.read_block(id))
+            .collect()
+    }
+}
+
+/// A stored, replayable dataset directory (the paper's "dataset already
+/// generated by atmospheric scientists").
+pub struct StoredDataset {
+    dir: PathBuf,
+    iterations: Vec<usize>,
+}
+
+impl StoredDataset {
+    /// Scan `dir` for iteration files.
+    pub fn open(dir: &Path) -> Result<Self, IoError> {
+        let mut iterations = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(num) = name.strip_prefix("iter_").and_then(|s| s.strip_suffix(".apcd"))
+            {
+                if let Ok(it) = num.parse::<usize>() {
+                    iterations.push(it);
+                }
+            }
+        }
+        if iterations.is_empty() {
+            return Err(IoError::BadHeader("no iteration files found"));
+        }
+        iterations.sort_unstable();
+        Ok(Self { dir: dir.to_path_buf(), iterations })
+    }
+
+    pub fn iterations(&self) -> &[usize] {
+        &self.iterations
+    }
+
+    pub fn iteration_file(&self, it: usize) -> Result<IterationFile, IoError> {
+        IterationFile::open(&self.dir.join(iteration_file_name(it)))
+    }
+
+    /// Blocks of `rank` at stored iteration `it` — drop-in for
+    /// [`ReflectivityDataset::rank_blocks`] in the experiment driver.
+    pub fn rank_blocks(&self, it: usize, rank: usize) -> Result<Vec<Block>, IoError> {
+        self.iteration_file(it)?.read_rank_blocks(rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("apc_cm1_io_tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_matches_generated_blocks() {
+        let dataset = ReflectivityDataset::tiny(4, 99).unwrap();
+        let dir = tmp_dir("roundtrip");
+        let iters = vec![100, 300];
+        write_dataset(&dataset, &iters, &dir).unwrap();
+
+        let stored = StoredDataset::open(&dir).unwrap();
+        assert_eq!(stored.iterations(), &[100, 300]);
+        for &it in &iters {
+            for rank in 0..4 {
+                let from_disk = stored.rank_blocks(it, rank).unwrap();
+                let generated = dataset.rank_blocks(it, rank);
+                assert_eq!(from_disk, generated, "iter {it} rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_block_seek_read() {
+        let dataset = ReflectivityDataset::tiny(4, 7).unwrap();
+        let dir = tmp_dir("seek");
+        write_dataset(&dataset, &[200], &dir).unwrap();
+        let stored = StoredDataset::open(&dir).unwrap();
+        let mut f = stored.iteration_file(200).unwrap();
+        assert_eq!(f.iteration(), 200);
+        assert_eq!(f.seed(), 7);
+        // Read blocks out of order; each must match direct generation.
+        for id in [77u32, 0, 127, 5] {
+            let b = f.read_block(id).unwrap();
+            assert_eq!(b, dataset.block(200, id), "block {id}");
+        }
+    }
+
+    #[test]
+    fn header_validation() {
+        let dir = tmp_dir("badheader");
+        let path = dir.join(iteration_file_name(1));
+        std::fs::write(&path, b"NOPE").unwrap();
+        assert!(matches!(
+            IterationFile::open(&path),
+            Err(IoError::BadHeader(_)) | Err(IoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn empty_dir_is_error() {
+        let dir = tmp_dir("empty");
+        assert!(matches!(StoredDataset::open(&dir), Err(IoError::BadHeader(_))));
+    }
+
+    #[test]
+    fn file_size_matches_geometry() {
+        let dataset = ReflectivityDataset::tiny(4, 1).unwrap();
+        let dir = tmp_dir("size");
+        let paths = write_dataset(&dataset, &[50], &dir).unwrap();
+        let meta = std::fs::metadata(&paths[0]).unwrap();
+        let expect = HEADER_LEN + dataset.decomp().domain().len() as u64 * 4;
+        assert_eq!(meta.len(), expect);
+    }
+}

@@ -1,0 +1,48 @@
+//! A synthetic CM1-like atmospheric simulation substrate.
+//!
+//! The paper replays a 572-iteration reflectivity dataset produced by a
+//! 3-day CM1 (Bryan & Fritsch 2002) run on Blue Waters. Neither CM1 nor the
+//! dataset is available here, so this crate builds the closest synthetic
+//! equivalent (DESIGN.md §2):
+//!
+//! * [`noise`] — deterministic hash-based 3D value noise / fBm, the
+//!   turbulence texture of the storm;
+//! * [`storm`] — a procedural supercell: condensate envelope with updraft
+//!   core, weak-echo region, hook echo, anvil and flanking cells, evolving
+//!   deterministically over iterations;
+//! * [`hydro`] — CM1-style microphysics split of the condensate into rain /
+//!   snow / hail mixing ratios and the radar-reflectivity derivation
+//!   ("derives from a calculation based on cloud rain, hail, and snow
+//!   microphysical variables", paper §II-A);
+//! * [`solver`] — a small semi-Lagrangian advection–diffusion solver that
+//!   stands in for the simulation's compute phase;
+//! * [`dataset`] — the replayable iteration sequence the experiments feed
+//!   to the pipeline, at the paper's two scales (64 and 400 ranks).
+//!
+//! The property the experiments depend on — and which [`storm`]'s tests
+//! pin — is *spatial locality*: the storm covers a small fraction of the
+//! domain, so a regular decomposition puts nearly all of the rendering and
+//! scoring load on a few ranks.
+
+pub mod dataset;
+pub mod hydro;
+pub mod io;
+pub mod noise;
+pub mod solver;
+pub mod storm;
+
+pub use dataset::ReflectivityDataset;
+pub use hydro::{reflectivity_from_hydrometeors, reflectivity_from_hydrometeors_at, Hydrometeors};
+pub use io::{write_dataset, StoredDataset};
+pub use noise::{fbm3, value_noise3};
+pub use solver::AdvectionSolver;
+pub use storm::StormModel;
+
+/// Reflectivity bounds in dBZ — the known range the ITL metric relies on
+/// (paper §IV-B-c).
+pub const DBZ_MIN: f32 = -60.0;
+pub const DBZ_MAX: f32 = 80.0;
+
+/// The isovalue the paper renders: the 45 dBZ surface whose interior hides
+/// the weak echo region (§II-A).
+pub const DBZ_ISOVALUE: f32 = 45.0;

@@ -1,0 +1,124 @@
+//! Deterministic 3D value noise and fractional Brownian motion.
+//!
+//! Hash-based (no tables, no global state): the same `(position, seed)`
+//! always yields the same value, which keeps every experiment in the
+//! workspace reproducible bit-for-bit.
+
+/// SplitMix64 finalizer — a high-quality 64-bit mix.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform value in [0, 1) at integer lattice point `(i, j, k)`.
+#[inline]
+fn lattice(i: i64, j: i64, k: i64, seed: u64) -> f32 {
+    let h = mix64(
+        (i as u64)
+            .wrapping_mul(0x8DA6_B343)
+            .wrapping_add((j as u64).wrapping_mul(0xD8163841))
+            .wrapping_add((k as u64).wrapping_mul(0xCB1A_B31F))
+            .wrapping_add(seed.wrapping_mul(0x2545_F491_4F6C_DD1D)),
+    );
+    (h >> 40) as f32 / (1u64 << 24) as f32
+}
+
+#[inline]
+fn smoothstep(t: f32) -> f32 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Trilinearly interpolated value noise in [-1, 1] at continuous position
+/// `(x, y, z)` (lattice spacing 1).
+pub fn value_noise3(x: f32, y: f32, z: f32, seed: u64) -> f32 {
+    let (xf, yf, zf) = (x.floor(), y.floor(), z.floor());
+    let (i, j, k) = (xf as i64, yf as i64, zf as i64);
+    let (u, v, w) = (smoothstep(x - xf), smoothstep(y - yf), smoothstep(z - zf));
+    let mut acc = 0.0;
+    for dk in 0..2i64 {
+        let wk = if dk == 0 { 1.0 - w } else { w };
+        for dj in 0..2i64 {
+            let wj = if dj == 0 { 1.0 - v } else { v };
+            for di in 0..2i64 {
+                let wi = if di == 0 { 1.0 - u } else { u };
+                acc += wi * wj * wk * lattice(i + di, j + dj, k + dk, seed);
+            }
+        }
+    }
+    acc * 2.0 - 1.0
+}
+
+/// Fractional Brownian motion: `octaves` layers of value noise, each at
+/// double frequency and half amplitude. Output roughly in [-1, 1].
+pub fn fbm3(x: f32, y: f32, z: f32, octaves: u32, seed: u64) -> f32 {
+    let mut acc = 0.0;
+    let mut amp = 0.5;
+    let mut freq = 1.0;
+    let mut norm = 0.0;
+    for oct in 0..octaves {
+        acc += amp * value_noise3(x * freq, y * freq, z * freq, seed.wrapping_add(oct as u64));
+        norm += amp;
+        amp *= 0.5;
+        freq *= 2.0;
+    }
+    acc / norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = value_noise3(1.7, -2.3, 0.5, 42);
+        let b = value_noise3(1.7, -2.3, 0.5, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_changes_field() {
+        let a = value_noise3(1.7, 2.3, 0.5, 1);
+        let b = value_noise3(1.7, 2.3, 0.5, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bounded() {
+        for i in 0..500 {
+            let t = i as f32 * 0.173;
+            let v = value_noise3(t, t * 0.7, t * 1.3, 7);
+            assert!((-1.0..=1.0).contains(&v), "noise out of range: {v}");
+            let f = fbm3(t, t * 0.7, t * 1.3, 5, 7);
+            assert!((-1.2..=1.2).contains(&f), "fbm out of range: {f}");
+        }
+    }
+
+    #[test]
+    fn continuous_at_lattice_points() {
+        // Value just left and just right of a lattice plane must agree.
+        let eps = 1e-4;
+        let a = value_noise3(3.0 - eps, 1.5, 2.5, 11);
+        let b = value_noise3(3.0 + eps, 1.5, 2.5, 11);
+        assert!((a - b).abs() < 0.01, "{a} vs {b}");
+    }
+
+    #[test]
+    fn has_variation() {
+        let vals: Vec<f32> =
+            (0..100).map(|i| value_noise3(i as f32 * 0.37, 0.0, 0.0, 3)).collect();
+        let min = vals.iter().cloned().fold(f32::MAX, f32::min);
+        let max = vals.iter().cloned().fold(f32::MIN, f32::max);
+        assert!(max - min > 0.5, "noise too flat: [{min}, {max}]");
+    }
+
+    #[test]
+    fn fbm_adds_detail() {
+        // fBm with more octaves differs from the base octave (has detail).
+        let base = value_noise3(0.4, 0.9, 1.1, 5);
+        let detailed = fbm3(0.4, 0.9, 1.1, 5, 5);
+        assert_ne!(base, detailed);
+    }
+}

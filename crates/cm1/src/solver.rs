@@ -1,0 +1,205 @@
+//! A small semi-Lagrangian advection–diffusion solver.
+//!
+//! The paper replays stored data "to avoid running CM1's computational part
+//! for every experiment … the real CM1 would normally alternate between
+//! computation and visualization phases" (§V-A). This solver is the
+//! stand-in for that computation phase: examples run it between pipeline
+//! invocations so the end-to-end loop (compute → in situ visualize → adapt)
+//! is exercised by real code rather than a sleep.
+
+use apc_grid::{Dims3, Field3};
+
+use crate::storm::StormModel;
+
+/// Semi-Lagrangian advection of a scalar tracer by the storm's wind field,
+/// plus explicit diffusion.
+#[derive(Debug, Clone)]
+pub struct AdvectionSolver {
+    field: Field3,
+    storm: StormModel,
+    /// Time step in iteration units.
+    pub dt: f32,
+    /// Diffusion coefficient (stability requires `6·κ ≤ 1`).
+    pub kappa: f32,
+    step_count: usize,
+}
+
+impl AdvectionSolver {
+    pub fn new(initial: Field3, storm: StormModel) -> Self {
+        Self { field: initial, storm, dt: 1.0, kappa: 0.05, step_count: 0 }
+    }
+
+    pub fn field(&self) -> &Field3 {
+        &self.field
+    }
+
+    pub fn steps_taken(&self) -> usize {
+        self.step_count
+    }
+
+    /// Normalized position of a grid point (index space → [0,1]³).
+    #[inline]
+    fn norm_pos(dims: Dims3, i: usize, j: usize, k: usize) -> [f32; 3] {
+        [
+            i as f32 / (dims.nx.max(2) - 1) as f32,
+            j as f32 / (dims.ny.max(2) - 1) as f32,
+            k as f32 / (dims.nz.max(2) - 1) as f32,
+        ]
+    }
+
+    /// Sample the field at a continuous index-space position with trilinear
+    /// interpolation and edge clamping.
+    fn sample(field: &Field3, x: f32, y: f32, z: f32) -> f32 {
+        let d = field.dims();
+        let cx = x.clamp(0.0, (d.nx - 1) as f32);
+        let cy = y.clamp(0.0, (d.ny - 1) as f32);
+        let cz = z.clamp(0.0, (d.nz - 1) as f32);
+        let (i0, j0, k0) = (cx.floor() as usize, cy.floor() as usize, cz.floor() as usize);
+        let (i1, j1, k1) =
+            ((i0 + 1).min(d.nx - 1), (j0 + 1).min(d.ny - 1), (k0 + 1).min(d.nz - 1));
+        let (u, v, w) = (cx - i0 as f32, cy - j0 as f32, cz - k0 as f32);
+        let c000 = field.get(i0, j0, k0);
+        let c100 = field.get(i1, j0, k0);
+        let c010 = field.get(i0, j1, k0);
+        let c110 = field.get(i1, j1, k0);
+        let c001 = field.get(i0, j0, k1);
+        let c101 = field.get(i1, j0, k1);
+        let c011 = field.get(i0, j1, k1);
+        let c111 = field.get(i1, j1, k1);
+        let c00 = c000 + (c100 - c000) * u;
+        let c10 = c010 + (c110 - c010) * u;
+        let c01 = c001 + (c101 - c001) * u;
+        let c11 = c011 + (c111 - c011) * u;
+        let c0 = c00 + (c10 - c00) * v;
+        let c1 = c01 + (c11 - c01) * v;
+        c0 + (c1 - c0) * w
+    }
+
+    /// Advance one time step at simulation iteration `iteration` (which
+    /// selects the wind field's evolution stage).
+    pub fn step(&mut self, iteration: usize) {
+        let dims = self.field.dims();
+        let tau = self.storm.tau(iteration);
+        let mut next = Field3::zeros(dims);
+        // Index-space wind scale: normalized wind × points per unit.
+        let scale = [
+            (dims.nx.max(2) - 1) as f32,
+            (dims.ny.max(2) - 1) as f32,
+            (dims.nz.max(2) - 1) as f32,
+        ];
+        for k in 0..dims.nz {
+            for j in 0..dims.ny {
+                for i in 0..dims.nx {
+                    let p = Self::norm_pos(dims, i, j, k);
+                    let wind = self.storm.wind(p, tau);
+                    // Backtrack the characteristic.
+                    let x = i as f32 - wind[0] * scale[0] * self.dt;
+                    let y = j as f32 - wind[1] * scale[1] * self.dt;
+                    let z = k as f32 - wind[2] * scale[2] * self.dt;
+                    next.set(i, j, k, Self::sample(&self.field, x, y, z));
+                }
+            }
+        }
+        // Explicit 7-point diffusion.
+        if self.kappa > 0.0 {
+            let src = next.clone();
+            let at = |i: usize, j: usize, k: usize, di: isize, dj: isize, dk: isize| {
+                let ii = (i as isize + di).clamp(0, dims.nx as isize - 1) as usize;
+                let jj = (j as isize + dj).clamp(0, dims.ny as isize - 1) as usize;
+                let kk = (k as isize + dk).clamp(0, dims.nz as isize - 1) as usize;
+                src.get(ii, jj, kk)
+            };
+            for k in 0..dims.nz {
+                for j in 0..dims.ny {
+                    for i in 0..dims.nx {
+                        let lap = at(i, j, k, 1, 0, 0)
+                            + at(i, j, k, -1, 0, 0)
+                            + at(i, j, k, 0, 1, 0)
+                            + at(i, j, k, 0, -1, 0)
+                            + at(i, j, k, 0, 0, 1)
+                            + at(i, j, k, 0, 0, -1)
+                            - 6.0 * src.get(i, j, k);
+                        next.set(i, j, k, src.get(i, j, k) + self.kappa * lap);
+                    }
+                }
+            }
+        }
+        self.field = next;
+        self.step_count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_field(dims: Dims3, ci: usize, cj: usize) -> Field3 {
+        Field3::from_fn(dims, |i, j, _k| {
+            let d2 = (i as f32 - ci as f32).powi(2) + (j as f32 - cj as f32).powi(2);
+            (-d2 / 8.0).exp()
+        })
+    }
+
+    #[test]
+    fn max_principle_holds() {
+        // Semi-Lagrangian + diffusion never exceeds the initial bounds.
+        let dims = Dims3::new(24, 24, 6);
+        let init = blob_field(dims, 12, 12);
+        let (lo0, hi0) = init.min_max().unwrap();
+        let mut solver = AdvectionSolver::new(init, StormModel::default());
+        for it in 0..5 {
+            solver.step(it * 50);
+        }
+        let (lo, hi) = solver.field().min_max().unwrap();
+        assert!(lo >= lo0 - 1e-5 && hi <= hi0 + 1e-5, "[{lo}, {hi}] vs [{lo0}, {hi0}]");
+    }
+
+    #[test]
+    fn diffusion_smooths_peaks() {
+        let dims = Dims3::new(16, 16, 4);
+        let mut init = Field3::zeros(dims);
+        init.set(8, 8, 2, 1.0);
+        let mut solver = AdvectionSolver::new(init, StormModel::default());
+        solver.dt = 0.0; // isolate diffusion
+        let hi0 = solver.field().min_max().unwrap().1;
+        solver.step(0);
+        let hi1 = solver.field().min_max().unwrap().1;
+        assert!(hi1 < hi0, "diffusion must lower the peak: {hi1} vs {hi0}");
+    }
+
+    #[test]
+    fn updraft_lifts_tracer() {
+        // A tracer sheet at the bottom of the storm core should rise.
+        let dims = Dims3::new(32, 32, 16);
+        let storm = StormModel::default();
+        let tau = 0.5;
+        let c = storm.center(tau);
+        let ci = (c[0] * 31.0) as usize;
+        let cj = (c[1] * 31.0) as usize;
+        let init = Field3::from_fn(dims, |_i, _j, k| if k == 2 { 1.0 } else { 0.0 });
+        let mut solver = AdvectionSolver::new(init, storm);
+        solver.kappa = 0.0;
+        solver.dt = 4.0;
+        for _ in 0..4 {
+            solver.step(286); // mid-timeline wind
+        }
+        // Mass above the sheet at the core column must now be nonzero.
+        let mut above = 0.0;
+        for k in 3..10 {
+            above += solver.field().get(ci, cj, k);
+        }
+        assert!(above > 0.05, "updraft should lift tracer, got {above}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let dims = Dims3::new(12, 12, 4);
+        let run = || {
+            let mut s = AdvectionSolver::new(blob_field(dims, 6, 6), StormModel::new(3));
+            s.step(0);
+            s.step(1);
+            s.field().clone()
+        };
+        assert_eq!(run(), run());
+    }
+}

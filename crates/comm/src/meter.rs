@@ -1,0 +1,88 @@
+//! Payload size accounting for the network cost model.
+
+/// Types whose transfer size (in bytes) the virtual network can charge.
+///
+/// Implemented for the primitives and containers the pipeline actually
+/// ships; downstream crates implement it for their own message structs.
+pub trait Meter {
+    /// Number of bytes this value occupies on the (virtual) wire.
+    fn nbytes(&self) -> usize;
+}
+
+macro_rules! meter_primitive {
+    ($($t:ty),*) => {
+        $(impl Meter for $t {
+            #[inline]
+            fn nbytes(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+meter_primitive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+impl Meter for () {
+    fn nbytes(&self) -> usize {
+        0
+    }
+}
+
+impl<T: Meter> Meter for Vec<T> {
+    fn nbytes(&self) -> usize {
+        self.iter().map(Meter::nbytes).sum()
+    }
+}
+
+impl<T: Meter> Meter for Option<T> {
+    fn nbytes(&self) -> usize {
+        self.as_ref().map_or(0, Meter::nbytes)
+    }
+}
+
+impl<T: Meter, const N: usize> Meter for [T; N] {
+    fn nbytes(&self) -> usize {
+        self.iter().map(Meter::nbytes).sum()
+    }
+}
+
+impl<A: Meter, B: Meter> Meter for (A, B) {
+    fn nbytes(&self) -> usize {
+        self.0.nbytes() + self.1.nbytes()
+    }
+}
+
+impl<A: Meter, B: Meter, C: Meter> Meter for (A, B, C) {
+    fn nbytes(&self) -> usize {
+        self.0.nbytes() + self.1.nbytes() + self.2.nbytes()
+    }
+}
+
+impl Meter for String {
+    fn nbytes(&self) -> usize {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(3.0f32.nbytes(), 4);
+        assert_eq!(3.0f64.nbytes(), 8);
+        assert_eq!(7u32.nbytes(), 4);
+        assert_eq!(().nbytes(), 0);
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(vec![1.0f32; 10].nbytes(), 40);
+        assert_eq!(Some(5u64).nbytes(), 8);
+        assert_eq!(None::<u64>.nbytes(), 0);
+        assert_eq!([1.0f32; 8].nbytes(), 32);
+        assert_eq!((1u32, 2.0f64).nbytes(), 12);
+        assert_eq!(vec![vec![0u8; 3], vec![0u8; 5]].nbytes(), 8);
+    }
+}

@@ -1,0 +1,212 @@
+//! Point-to-point messaging: tagged, typed, with non-blocking variants.
+//!
+//! Semantics mirror MPI: messages between a (sender, receiver) pair with the
+//! same tag are non-overtaking; receives are selective on `(source, tag)`.
+//! Sends are buffered (the virtual network has unbounded eager buffers), so
+//! `send` never blocks — matching the paper's use of non-blocking
+//! sends/receives for block redistribution (§IV-D).
+
+use std::any::Any;
+use std::marker::PhantomData;
+
+use crate::meter::Meter;
+use crate::runtime::Rank;
+
+/// Message tag. The pipeline uses small user tags; the runtime reserves the
+/// upper half of the space for internal collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(pub u32);
+
+impl Tag {
+    /// Internal tag used by [`crate::collectives::Rank::alltoallv`].
+    pub(crate) const ALLTOALLV: Tag = Tag(u32::MAX);
+    /// Internal tag used by [`crate::sort::sample_sort`].
+    pub(crate) const SAMPLE_SORT: Tag = Tag(u32::MAX - 1);
+}
+
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: Tag,
+    /// Sender's virtual clock when the message left.
+    pub ts: f64,
+    pub bytes: usize,
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Handle for a posted non-blocking receive. Completing it requires the rank
+/// handle again (the runtime is single-threaded per rank, like MPI).
+#[must_use = "a posted receive must be waited on"]
+pub struct Request<M> {
+    src: usize,
+    tag: Tag,
+    _m: PhantomData<fn() -> M>,
+}
+
+impl<M: Send + 'static> Request<M> {
+    /// Block until the matching message arrives and return its payload.
+    pub fn wait(self, rank: &mut Rank) -> M {
+        rank.recv(self.src, self.tag)
+    }
+}
+
+impl Rank {
+    /// Send `msg` to `dst` with `tag`. Never blocks (eager buffering).
+    /// Charges the sender the per-message software overhead.
+    pub fn send<M: Meter + Send + 'static>(&mut self, dst: usize, tag: Tag, msg: M) {
+        assert!(dst < self.nranks(), "invalid destination rank {dst}");
+        let bytes = msg.nbytes();
+        self.clock += self.net().send_overhead;
+        let env = Envelope { src: self.id, tag, ts: self.clock, bytes, payload: Box::new(msg) };
+        self.senders[dst].send(env).expect("destination rank hung up");
+    }
+
+    /// Non-blocking send. With eager buffering this is identical to
+    /// [`Rank::send`]; provided so pipeline code reads like the paper.
+    pub fn isend<M: Meter + Send + 'static>(&mut self, dst: usize, tag: Tag, msg: M) {
+        self.send(dst, tag, msg);
+    }
+
+    /// Blocking receive of a message from `src` with `tag`. Merges the
+    /// sender's clock plus the modeled transfer time into this rank's clock.
+    pub fn recv<M: Send + 'static>(&mut self, src: usize, tag: Tag) -> M {
+        assert!(src < self.nranks(), "invalid source rank {src}");
+        let env = self.pop_matching(src, tag);
+        let arrival = env.ts + self.net().p2p(env.bytes);
+        self.merge_clock(arrival);
+        // Receiver-side software cost (deserialization/ingest). Additive,
+        // so a rank receiving many messages pays for each of them.
+        let ingest = self.net().ingest(env.bytes);
+        self.advance(ingest);
+        *env.payload.downcast::<M>().unwrap_or_else(|_| {
+            panic!(
+                "rank {} received type mismatch from rank {src} tag {tag:?} \
+                 (expected {})",
+                self.id,
+                std::any::type_name::<M>()
+            )
+        })
+    }
+
+    /// Post a non-blocking receive for `(src, tag)`.
+    pub fn irecv<M: Send + 'static>(&mut self, src: usize, tag: Tag) -> Request<M> {
+        Request { src, tag, _m: PhantomData }
+    }
+
+    /// Complete a set of posted receives, in any arrival order.
+    pub fn wait_all<M: Send + 'static>(&mut self, reqs: Vec<Request<M>>) -> Vec<M> {
+        reqs.into_iter().map(|r| r.wait(self)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netmodel::NetModel;
+    use crate::runtime::Runtime;
+
+    #[test]
+    fn ping_pong() {
+        let out = Runtime::new(2, NetModel::blue_waters()).run(|rank| {
+            if rank.rank() == 0 {
+                rank.send(1, Tag(1), vec![1.0f32, 2.0, 3.0]);
+                rank.recv::<Vec<f32>>(1, Tag(2))
+            } else {
+                let v = rank.recv::<Vec<f32>>(0, Tag(1));
+                let doubled: Vec<f32> = v.iter().map(|x| x * 2.0).collect();
+                rank.send(0, Tag(2), doubled.clone());
+                doubled
+            }
+        });
+        assert_eq!(out[0], vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn selective_receive_by_tag() {
+        let out = Runtime::new(2, NetModel::free()).run(|rank| {
+            if rank.rank() == 0 {
+                rank.send(1, Tag(10), 111u32);
+                rank.send(1, Tag(20), 222u32);
+                0
+            } else {
+                // Receive in the opposite order of sending.
+                let b = rank.recv::<u32>(0, Tag(20));
+                let a = rank.recv::<u32>(0, Tag(10));
+                assert_eq!((a, b), (111, 222));
+                1
+            }
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn same_tag_messages_are_non_overtaking() {
+        let out = Runtime::new(2, NetModel::free()).run(|rank| {
+            if rank.rank() == 0 {
+                for i in 0..10u32 {
+                    rank.send(1, Tag(5), i);
+                }
+                vec![]
+            } else {
+                (0..10).map(|_| rank.recv::<u32>(0, Tag(5))).collect::<Vec<u32>>()
+            }
+        });
+        assert_eq!(out[1], (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn recv_advances_clock_by_latency_and_bandwidth() {
+        let net = NetModel { latency: 1e-3, bandwidth: 1e6, ..NetModel::free() };
+        let clocks = Runtime::new(2, net).run(|rank| {
+            if rank.rank() == 0 {
+                // 4000-byte message: 1 ms latency + 4 ms transfer.
+                rank.send(1, Tag(0), vec![0.0f32; 1000]);
+            } else {
+                let _ = rank.recv::<Vec<f32>>(0, Tag(0));
+            }
+            rank.clock()
+        });
+        assert!((clocks[1] - 0.005).abs() < 1e-9, "clock = {}", clocks[1]);
+    }
+
+    #[test]
+    fn receiver_later_than_sender_keeps_its_clock() {
+        let net = NetModel { latency: 1e-3, ..NetModel::free() };
+        let clocks = Runtime::new(2, net).run(|rank| {
+            if rank.rank() == 0 {
+                rank.send(1, Tag(0), 1u8);
+            } else {
+                rank.advance(10.0); // receiver is already far in the future
+                let _ = rank.recv::<u8>(0, Tag(0));
+            }
+            rank.clock()
+        });
+        assert_eq!(clocks[1], 10.0);
+    }
+
+    #[test]
+    fn irecv_wait_all() {
+        let out = Runtime::new(4, NetModel::free()).run(|rank| {
+            if rank.rank() == 0 {
+                let reqs: Vec<Request<u64>> =
+                    (1..4).map(|src| rank.irecv::<u64>(src, Tag(7))).collect();
+                rank.wait_all(reqs).iter().sum::<u64>()
+            } else {
+                rank.send(0, Tag(7), rank.rank() as u64);
+                0
+            }
+        });
+        assert_eq!(out[0], 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        Runtime::new(2, NetModel::free()).run(|rank| {
+            if rank.rank() == 0 {
+                rank.send(1, Tag(0), 1.0f32);
+            } else {
+                let _ = rank.recv::<u64>(0, Tag(0));
+            }
+        });
+    }
+}

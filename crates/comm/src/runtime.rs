@@ -1,0 +1,225 @@
+//! The rank runtime: one OS thread per rank, shared rendezvous state.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::netmodel::NetModel;
+use crate::p2p::{Envelope, Tag};
+
+/// How long a blocking receive waits before declaring the program deadlocked.
+/// Generous enough for oversubscribed CI machines, small enough that a buggy
+/// pipeline fails a test instead of hanging it forever.
+const RECV_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// A deposited collective contribution: `(virtual clock, payload)`.
+pub(crate) type Contribution = (f64, Box<dyn Any + Send>);
+
+pub(crate) struct Shared {
+    pub nranks: usize,
+    pub net: NetModel,
+    pub barrier: Barrier,
+    /// Rendezvous slots for collectives.
+    pub slots: Mutex<Vec<Option<Contribution>>>,
+}
+
+/// Launch configuration: number of ranks and network model.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    nranks: usize,
+    net: NetModel,
+    stack_size: usize,
+}
+
+impl Runtime {
+    pub fn new(nranks: usize, net: NetModel) -> Self {
+        assert!(nranks > 0, "need at least one rank");
+        Self { nranks, net, stack_size: 4 << 20 }
+    }
+
+    /// Per-rank thread stack size (default 4 MiB).
+    pub fn stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = bytes;
+        self
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Run `f` on every rank concurrently; returns the per-rank results in
+    /// rank order. Panics in any rank propagate.
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Rank) -> T + Sync,
+    {
+        let n = self.nranks;
+        let shared = Arc::new(Shared {
+            nranks: n,
+            net: self.net,
+            barrier: Barrier::new(n),
+            slots: Mutex::new((0..n).map(|_| None).collect()),
+        });
+
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Envelope>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+
+        let f = &f;
+        let results: Vec<T> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = rxs
+                .into_iter()
+                .enumerate()
+                .map(|(id, inbox)| {
+                    let senders = txs.clone();
+                    let shared = Arc::clone(&shared);
+                    scope
+                        .builder()
+                        .name(format!("rank-{id}"))
+                        .stack_size(self.stack_size)
+                        .spawn(move |_| {
+                            let mut rank = Rank {
+                                id,
+                                clock: 0.0,
+                                shared,
+                                senders,
+                                inbox,
+                                stash: VecDeque::new(),
+                            };
+                            f(&mut rank)
+                        })
+                        .expect("failed to spawn rank thread")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    // Re-raise with the original payload so callers (and
+                    // #[should_panic] tests) see the rank's own message.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+        .expect("rank scope failed");
+        results
+    }
+}
+
+/// Per-rank communicator handle, passed to the closure given to
+/// [`Runtime::run`]. All point-to-point and collective operations live here
+/// (collectives are in [`crate::collectives`], implemented on this type).
+pub struct Rank {
+    pub(crate) id: usize,
+    pub(crate) clock: f64,
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) senders: Vec<Sender<Envelope>>,
+    pub(crate) inbox: Receiver<Envelope>,
+    pub(crate) stash: VecDeque<Envelope>,
+}
+
+impl Rank {
+    /// This rank's id in `0..nranks`.
+    pub fn rank(&self) -> usize {
+        self.id
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.shared.nranks
+    }
+
+    pub fn net(&self) -> NetModel {
+        self.shared.net
+    }
+
+    /// Current virtual time (seconds since the run started).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Charge `dt` seconds of local compute to the virtual clock.
+    pub fn advance(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0, "cannot advance clock backwards");
+        self.clock += dt;
+    }
+
+    pub(crate) fn merge_clock(&mut self, t: f64) {
+        if t > self.clock {
+            self.clock = t;
+        }
+    }
+
+    pub(crate) fn pop_matching(&mut self, src: usize, tag: Tag) -> Envelope {
+        if let Some(pos) = self.stash.iter().position(|e| e.src == src && e.tag == tag) {
+            return self.stash.remove(pos).unwrap();
+        }
+        loop {
+            match self.inbox.recv_timeout(RECV_TIMEOUT) {
+                Ok(env) => {
+                    if env.src == src && env.tag == tag {
+                        return env;
+                    }
+                    self.stash.push_back(env);
+                }
+                Err(_) => panic!(
+                    "rank {} deadlocked waiting for message (src={src}, tag={tag:?}); \
+                     {} stashed envelopes",
+                    self.id,
+                    self.stash.len()
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_results_in_rank_order() {
+        let out = Runtime::new(5, NetModel::free()).run(|rank| rank.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn clocks_start_at_zero_and_advance() {
+        let clocks = Runtime::new(3, NetModel::free()).run(|rank| {
+            assert_eq!(rank.clock(), 0.0);
+            rank.advance(1.5);
+            rank.advance(0.5);
+            rank.clock()
+        });
+        assert_eq!(clocks, vec![2.0; 3]);
+    }
+
+    #[test]
+    fn single_rank_works() {
+        let out = Runtime::new(1, NetModel::blue_waters()).run(|rank| rank.nranks());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Runtime::new(0, NetModel::free());
+    }
+
+    #[test]
+    fn many_ranks_spawn() {
+        // Sanity check that a 400-rank run (the paper's larger scale) is
+        // feasible as plain threads.
+        let out = Runtime::new(400, NetModel::free()).run(|rank| rank.rank());
+        assert_eq!(out.len(), 400);
+        assert_eq!(out[399], 399);
+    }
+}

@@ -1,0 +1,221 @@
+//! Distributed sorting of `<block id, score>` pairs.
+//!
+//! The paper (§IV-C) globally sorts all pairs by increasing score and
+//! broadcasts the sorted array to every rank. We provide the paper's
+//! gather-sort-broadcast and, as an ablation (DESIGN.md §4), a real
+//! parallel *sample sort* whose final allgather yields the same
+//! everyone-has-everything result.
+
+use std::cmp::Ordering;
+
+use crate::meter::Meter;
+use crate::p2p::Tag;
+use crate::runtime::Rank;
+
+/// Cost charged per element of a comparison sort, seconds. Calibrated to a
+/// few tens of ns per element per log-level — negligible next to rendering,
+/// as the paper observes.
+pub const SORT_COST_PER_ELEM: f64 = 2.5e-8;
+
+fn sort_compute_cost(n: usize) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    n as f64 * (n as f64).log2() * SORT_COST_PER_ELEM
+}
+
+/// The paper's strategy: gather all pairs, sort at the root, broadcast the
+/// sorted array back. Every rank returns the full sorted vector.
+///
+/// `cmp` must be a total order (ties broken deterministically by the
+/// caller, e.g. by block id — §IV-C).
+pub fn gather_sort_broadcast<K, F>(rank: &mut Rank, local: Vec<K>, cmp: F) -> Vec<K>
+where
+    K: Meter + Clone + Send + 'static,
+    F: Fn(&K, &K) -> Ordering,
+{
+    let gathered = rank.allgather(local);
+    let mut all: Vec<K> = gathered.into_iter().flatten().collect();
+    // The root sorts; everyone then waits on the broadcast, so the root's
+    // compute time gates all ranks. We charge it uniformly after the
+    // allgather's clock synchronization (equivalent under max-sync).
+    rank.advance(sort_compute_cost(all.len()));
+    all.sort_by(&cmp);
+    // Model the broadcast of the sorted array (data is already everywhere
+    // in the simulation; only time needs to move).
+    let bytes: usize = all.iter().map(Meter::nbytes).sum();
+    let n = rank.nranks();
+    let t = rank.net().broadcast(n, bytes);
+    rank.advance(t);
+    all
+}
+
+/// Parallel sample sort (ablation): local sort, regular sampling, splitter
+/// selection, bucket exchange via point-to-point, local merge, and a final
+/// allgather so every rank holds the full sorted vector — same contract as
+/// [`gather_sort_broadcast`].
+// Loop variables double as rank ids for addressing, not just indices.
+#[allow(clippy::needless_range_loop)]
+pub fn sample_sort<K, F>(rank: &mut Rank, mut local: Vec<K>, cmp: F) -> Vec<K>
+where
+    K: Meter + Clone + Send + 'static,
+    F: Fn(&K, &K) -> Ordering,
+{
+    let n = rank.nranks();
+    if n == 1 {
+        rank.advance(sort_compute_cost(local.len()));
+        local.sort_by(&cmp);
+        return local;
+    }
+
+    rank.advance(sort_compute_cost(local.len()));
+    local.sort_by(&cmp);
+
+    // Regular sampling: n samples per rank (with repetition if short).
+    let samples: Vec<K> = if local.is_empty() {
+        Vec::new()
+    } else {
+        (0..n).map(|i| local[i * local.len() / n].clone()).collect()
+    };
+    let mut all_samples: Vec<K> = rank.allgather(samples).into_iter().flatten().collect();
+    all_samples.sort_by(&cmp);
+
+    // n-1 splitters at regular positions.
+    let splitters: Vec<K> = if all_samples.is_empty() {
+        Vec::new()
+    } else {
+        (1..n).map(|i| all_samples[i * all_samples.len() / n].clone()).collect()
+    };
+
+    // Partition the sorted local run into n buckets.
+    let mut buckets: Vec<Vec<K>> = (0..n).map(|_| Vec::new()).collect();
+    let mut b = 0;
+    for item in local {
+        while b < splitters.len() && cmp(&item, &splitters[b]) != Ordering::Less {
+            b += 1;
+        }
+        buckets[b].push(item);
+    }
+
+    // Exchange buckets (real p2p traffic, charged per message).
+    for dst in 0..n {
+        if dst != rank.rank() {
+            let batch = std::mem::take(&mut buckets[dst]);
+            rank.isend(dst, Tag::SAMPLE_SORT, batch);
+        }
+    }
+    let mut mine: Vec<Vec<K>> = Vec::with_capacity(n);
+    for src in 0..n {
+        if src == rank.rank() {
+            mine.push(std::mem::take(&mut buckets[src]));
+        } else {
+            mine.push(rank.recv::<Vec<K>>(src, Tag::SAMPLE_SORT));
+        }
+    }
+
+    // Merge the sorted runs (charged as one comparison sort of the total).
+    let total: usize = mine.iter().map(Vec::len).sum();
+    rank.advance(sort_compute_cost(total));
+    let mut merged: Vec<K> = Vec::with_capacity(total);
+    for run in mine {
+        merged.extend(run);
+    }
+    merged.sort_by(&cmp);
+
+    // Everyone needs the whole sorted list (paper contract): allgather and
+    // concatenate — partitions are globally ordered by construction.
+    rank.allgather(merged).into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netmodel::NetModel;
+    use crate::runtime::Runtime;
+
+    fn scored_pairs(rank: usize, n_per_rank: usize) -> Vec<(u32, f64)> {
+        // Deterministic pseudo-random scores, distinct per (rank, i).
+        (0..n_per_rank)
+            .map(|i| {
+                let id = (rank * n_per_rank + i) as u32;
+                let score = ((id as f64 * 0.7371 + 0.213).sin() * 1000.0).round() / 10.0;
+                (id, score)
+            })
+            .collect()
+    }
+
+    fn cmp_pairs(a: &(u32, f64), b: &(u32, f64)) -> Ordering {
+        // Increasing score; ties broken by id (paper §IV-C).
+        a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0))
+    }
+
+    fn assert_sorted(v: &[(u32, f64)]) {
+        assert!(v.windows(2).all(|w| cmp_pairs(&w[0], &w[1]) != Ordering::Greater));
+    }
+
+    #[test]
+    fn gsb_sorts_globally() {
+        let out = Runtime::new(4, NetModel::blue_waters()).run(|rank| {
+            let local = scored_pairs(rank.rank(), 25);
+            gather_sort_broadcast(rank, local, cmp_pairs)
+        });
+        for v in &out {
+            assert_eq!(v.len(), 100);
+            assert_sorted(v);
+        }
+        assert_eq!(out[0], out[3], "all ranks must agree on the sorted list");
+    }
+
+    #[test]
+    fn sample_sort_matches_gsb() {
+        let (a, b) = {
+            let gsb = Runtime::new(4, NetModel::blue_waters()).run(|rank| {
+                gather_sort_broadcast(rank, scored_pairs(rank.rank(), 40), cmp_pairs)
+            });
+            let ss = Runtime::new(4, NetModel::blue_waters()).run(|rank| {
+                sample_sort(rank, scored_pairs(rank.rank(), 40), cmp_pairs)
+            });
+            (gsb, ss)
+        };
+        assert_eq!(a[0], b[0]);
+        assert_eq!(b[0], b[2]);
+        assert_sorted(&b[1]);
+    }
+
+    #[test]
+    fn sample_sort_single_rank() {
+        let out = Runtime::new(1, NetModel::free())
+            .run(|rank| sample_sort(rank, scored_pairs(0, 10), cmp_pairs));
+        assert_eq!(out[0].len(), 10);
+        assert_sorted(&out[0]);
+    }
+
+    #[test]
+    fn sample_sort_empty_input() {
+        let out = Runtime::new(3, NetModel::free())
+            .run(|rank| sample_sort(rank, Vec::<(u32, f64)>::new(), cmp_pairs));
+        assert!(out.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn uneven_inputs() {
+        let out = Runtime::new(3, NetModel::free()).run(|rank| {
+            let local = scored_pairs(rank.rank(), rank.rank() * 7); // 0, 7, 14 items
+            sample_sort(rank, local, cmp_pairs)
+        });
+        assert_eq!(out[0].len(), 21);
+        assert_sorted(&out[0]);
+    }
+
+    #[test]
+    fn sorting_charges_time() {
+        let clocks = Runtime::new(2, NetModel::blue_waters()).run(|rank| {
+            let t0 = rank.clock();
+            let _ = gather_sort_broadcast(rank, scored_pairs(rank.rank(), 1000), cmp_pairs);
+            rank.clock() - t0
+        });
+        assert!(clocks[0] > 0.0);
+        // Must stay tiny relative to rendering (order of ms for 2k pairs).
+        assert!(clocks[0] < 0.1, "sort cost unexpectedly large: {}", clocks[0]);
+    }
+}

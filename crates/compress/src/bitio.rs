@@ -1,0 +1,189 @@
+//! Bit-granular I/O over byte buffers, shared by the codecs.
+
+use crate::CodecError;
+
+/// Append-only bit writer (LSB-first within each byte).
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits already used in the last byte of `buf` (0 ⇒ byte boundary).
+    used: u32,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.used == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.used as usize
+        }
+    }
+
+    /// Write the low `n` bits of `value` (n ≤ 64), LSB first.
+    pub fn write_bits(&mut self, mut value: u64, mut n: u32) {
+        debug_assert!(n <= 64);
+        if n < 64 {
+            value &= (1u64 << n) - 1;
+        }
+        while n > 0 {
+            if self.used == 0 {
+                self.buf.push(0);
+                self.used = 0;
+            }
+            let free = 8 - self.used;
+            let take = free.min(n);
+            let last = self.buf.last_mut().expect("buffer non-empty");
+            *last |= ((value & ((1u64 << take) - 1)) as u8) << self.used;
+            self.used = (self.used + take) % 8;
+            // When the byte fills exactly, `used` wraps to 0 but the byte
+            // stays in `buf`; the next write pushes a fresh byte.
+            if self.used == 0 && take == free {
+                // full byte consumed
+            }
+            value >>= take;
+            n -= take;
+        }
+    }
+
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    /// Unary code: `value` zero bits then a one bit.
+    pub fn write_unary(&mut self, value: u32) {
+        for _ in 0..value {
+            self.write_bit(false);
+        }
+        self.write_bit(true);
+    }
+
+    /// Finish and return the byte buffer (final partial byte zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bit reader matching [`BitWriter`]'s layout.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bits remaining (counting zero padding in the final byte).
+    pub fn remaining(&self) -> usize {
+        self.buf.len() * 8 - self.pos
+    }
+
+    /// Read `n` bits (n ≤ 64), LSB first.
+    pub fn read_bits(&mut self, n: u32) -> Result<u64, CodecError> {
+        debug_assert!(n <= 64);
+        if self.remaining() < n as usize {
+            return Err(CodecError::Corrupt("bitstream underrun"));
+        }
+        let mut out = 0u64;
+        let mut got = 0u32;
+        while got < n {
+            let byte = self.buf[self.pos / 8];
+            let off = (self.pos % 8) as u32;
+            let avail = 8 - off;
+            let take = avail.min(n - got);
+            let bits = ((byte >> off) as u64) & ((1u64 << take) - 1);
+            out |= bits << got;
+            got += take;
+            self.pos += take as usize;
+        }
+        Ok(out)
+    }
+
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        Ok(self.read_bits(1)? != 0)
+    }
+
+    /// Read a unary code written by [`BitWriter::write_unary`].
+    pub fn read_unary(&mut self) -> Result<u32, CodecError> {
+        let mut count = 0u32;
+        loop {
+            if self.read_bit()? {
+                return Ok(count);
+            }
+            count += 1;
+            if count as usize > self.buf.len() * 8 {
+                return Err(CodecError::Corrupt("runaway unary code"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xFFFF, 16);
+        w.write_bits(0, 0);
+        w.write_bits(0x12345678_9ABCDEF0, 64);
+        w.write_bit(true);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(16).unwrap(), 0xFFFF);
+        assert_eq!(r.read_bits(64).unwrap(), 0x12345678_9ABCDEF0);
+        assert!(r.read_bit().unwrap());
+    }
+
+    #[test]
+    fn unary_roundtrip() {
+        let mut w = BitWriter::new();
+        for v in [0u32, 1, 5, 13, 40] {
+            w.write_unary(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for v in [0u32, 1, 5, 13, 40] {
+            assert_eq!(r.read_unary().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn bit_len_counts() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(1, 1);
+        assert_eq!(w.bit_len(), 1);
+        w.write_bits(0, 7);
+        assert_eq!(w.bit_len(), 8);
+        w.write_bits(0b11, 2);
+        assert_eq!(w.bit_len(), 10);
+    }
+
+    #[test]
+    fn underrun_is_error() {
+        let bytes = vec![0xAB];
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_bits(8).is_ok());
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn write_masks_high_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFF, 4); // only low 4 bits must land
+        w.write_bits(0, 4);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0x0F]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests: codec roundtrips on arbitrary shapes and data.
+
+use apc_compress::{FloatCodec, Fpz, Lz77, Zfpx};
+use proptest::prelude::*;
+
+/// Arbitrary small 3D arrays of finite floats (mix of magnitudes).
+fn arb_array() -> impl Strategy<Value = (Vec<f32>, (usize, usize, usize))> {
+    (1usize..8, 1usize..8, 1usize..8).prop_flat_map(|(nx, ny, nz)| {
+        let n = nx * ny * nz;
+        (
+            proptest::collection::vec(
+                prop_oneof![
+                    (-1e6f32..1e6f32),
+                    (-1.0f32..1.0f32),
+                    Just(0.0f32),
+                    (-1e-12f32..1e-12f32),
+                ],
+                n,
+            ),
+            Just((nx, ny, nz)),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fpz_roundtrip_is_bit_exact((data, shape) in arb_array()) {
+        let enc = Fpz.encode(&data, shape);
+        let dec = Fpz.decode(&enc, shape).unwrap();
+        prop_assert_eq!(data.len(), dec.len());
+        for (a, b) in data.iter().zip(&dec) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn lz77_roundtrip_is_bit_exact((data, shape) in arb_array()) {
+        let enc = Lz77.encode(&data, shape);
+        let dec = Lz77.decode(&enc, shape).unwrap();
+        for (a, b) in data.iter().zip(&dec) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn zfpx_error_bounded((data, shape) in arb_array()) {
+        // Use a tolerance scaled to the data so the bound is meaningful for
+        // any magnitude mix.
+        let amax = data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let tol = (amax * 1e-3).max(1e-20);
+        let codec = Zfpx { tolerance: tol };
+        let enc = codec.encode(&data, shape);
+        let dec = codec.decode(&enc, shape).unwrap();
+        for (a, b) in data.iter().zip(&dec) {
+            // Separable lifting amplifies the per-plane cut by a small
+            // constant factor; 8x is a conservative envelope.
+            prop_assert!((a - b).abs() <= 8.0 * tol,
+                "a={a} b={b} tol={tol}");
+        }
+    }
+
+    #[test]
+    fn fpz_decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Decoding arbitrary bytes must return Ok or Err, never panic.
+        let _ = Fpz.decode(&bytes, (4, 4, 4));
+    }
+
+    #[test]
+    fn lz77_decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Lz77.decode(&bytes, (4, 4, 4));
+    }
+
+    #[test]
+    fn zfpx_decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Zfpx::default().decode(&bytes, (4, 4, 4));
+    }
+}

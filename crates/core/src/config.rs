@@ -1,0 +1,147 @@
+//! Pipeline configuration.
+
+use apc_render::RenderCostModel;
+
+/// Block redistribution strategy (paper §IV-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Redistribution {
+    /// Leave blocks on their producing rank (the paper's NONE baseline).
+    None,
+    /// Each rank receives a random, equally-sized set of blocks. All ranks
+    /// use the same seed so the assignment is agreed without communication.
+    RandomShuffle { seed: u64 },
+    /// Blocks sorted by descending score are dealt to ranks round-robin:
+    /// rank 0 gets the highest-scored block, rank 1 the next, and so on.
+    RoundRobin,
+}
+
+/// How the global score sort is implemented (§IV-C; sample sort is the
+/// ablation of DESIGN.md §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortStrategy {
+    #[default]
+    GatherSortBroadcast,
+    SampleSort,
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Scoring metric name, resolved through [`apc_metrics::by_name`].
+    pub metric: String,
+    pub redistribution: Redistribution,
+    pub sort: SortStrategy,
+    /// Isovalue rendered by the visualization scenario (45 dBZ).
+    pub isovalue: f32,
+    /// Per-iteration time budget (seconds of virtual time). `None` disables
+    /// adaptation and pins the percentage at `fixed_percent`.
+    pub target_time: Option<f64>,
+    /// Reduction percentage used when adaptation is off (paper §V-D runs).
+    pub fixed_percent: f64,
+    /// Upper bound on the adaptive percentage — "the maximum percentage of
+    /// reduced blocks could easily be bounded by the user" (paper §IV-E).
+    pub max_percent: f64,
+    /// Points kept per axis when a block is reduced: 2 is the paper's
+    /// corner reduction; larger lattices are the downsampling-size
+    /// extension (§IV-C outlook).
+    pub reduce_keep: usize,
+    /// Virtual render cost model.
+    pub cost: RenderCostModel,
+    /// Optional shared isosurface-stats cache. Virtual time is unaffected
+    /// (the cost model charges the same counted work either way); this only
+    /// cuts the *wall-clock* cost of parameter sweeps that re-render
+    /// identical full blocks. Use one cache per dataset seed.
+    pub stats_cache: Option<std::sync::Arc<crate::pipeline::StatsCache>>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            metric: "VAR".to_owned(),
+            redistribution: Redistribution::None,
+            sort: SortStrategy::GatherSortBroadcast,
+            isovalue: apc_cm1::DBZ_ISOVALUE,
+            target_time: None,
+            fixed_percent: 0.0,
+            max_percent: 100.0,
+            reduce_keep: 2,
+            cost: RenderCostModel::default(),
+            stats_cache: None,
+        }
+    }
+}
+
+impl PipelineConfig {
+    pub fn with_metric(mut self, metric: &str) -> Self {
+        self.metric = metric.to_owned();
+        self
+    }
+
+    pub fn with_redistribution(mut self, r: Redistribution) -> Self {
+        self.redistribution = r;
+        self
+    }
+
+    pub fn with_target(mut self, seconds: f64) -> Self {
+        self.target_time = Some(seconds);
+        self
+    }
+
+    pub fn with_fixed_percent(mut self, percent: f64) -> Self {
+        assert!((0.0..=100.0).contains(&percent), "percent must be in [0, 100]");
+        self.fixed_percent = percent;
+        self
+    }
+
+    pub fn with_max_percent(mut self, max: f64) -> Self {
+        assert!((0.0..=100.0).contains(&max), "max percent must be in [0, 100]");
+        self.max_percent = max;
+        self
+    }
+
+    pub fn with_reduce_keep(mut self, keep: usize) -> Self {
+        assert!(keep >= 2, "keep at least two points per axis");
+        self.reduce_keep = keep;
+        self
+    }
+
+    /// Deterministic variant (no render jitter) for reproducible tests.
+    pub fn deterministic(mut self) -> Self {
+        self.cost = self.cost.deterministic();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.metric, "VAR");
+        assert_eq!(c.isovalue, 45.0);
+        assert_eq!(c.redistribution, Redistribution::None);
+        assert_eq!(c.fixed_percent, 0.0);
+        assert!(c.target_time.is_none());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = PipelineConfig::default()
+            .with_metric("LEA")
+            .with_redistribution(Redistribution::RoundRobin)
+            .with_target(20.0)
+            .with_fixed_percent(50.0);
+        assert_eq!(c.metric, "LEA");
+        assert_eq!(c.redistribution, Redistribution::RoundRobin);
+        assert_eq!(c.target_time, Some(20.0));
+        assert_eq!(c.fixed_percent, 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percent must be in [0, 100]")]
+    fn bad_percent_rejected() {
+        let _ = PipelineConfig::default().with_fixed_percent(120.0);
+    }
+}

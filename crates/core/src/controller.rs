@@ -1,0 +1,202 @@
+//! The adaptation controller — paper Algorithm 1, verbatim.
+//!
+//! Given the `(time, percent)` observations of the two previous iterations,
+//! fit `t = a·p + b` and solve for the percentage that hits the target
+//! time. Two guards: identical consecutive percentages would make the slope
+//! vertical (lines 2–7: nudge by ±1 instead), and a non-negative slope —
+//! possible "because of randomness in rendering time" (line 11) — falls
+//! back to increasing the percentage by 1.
+
+/// One step of Algorithm 1.
+///
+/// Arguments mirror the paper: `target` run time, the previous iteration's
+/// `(t_prev, p_prev)` and the current one's `(t_cur, p_cur)`. Returns
+/// `p_next ∈ [0, 100]`.
+pub fn adapt_percent(target: f64, t_prev: f64, p_prev: f64, t_cur: f64, p_cur: f64) -> f64 {
+    debug_assert!(target > 0.0);
+    // Lines 2-7: vertical slope — the same percentage was used twice.
+    if (p_prev - p_cur).abs() < 1e-9 {
+        if t_cur > target && p_cur < 100.0 {
+            return (p_cur + 1.0).min(100.0);
+        }
+        if t_cur < target && p_cur > 0.0 {
+            return (p_cur - 1.0).max(0.0);
+        }
+        return p_cur;
+    }
+    // Lines 8-10: linear estimate t = a·p + b.
+    let a = (t_cur - t_prev) / (p_cur - p_prev);
+    let b = t_cur - a * p_cur;
+    // Line 11: reducing more blocks should never cost more; if it did,
+    // rendering-time randomness broke assumption (2) — nudge up instead.
+    if a >= 0.0 {
+        return (p_cur + 1.0).min(100.0);
+    }
+    // Line 13: solve for the target.
+    let p = (target - b) / a;
+    p.clamp(0.0, 100.0)
+}
+
+/// Stateful wrapper: feeds Algorithm 1 with the paper's initial conditions
+/// (`t₀ = 0` at `p₀ = 100`; the first iteration runs unreduced, `p₁ = 0`)
+/// and keeps the two-iteration history.
+#[derive(Debug, Clone)]
+pub struct BudgetController {
+    target: f64,
+    /// User bound on the percentage (paper §IV-E: "the maximum percentage
+    /// of reduced blocks could easily be bounded by the user").
+    max_percent: f64,
+    /// `(t, p)` of iteration n−1.
+    prev: (f64, f64),
+    /// `p` of the iteration currently in flight (time not yet observed).
+    current_percent: f64,
+    iterations_seen: usize,
+}
+
+impl BudgetController {
+    pub fn new(target: f64) -> Self {
+        Self::with_max_percent(target, 100.0)
+    }
+
+    pub fn with_max_percent(target: f64, max_percent: f64) -> Self {
+        assert!(target > 0.0, "target time must be positive");
+        assert!((0.0..=100.0).contains(&max_percent), "max percent must be in [0, 100]");
+        Self {
+            target,
+            max_percent,
+            prev: (0.0, 100.0),   // t0 = 0 when everything is reduced
+            current_percent: 0.0, // p1 = 0: first output is not reduced
+            iterations_seen: 0,
+        }
+    }
+
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// Percentage to use for the next iteration.
+    pub fn percent(&self) -> f64 {
+        self.current_percent
+    }
+
+    /// Record the observed pipeline time for the iteration that just ran at
+    /// [`BudgetController::percent`], and compute the next percentage.
+    pub fn observe(&mut self, t: f64) -> f64 {
+        let p_cur = self.current_percent;
+        let (t_prev, p_prev) = self.prev;
+        let next = adapt_percent(self.target, t_prev, p_prev, t, p_cur).min(self.max_percent);
+        self.prev = (t, p_cur);
+        self.current_percent = next;
+        self.iterations_seen += 1;
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_iteration_runs_unreduced() {
+        let c = BudgetController::new(20.0);
+        assert_eq!(c.percent(), 0.0);
+    }
+
+    #[test]
+    fn linear_system_converges_in_one_estimate() {
+        // Ideal monotone system: t(p) = 160·(1 - p/100).
+        let t = |p: f64| 160.0 * (1.0 - p / 100.0);
+        let mut c = BudgetController::new(20.0);
+        let p1 = c.percent();
+        let p2 = c.observe(t(p1));
+        // With t0=0 @ p=100 and t1=160 @ p=0 the fit is exact: t=20 at p=87.5.
+        assert!((p2 - 87.5).abs() < 1e-9, "p2 = {p2}");
+        let p3 = c.observe(t(p2));
+        assert!((t(p3) - 20.0).abs() < 1e-6, "converged time {}", t(p3));
+    }
+
+    #[test]
+    fn converges_on_nonlinear_system() {
+        // Convex decreasing response (most gain at high p, like Fig 7).
+        let t = |p: f64| 160.0 * (1.0 - p / 100.0).powi(3) + 1.0;
+        let mut c = BudgetController::new(20.0);
+        let mut p = c.percent();
+        for _ in 0..30 {
+            p = c.observe(t(p));
+        }
+        let err = (t(p) - 20.0).abs() / 20.0;
+        assert!(err < 0.15, "final time {} vs target 20", t(p));
+    }
+
+    #[test]
+    fn vertical_slope_guard_steps_by_one() {
+        // Same percentage twice: nudge by 1 in the right direction.
+        assert_eq!(adapt_percent(10.0, 30.0, 50.0, 30.0, 50.0), 51.0);
+        assert_eq!(adapt_percent(100.0, 30.0, 50.0, 30.0, 50.0), 49.0);
+        // Saturated at the ends.
+        assert_eq!(adapt_percent(10.0, 30.0, 100.0, 30.0, 100.0), 100.0);
+        assert_eq!(adapt_percent(100.0, 3.0, 0.0, 3.0, 0.0), 0.0);
+        // Exactly on target: stay.
+        assert_eq!(adapt_percent(30.0, 30.0, 50.0, 30.0, 50.0), 50.0);
+    }
+
+    #[test]
+    fn positive_slope_guard_increases_percent() {
+        // Reduced more blocks (p: 40→60) yet time went UP (assumption 2
+        // broken): Algorithm 1 line 11 nudges up by 1.
+        let p = adapt_percent(20.0, 50.0, 40.0, 55.0, 60.0);
+        assert_eq!(p, 61.0);
+        // Saturates at 100.
+        assert_eq!(adapt_percent(20.0, 50.0, 99.5, 55.0, 100.0), 100.0);
+    }
+
+    #[test]
+    fn result_is_always_in_range() {
+        // Extreme targets stay inside [0, 100] (line 13-14).
+        assert_eq!(adapt_percent(1000.0, 0.0, 100.0, 160.0, 0.0), 0.0);
+        let p = adapt_percent(0.001, 0.0, 100.0, 160.0, 0.0);
+        assert!((99.9..=100.0).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn controller_tracks_load_changes() {
+        // The phenomenon grows mid-run: cost per unreduced percent doubles.
+        let mut c = BudgetController::new(30.0);
+        let cost = |p: f64, scale: f64| scale * (1.0 - p / 100.0) + 0.5;
+        let mut p = c.percent();
+        for _ in 0..15 {
+            p = c.observe(cost(p, 100.0));
+        }
+        assert!((cost(p, 100.0) - 30.0).abs() < 5.0, "pre-change convergence");
+        for _ in 0..25 {
+            p = c.observe(cost(p, 200.0));
+        }
+        assert!((cost(p, 200.0) - 30.0).abs() < 6.0, "post-change re-convergence");
+    }
+
+    #[test]
+    #[should_panic(expected = "target time must be positive")]
+    fn zero_target_rejected() {
+        let _ = BudgetController::new(0.0);
+    }
+
+    #[test]
+    fn max_percent_bound_is_honored() {
+        // An infeasible target (0 is unreachable) would drive p to 100;
+        // the user bound caps it (paper §IV-E).
+        let t = |p: f64| 160.0 * (1.0 - p / 100.0) + 5.0;
+        let mut c = BudgetController::with_max_percent(1.0, 70.0);
+        let mut p = c.percent();
+        for _ in 0..30 {
+            p = c.observe(t(p));
+            assert!(p <= 70.0, "p = {p} exceeds the user bound");
+        }
+        assert!(p > 60.0, "controller should saturate near the bound, p = {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "max percent must be in [0, 100]")]
+    fn bad_max_percent_rejected() {
+        let _ = BudgetController::with_max_percent(10.0, 150.0);
+    }
+}

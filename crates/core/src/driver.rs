@@ -1,0 +1,106 @@
+//! Experiment driver: replay a dataset through the pipeline on the virtual
+//! runtime — the equivalent of the paper's BIL-reload + Catalyst kernel
+//! (§V-A).
+
+use apc_cm1::ReflectivityDataset;
+use apc_comm::{NetModel, Runtime};
+
+use crate::config::PipelineConfig;
+use crate::pipeline::Pipeline;
+use crate::report::IterationReport;
+
+/// Run `config` over the given dataset iterations on the dataset's own rank
+/// count, with a Blue Waters-like network. Returns one report per
+/// iteration (identical across ranks; rank 0's copy).
+pub fn run_experiment(
+    dataset: &ReflectivityDataset,
+    config: PipelineConfig,
+    iterations: &[usize],
+) -> Vec<IterationReport> {
+    run_experiment_on(dataset, config, iterations, NetModel::blue_waters())
+}
+
+/// [`run_experiment`] with an explicit network model (used by the
+/// low-network-performance ablation from the paper's §VI outlook).
+pub fn run_experiment_on(
+    dataset: &ReflectivityDataset,
+    config: PipelineConfig,
+    iterations: &[usize],
+    net: NetModel,
+) -> Vec<IterationReport> {
+    run_experiment_prepared(
+        dataset.decomp(),
+        dataset.coords(),
+        config,
+        iterations,
+        net,
+        |it, rank| dataset.rank_blocks(it, rank),
+    )
+}
+
+/// Lowest-level driver: the caller supplies the per-`(iteration, rank)`
+/// block input. Parameter sweeps use this with pre-generated blocks so the
+/// synthetic simulation runs once instead of once per configuration (the
+/// virtual-time results are identical either way).
+pub fn run_experiment_prepared<F>(
+    decomp: &apc_grid::DomainDecomp,
+    coords: &apc_grid::RectilinearCoords,
+    config: PipelineConfig,
+    iterations: &[usize],
+    net: NetModel,
+    blocks: F,
+) -> Vec<IterationReport>
+where
+    F: Fn(usize, usize) -> Vec<apc_grid::Block> + Sync,
+{
+    let runtime = Runtime::new(decomp.nranks(), net);
+    let mut all: Vec<Vec<IterationReport>> = runtime.run(|rank| {
+        let mut pipeline = Pipeline::new(config.clone(), *decomp, coords.clone());
+        iterations
+            .iter()
+            .map(|&it| {
+                let input = blocks(it, rank.rank());
+                pipeline.run_iteration(rank, input, it).0
+            })
+            .collect()
+    });
+    all.swap_remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_runs_multiple_iterations() {
+        let dataset = ReflectivityDataset::tiny(4, 11).unwrap();
+        let iters = dataset.sample_iterations(3);
+        let reports =
+            run_experiment(&dataset, PipelineConfig::default().deterministic(), &iters);
+        assert_eq!(reports.len(), 3);
+        for (r, &it) in reports.iter().zip(&iters) {
+            assert_eq!(r.iteration, it);
+            assert!(r.t_total > 0.0);
+        }
+    }
+
+    #[test]
+    fn slow_network_raises_redistribution_cost() {
+        let dataset = ReflectivityDataset::tiny(4, 11).unwrap();
+        let iters = [300];
+        let cfg = PipelineConfig::default()
+            .deterministic()
+            .with_redistribution(crate::Redistribution::RandomShuffle { seed: 1 });
+        let fast = run_experiment_on(&dataset, cfg.clone(), &iters, NetModel::blue_waters());
+        let slow = run_experiment_on(&dataset, cfg, &iters, NetModel::gigabit_ethernet());
+        assert!(
+            slow[0].t_redistribute > 10.0 * fast[0].t_redistribute,
+            "gigabit {} vs gemini {}",
+            slow[0].t_redistribute,
+            fast[0].t_redistribute
+        );
+        // Rendering is unaffected by the network (up to the barrier that
+        // closes the step, whose latency differs between the two models).
+        assert!((slow[0].t_render - fast[0].t_render).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,36 @@
+//! The paper's primary contribution: an adaptive, performance-constrained
+//! in situ visualization pipeline (Dorier et al., CLUSTER 2016, §IV).
+//!
+//! Per iteration, on every rank (Fig 2 of the paper):
+//!
+//! 1. **Score** local blocks with a content metric ([`apc_metrics`]);
+//! 2. **Sort** all `<id, score>` pairs globally and share the sorted list
+//!    ([`apc_comm::sort`]);
+//! 3. **Reduce** the `p%` lowest-scored blocks to their 8 corners
+//!    ([`apc_grid::Block::reduce`]);
+//! 4. **Redistribute** blocks across ranks — random shuffle or round-robin
+//!    by score ([`redistribute`]);
+//! 5. **Render** the 45 dBZ isosurface of the held blocks
+//!    ([`apc_render`]);
+//! 6. **Adapt** `p` from the measured pipeline time toward the user's time
+//!    budget ([`controller`], the paper's Algorithm 1).
+//!
+//! The crate exposes each step for unit testing and ablation, a
+//! [`Pipeline`] that chains them inside a rank, and an experiment
+//! [`driver`] that replays a [`apc_cm1::ReflectivityDataset`] through a
+//! virtual-time [`apc_comm::Runtime`].
+
+pub mod config;
+pub mod controller;
+pub mod driver;
+pub mod pipeline;
+pub mod redistribute;
+pub mod report;
+pub mod selection;
+
+pub use config::{PipelineConfig, Redistribution, SortStrategy};
+pub use controller::{adapt_percent, BudgetController};
+pub use driver::{run_experiment, run_experiment_on, run_experiment_prepared};
+pub use pipeline::{Pipeline, StatsCache};
+pub use report::IterationReport;
+pub use selection::{reduction_set, ScoredBlock};

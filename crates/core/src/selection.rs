@@ -1,0 +1,96 @@
+//! Scored blocks, the global sort contract, and reduction-set selection
+//! (paper §IV-C).
+
+use std::cmp::Ordering;
+use std::collections::HashSet;
+
+use apc_comm::Meter;
+use apc_grid::BlockId;
+
+/// A `<block id, score>` pair as moved through the global sort.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredBlock {
+    pub id: BlockId,
+    pub score: f64,
+}
+
+impl Meter for ScoredBlock {
+    fn nbytes(&self) -> usize {
+        std::mem::size_of::<BlockId>() + std::mem::size_of::<f64>()
+    }
+}
+
+/// The paper's total order: increasing score, ties broken by id.
+pub fn score_order(a: &ScoredBlock, b: &ScoredBlock) -> Ordering {
+    a.score
+        .partial_cmp(&b.score)
+        .expect("scores must not be NaN")
+        .then(a.id.cmp(&b.id))
+}
+
+/// Number of blocks reduced at percentage `p` of `n` blocks.
+pub fn reduction_count(n: usize, percent: f64) -> usize {
+    debug_assert!((0.0..=100.0).contains(&percent));
+    ((n as f64 * percent / 100.0).floor() as usize).min(n)
+}
+
+/// The ids of the `percent%` lowest-scored blocks of a globally-sorted
+/// list (ascending — the head of the list is reduced).
+pub fn reduction_set(sorted: &[ScoredBlock], percent: f64) -> HashSet<BlockId> {
+    let k = reduction_count(sorted.len(), percent);
+    sorted[..k].iter().map(|s| s.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_fixture() -> Vec<ScoredBlock> {
+        let mut v: Vec<ScoredBlock> = (0..10)
+            .map(|i| ScoredBlock { id: i, score: (10 - i) as f64 })
+            .collect();
+        v.sort_by(score_order);
+        v
+    }
+
+    #[test]
+    fn order_is_ascending_with_id_ties() {
+        let mut v = [ScoredBlock { id: 5, score: 1.0 },
+            ScoredBlock { id: 2, score: 1.0 },
+            ScoredBlock { id: 9, score: 0.5 }];
+        v.sort_by(score_order);
+        assert_eq!(v.iter().map(|s| s.id).collect::<Vec<_>>(), vec![9, 2, 5]);
+    }
+
+    #[test]
+    fn reduction_count_boundaries() {
+        assert_eq!(reduction_count(100, 0.0), 0);
+        assert_eq!(reduction_count(100, 100.0), 100);
+        assert_eq!(reduction_count(100, 50.0), 50);
+        assert_eq!(reduction_count(100, 99.9), 99); // floor
+        assert_eq!(reduction_count(0, 50.0), 0);
+        assert_eq!(reduction_count(3, 50.0), 1);
+    }
+
+    #[test]
+    fn reduction_set_takes_the_lowest_scores() {
+        let sorted = sorted_fixture();
+        let set = reduction_set(&sorted, 30.0);
+        assert_eq!(set.len(), 3);
+        // Lowest scores are blocks 9, 8, 7 (score 1, 2, 3).
+        assert!(set.contains(&9) && set.contains(&8) && set.contains(&7));
+        assert!(!set.contains(&0));
+    }
+
+    #[test]
+    fn zero_and_full_percent() {
+        let sorted = sorted_fixture();
+        assert!(reduction_set(&sorted, 0.0).is_empty());
+        assert_eq!(reduction_set(&sorted, 100.0).len(), 10);
+    }
+
+    #[test]
+    fn meter_counts_id_and_score() {
+        assert_eq!(ScoredBlock { id: 0, score: 0.0 }.nbytes(), 12);
+    }
+}

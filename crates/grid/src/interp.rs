@@ -1,0 +1,291 @@
+//! Trilinear interpolation and corner-based reconstruction.
+//!
+//! Two consumers: the TRILIN scoring metric (mean square error between a
+//! block and its reconstruction from 8 corners, paper §IV-B-b) and the
+//! renderer, which rebuilds reduced blocks the same way a visualization
+//! pipeline would (paper §IV-C).
+
+use crate::Dims3;
+
+/// Corner ordering convention used everywhere in this workspace:
+/// `corners[dz*4 + dy*2 + dx]` is the value at the block corner with local
+/// offsets `dx, dy, dz ∈ {0, 1}` (i.e. index 0 = low corner, 7 = high corner).
+#[inline(always)]
+pub fn trilinear(corners: &[f32; 8], u: f32, v: f32, w: f32) -> f32 {
+    let c00 = corners[0] + (corners[1] - corners[0]) * u;
+    let c10 = corners[2] + (corners[3] - corners[2]) * u;
+    let c01 = corners[4] + (corners[5] - corners[4]) * u;
+    let c11 = corners[6] + (corners[7] - corners[6]) * u;
+    let c0 = c00 + (c10 - c00) * v;
+    let c1 = c01 + (c11 - c01) * v;
+    c0 + (c1 - c0) * w
+}
+
+/// Parametric coordinate of sample `i` along an axis of `n` points
+/// (0 when the axis is degenerate).
+#[inline(always)]
+fn param(i: usize, n: usize) -> f32 {
+    if n <= 1 {
+        0.0
+    } else {
+        i as f32 / (n - 1) as f32
+    }
+}
+
+/// Extract the 8 corner values of an x-fastest buffer of shape `dims`,
+/// in the [`trilinear`] corner order.
+pub fn corners_of(data: &[f32], dims: Dims3) -> [f32; 8] {
+    debug_assert_eq!(data.len(), dims.len());
+    let mx = dims.nx - 1;
+    let my = dims.ny - 1;
+    let mz = dims.nz - 1;
+    let mut c = [0.0f32; 8];
+    for dz in 0..2usize {
+        for dy in 0..2usize {
+            for dx in 0..2usize {
+                c[dz * 4 + dy * 2 + dx] = data[dims.idx(dx * mx, dy * my, dz * mz)];
+            }
+        }
+    }
+    c
+}
+
+/// Rebuild a full block of shape `dims` from its 8 corners by trilinear
+/// interpolation.
+pub fn reconstruct_from_corners(corners: &[f32; 8], dims: Dims3) -> Vec<f32> {
+    let mut out = Vec::with_capacity(dims.len());
+    for k in 0..dims.nz {
+        let w = param(k, dims.nz);
+        for j in 0..dims.ny {
+            let v = param(j, dims.ny);
+            for i in 0..dims.nx {
+                let u = param(i, dims.nx);
+                out.push(trilinear(corners, u, v, w));
+            }
+        }
+    }
+    out
+}
+
+/// Trilinearly resample a coarse x-fastest grid onto a finer one spanning
+/// the same extent. Axes with a single coarse point are treated as
+/// constant. This generalizes corner reconstruction to the k×k×k
+/// downsampling of the paper's §IV-C outlook.
+pub fn resample_trilinear(coarse: &[f32], coarse_dims: Dims3, fine_dims: Dims3) -> Vec<f32> {
+    debug_assert_eq!(coarse.len(), coarse_dims.len());
+    let mut out = Vec::with_capacity(fine_dims.len());
+    let axis_pos = |i: usize, n_fine: usize, n_coarse: usize| -> (usize, usize, f32) {
+        if n_coarse <= 1 || n_fine <= 1 {
+            return (0, 0, 0.0);
+        }
+        let x = i as f32 / (n_fine - 1) as f32 * (n_coarse - 1) as f32;
+        let i0 = (x.floor() as usize).min(n_coarse - 2);
+        (i0, i0 + 1, x - i0 as f32)
+    };
+    for k in 0..fine_dims.nz {
+        let (k0, k1, w) = axis_pos(k, fine_dims.nz, coarse_dims.nz);
+        for j in 0..fine_dims.ny {
+            let (j0, j1, v) = axis_pos(j, fine_dims.ny, coarse_dims.ny);
+            for i in 0..fine_dims.nx {
+                let (i0, i1, u) = axis_pos(i, fine_dims.nx, coarse_dims.nx);
+                let c = [
+                    coarse[coarse_dims.idx(i0, j0, k0)],
+                    coarse[coarse_dims.idx(i1, j0, k0)],
+                    coarse[coarse_dims.idx(i0, j1, k0)],
+                    coarse[coarse_dims.idx(i1, j1, k0)],
+                    coarse[coarse_dims.idx(i0, j0, k1)],
+                    coarse[coarse_dims.idx(i1, j0, k1)],
+                    coarse[coarse_dims.idx(i0, j1, k1)],
+                    coarse[coarse_dims.idx(i1, j1, k1)],
+                ];
+                out.push(trilinear(&c, u, v, w));
+            }
+        }
+    }
+    out
+}
+
+/// Pick `k` sample indices spread over an axis of `n` points (first and
+/// last included) — the lattice kept by k×k×k downsampling.
+pub fn sample_indices(n: usize, k: usize) -> Vec<usize> {
+    debug_assert!(k >= 2 && n >= 1);
+    if n == 1 {
+        return vec![0, 0];
+    }
+    let k = k.min(n);
+    (0..k)
+        .map(|s| (s as f64 * (n - 1) as f64 / (k - 1) as f64).round() as usize)
+        .collect()
+}
+
+/// Mean square error between a block and its trilinear reconstruction from
+/// corners — the TRILIN metric of paper §IV-B-b. This matches the error a
+/// renderer makes when it interpolates a reduced block.
+pub fn trilinear_mse(data: &[f32], dims: Dims3) -> f64 {
+    debug_assert_eq!(data.len(), dims.len());
+    if data.is_empty() {
+        return 0.0;
+    }
+    let corners = corners_of(data, dims);
+    let mut acc = 0.0f64;
+    let mut idx = 0;
+    for k in 0..dims.nz {
+        let w = param(k, dims.nz);
+        for j in 0..dims.ny {
+            let v = param(j, dims.ny);
+            for i in 0..dims.nx {
+                let u = param(i, dims.nx);
+                let e = (data[idx] - trilinear(&corners, u, v, w)) as f64;
+                acc += e * e;
+                idx += 1;
+            }
+        }
+    }
+    acc / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trilinear_at_corners() {
+        let c = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        for dz in 0..2usize {
+            for dy in 0..2usize {
+                for dx in 0..2usize {
+                    let got = trilinear(&c, dx as f32, dy as f32, dz as f32);
+                    assert_eq!(got, c[dz * 4 + dy * 2 + dx]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trilinear_center_is_mean() {
+        let c = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let mid = trilinear(&c, 0.5, 0.5, 0.5);
+        assert!((mid - 4.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn corners_of_extracts_right_points() {
+        let dims = Dims3::new(3, 4, 5);
+        let data: Vec<f32> = (0..dims.len()).map(|v| v as f32).collect();
+        let c = corners_of(&data, dims);
+        assert_eq!(c[0], data[dims.idx(0, 0, 0)]);
+        assert_eq!(c[1], data[dims.idx(2, 0, 0)]);
+        assert_eq!(c[2], data[dims.idx(0, 3, 0)]);
+        assert_eq!(c[7], data[dims.idx(2, 3, 4)]);
+    }
+
+    #[test]
+    fn linear_field_reconstructs_exactly() {
+        // A field affine in (i, j, k) is exactly captured by trilinear interp,
+        // so the TRILIN score must be ~0.
+        let dims = Dims3::new(6, 5, 4);
+        let mut data = Vec::new();
+        for k in 0..dims.nz {
+            for j in 0..dims.ny {
+                for i in 0..dims.nx {
+                    data.push(2.0 * i as f32 - 3.0 * j as f32 + 0.5 * k as f32 + 1.0);
+                }
+            }
+        }
+        assert!(trilinear_mse(&data, dims) < 1e-9);
+        let rec = reconstruct_from_corners(&corners_of(&data, dims), dims);
+        for (a, b) in data.iter().zip(&rec) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bumpy_field_has_positive_mse() {
+        let dims = Dims3::new(5, 5, 5);
+        let data: Vec<f32> = (0..dims.len())
+            .map(|v| if v % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!(trilinear_mse(&data, dims) > 0.5);
+    }
+
+    #[test]
+    fn sample_indices_endpoints_and_spread() {
+        assert_eq!(sample_indices(11, 2), vec![0, 10]);
+        assert_eq!(sample_indices(11, 3), vec![0, 5, 10]);
+        assert_eq!(sample_indices(5, 5), vec![0, 1, 2, 3, 4]);
+        // k > n clamps to n.
+        assert_eq!(sample_indices(3, 7), vec![0, 1, 2]);
+        assert_eq!(sample_indices(1, 4), vec![0, 0]);
+    }
+
+    #[test]
+    fn resample_identity_when_dims_match() {
+        let dims = Dims3::new(3, 4, 2);
+        let data: Vec<f32> = (0..dims.len()).map(|v| v as f32).collect();
+        let out = resample_trilinear(&data, dims, dims);
+        for (a, b) in data.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn resample_from_corners_matches_reconstruct() {
+        let fine = Dims3::new(5, 6, 4);
+        let corners = [1.0f32, 2.0, 3.0, 4.0, -1.0, -2.0, -3.0, -4.0];
+        let via_resample = resample_trilinear(&corners, Dims3::new(2, 2, 2), fine);
+        let via_reconstruct = reconstruct_from_corners(&corners, fine);
+        for (a, b) in via_resample.iter().zip(&via_reconstruct) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn finer_lattice_reduces_reconstruction_error() {
+        // A quadratic bump: 3x3x3 samples capture it better than corners.
+        let dims = Dims3::new(9, 9, 9);
+        let mut data = Vec::new();
+        for k in 0..9 {
+            for j in 0..9 {
+                for i in 0..9 {
+                    let r2 = (i as f32 - 4.0).powi(2)
+                        + (j as f32 - 4.0).powi(2)
+                        + (k as f32 - 4.0).powi(2);
+                    data.push((-r2 / 8.0).exp());
+                }
+            }
+        }
+        let mse = |k: usize| -> f64 {
+            let idx = sample_indices(9, k);
+            let cd = Dims3::new(k, k, k);
+            let mut coarse = Vec::new();
+            for &kz in &idx {
+                for &jy in &idx {
+                    for &ix in &idx {
+                        coarse.push(data[dims.idx(ix, jy, kz)]);
+                    }
+                }
+            }
+            let rec = resample_trilinear(&coarse, cd, dims);
+            data.iter()
+                .zip(&rec)
+                .map(|(a, b)| ((a - b) as f64).powi(2))
+                .sum::<f64>()
+                / data.len() as f64
+        };
+        let e2 = mse(2);
+        let e3 = mse(3);
+        let e5 = mse(5);
+        assert!(e3 < e2, "3^3 lattice should beat corners: {e3} vs {e2}");
+        assert!(e5 < e3, "5^3 lattice should beat 3^3: {e5} vs {e3}");
+    }
+
+    #[test]
+    fn degenerate_axis_handled() {
+        // 2D block (nz = 1): must not divide by zero.
+        let dims = Dims3::new(4, 4, 1);
+        let data = vec![2.5; dims.len()];
+        assert_eq!(trilinear_mse(&data, dims), 0.0);
+        let rec = reconstruct_from_corners(&corners_of(&data, dims), dims);
+        assert!(rec.iter().all(|&v| (v - 2.5).abs() < 1e-6));
+    }
+}

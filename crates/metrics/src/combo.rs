@@ -1,0 +1,127 @@
+//! Multivariate scoring: weighted combinations of base metrics.
+//!
+//! The paper lists "multivariate scores" as future work (§VI). This is the
+//! straightforward realization: a weighted sum of normalized sub-scores.
+//! Each sub-metric is normalized by a caller-provided scale (its typical
+//! maximum on the field at hand) so that heterogeneous units — dBZ ranges,
+//! bits of entropy, MSE — combine meaningfully.
+
+use apc_grid::Dims3;
+
+use crate::BlockScorer;
+
+/// One component of a weighted combination.
+pub struct WeightedTerm {
+    pub scorer: Box<dyn BlockScorer>,
+    pub weight: f64,
+    /// Normalization scale: raw scores are divided by this before weighting.
+    pub scale: f64,
+}
+
+/// Weighted sum of normalized metrics.
+pub struct WeightedSum {
+    name: &'static str,
+    terms: Vec<WeightedTerm>,
+}
+
+impl WeightedSum {
+    pub fn new(name: &'static str, terms: Vec<WeightedTerm>) -> Self {
+        assert!(!terms.is_empty(), "combination needs at least one term");
+        assert!(terms.iter().all(|t| t.scale > 0.0), "scales must be positive");
+        Self { name, terms }
+    }
+
+    /// The combination the CM1 scientists' feedback suggests (§V-F-3):
+    /// VAR and TRILIN highlighted the vortex region, so blend them evenly.
+    /// Scales are the typical maxima on reflectivity fields.
+    pub fn var_trilin() -> Self {
+        Self::new(
+            "VAR+TRILIN",
+            vec![
+                WeightedTerm {
+                    scorer: Box::new(crate::Variance),
+                    weight: 0.5,
+                    scale: 2000.0, // dBZ² — typical max block variance
+                },
+                WeightedTerm {
+                    scorer: Box::new(crate::Trilin),
+                    weight: 0.5,
+                    scale: 1000.0, // dBZ² MSE
+                },
+            ],
+        )
+    }
+}
+
+impl BlockScorer for WeightedSum {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn score(&self, data: &[f32], dims: Dims3) -> f64 {
+        self.terms
+            .iter()
+            .map(|t| t.weight * (t.scorer.score(data, dims) / t.scale))
+            .sum()
+    }
+
+    fn cost_per_point(&self) -> f64 {
+        self.terms.iter().map(|t| t.scorer.cost_per_point()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::noise;
+    use crate::{Range, Variance};
+
+    const DIMS: Dims3 = Dims3::new(5, 5, 4);
+
+    #[test]
+    fn single_term_matches_base_up_to_scale() {
+        let combo = WeightedSum::new(
+            "V",
+            vec![WeightedTerm { scorer: Box::new(Variance), weight: 2.0, scale: 4.0 }],
+        );
+        let data = noise(DIMS.len(), 5.0, 1);
+        let base = Variance.score(&data, DIMS);
+        assert!((combo.score(&data, DIMS) - base / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combination_orders_flat_below_noise() {
+        let combo = WeightedSum::var_trilin();
+        let flat = vec![0.0f32; DIMS.len()];
+        let noisy = noise(DIMS.len(), 30.0, 2);
+        assert!(combo.score(&flat, DIMS) < combo.score(&noisy, DIMS));
+    }
+
+    #[test]
+    fn cost_is_sum_of_parts() {
+        let combo = WeightedSum::new(
+            "RV",
+            vec![
+                WeightedTerm { scorer: Box::new(Range), weight: 1.0, scale: 1.0 },
+                WeightedTerm { scorer: Box::new(Variance), weight: 1.0, scale: 1.0 },
+            ],
+        );
+        let expect = Range.cost_per_point() + Variance.cost_per_point();
+        assert!((combo.cost_per_point() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one term")]
+    fn empty_combination_rejected() {
+        let _ = WeightedSum::new("empty", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scales must be positive")]
+    fn zero_scale_rejected() {
+        let _ = WeightedSum::new(
+            "bad",
+            vec![WeightedTerm { scorer: Box::new(Range), weight: 1.0, scale: 0.0 }],
+        );
+    }
+}

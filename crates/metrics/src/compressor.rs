@@ -1,0 +1,102 @@
+//! Compressor-ratio metrics (paper §IV-B-e).
+
+use apc_compress::FloatCodec;
+use apc_grid::Dims3;
+
+use crate::BlockScorer;
+
+/// Scores a block by its compressed-size ratio under a floating-point
+/// codec: the less compressible, the more information, the higher the
+/// score. Needs no tuning parameters (the paper's argument for this
+/// family), and the 3D-aware codecs (FPZIP/ZFP) exploit spatial locality.
+#[derive(Debug, Clone, Copy)]
+pub struct CompressionScore<C: FloatCodec> {
+    codec: C,
+    cost_per_point: f64,
+}
+
+impl<C: FloatCodec> CompressionScore<C> {
+    pub fn new(codec: C, cost_per_point: f64) -> Self {
+        Self { codec, cost_per_point }
+    }
+}
+
+impl CompressionScore<apc_compress::Fpz> {
+    /// The paper's representative compressor metric.
+    pub fn fpzip() -> Self {
+        Self::new(apc_compress::Fpz, 3.1e-7)
+    }
+}
+
+impl CompressionScore<apc_compress::Zfpx> {
+    pub fn zfp() -> Self {
+        Self::new(apc_compress::Zfpx::default(), 3.5e-7)
+    }
+}
+
+impl CompressionScore<apc_compress::Lz77> {
+    pub fn lz() -> Self {
+        Self::new(apc_compress::Lz77, 4.0e-7)
+    }
+}
+
+impl<C: FloatCodec + Send + Sync> BlockScorer for CompressionScore<C> {
+    fn name(&self) -> &'static str {
+        self.codec.name()
+    }
+
+    fn score(&self, data: &[f32], dims: Dims3) -> f64 {
+        self.codec.compressed_ratio(data, (dims.nx, dims.ny, dims.nz))
+    }
+
+    fn cost_per_point(&self) -> f64 {
+        self.cost_per_point
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::{gradient, noise};
+
+    const DIMS: Dims3 = Dims3::new(8, 8, 8);
+
+    #[test]
+    fn all_three_rank_flat_below_gradient_below_noise() {
+        let flat = vec![30.0f32; DIMS.len()];
+        let grad = gradient(DIMS);
+        let noisy = noise(DIMS.len(), 40.0, 11);
+        let scorers: Vec<Box<dyn BlockScorer>> = vec![
+            Box::new(CompressionScore::fpzip()),
+            Box::new(CompressionScore::zfp()),
+            Box::new(CompressionScore::lz()),
+        ];
+        for s in &scorers {
+            let sf = s.score(&flat, DIMS);
+            let sg = s.score(&grad, DIMS);
+            let sn = s.score(&noisy, DIMS);
+            assert!(sf < sn, "{}: flat {sf} !< noise {sn}", s.name());
+            assert!(sg < sn, "{}: gradient {sg} !< noise {sn}", s.name());
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(CompressionScore::fpzip().name(), "FPZIP");
+        assert_eq!(CompressionScore::zfp().name(), "ZFP");
+        assert_eq!(CompressionScore::lz().name(), "LZ");
+    }
+
+    #[test]
+    fn scores_are_ratios() {
+        let noisy = noise(DIMS.len(), 40.0, 3);
+        for s in [
+            &CompressionScore::fpzip() as &dyn BlockScorer,
+            &CompressionScore::zfp(),
+            &CompressionScore::lz(),
+        ] {
+            let v = s.score(&noisy, DIMS);
+            assert!(v > 0.0 && v < 2.0, "{}: ratio {v} out of sane range", s.name());
+        }
+    }
+}

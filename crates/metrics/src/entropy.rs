@@ -1,0 +1,227 @@
+//! Histogram entropy (the paper's ITL metric, §IV-B-c) and the local
+//! entropy variant it rejected for cost reasons.
+
+use apc_grid::Dims3;
+
+use crate::BlockScorer;
+
+/// Shannon entropy of `counts`, in bits.
+pub(crate) fn shannon(counts: &[u32], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// ITL: Shannon entropy of a value histogram with a *fixed* range and bin
+/// count.
+///
+/// The paper stresses that range and bins must be identical across all
+/// processes for scores to be comparable, which requires a variable with a
+/// known range — reflectivity falls in [−60, 80] dBZ. 256 bins was their
+/// sweet spot (32 under-discriminates, 1,024 costs more for no gain);
+/// the bin-count ablation harness reproduces that comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct Entropy {
+    /// Histogram range (values outside are clamped to the edge bins).
+    pub min: f32,
+    pub max: f32,
+    /// Number of histogram bins.
+    pub bins: usize,
+}
+
+impl Entropy {
+    /// The paper's configuration for CM1 reflectivity: [−60, 80] dBZ,
+    /// 256 bins.
+    pub fn reflectivity() -> Self {
+        Self { min: -60.0, max: 80.0, bins: 256 }
+    }
+
+    pub fn with_bins(bins: usize) -> Self {
+        Self { bins, ..Self::reflectivity() }
+    }
+
+    #[inline]
+    fn bin_of(&self, v: f32) -> usize {
+        let t = (v - self.min) / (self.max - self.min);
+        let b = (t * self.bins as f32) as isize;
+        b.clamp(0, self.bins as isize - 1) as usize
+    }
+
+    /// Build the histogram (exposed for scoremap tooling and tests).
+    pub fn histogram(&self, data: &[f32]) -> Vec<u32> {
+        let mut counts = vec![0u32; self.bins];
+        for &v in data {
+            if !v.is_nan() {
+                counts[self.bin_of(v)] += 1;
+            }
+        }
+        counts
+    }
+}
+
+impl Default for Entropy {
+    fn default() -> Self {
+        Self::reflectivity()
+    }
+}
+
+impl BlockScorer for Entropy {
+    fn name(&self) -> &'static str {
+        "ITL"
+    }
+
+    fn score(&self, data: &[f32], _dims: Dims3) -> f64 {
+        shannon(&self.histogram(data), data.iter().filter(|v| !v.is_nan()).count())
+    }
+
+    fn cost_per_point(&self) -> f64 {
+        4.6e-7
+    }
+}
+
+/// Local entropy: entropy computed at each point over its cubic
+/// neighborhood, averaged over the block.
+///
+/// The paper considered and *rejected* this metric — "it turned out to
+/// consume too much time relative to the duration of other components" —
+/// and so do we: its cost constant is ~10× ITL's, which the metric-cost
+/// ablation makes visible.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalEntropy {
+    pub base: Entropy,
+    /// Neighborhood radius r: window is (2r+1)³ points.
+    pub radius: usize,
+}
+
+impl Default for LocalEntropy {
+    fn default() -> Self {
+        Self { base: Entropy::reflectivity(), radius: 2 }
+    }
+}
+
+impl BlockScorer for LocalEntropy {
+    fn name(&self) -> &'static str {
+        "LOCAL_ENT"
+    }
+
+    fn score(&self, data: &[f32], dims: Dims3) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        debug_assert_eq!(data.len(), dims.len());
+        let r = self.radius as isize;
+        let mut acc = 0.0;
+        let mut counts = vec![0u32; self.base.bins];
+        for k in 0..dims.nz {
+            for j in 0..dims.ny {
+                for i in 0..dims.nx {
+                    counts.iter_mut().for_each(|c| *c = 0);
+                    let mut total = 0usize;
+                    for dk in -r..=r {
+                        for dj in -r..=r {
+                            for di in -r..=r {
+                                let (ii, jj, kk) =
+                                    (i as isize + di, j as isize + dj, k as isize + dk);
+                                if ii >= 0
+                                    && jj >= 0
+                                    && kk >= 0
+                                    && (ii as usize) < dims.nx
+                                    && (jj as usize) < dims.ny
+                                    && (kk as usize) < dims.nz
+                                {
+                                    let v = data[dims.idx(ii as usize, jj as usize, kk as usize)];
+                                    if !v.is_nan() {
+                                        counts[self.base.bin_of(v)] += 1;
+                                        total += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    acc += shannon(&counts, total);
+                }
+            }
+        }
+        acc / data.len() as f64
+    }
+
+    fn cost_per_point(&self) -> f64 {
+        5.0e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::noise;
+
+    const DIMS: Dims3 = Dims3::new(4, 4, 4);
+
+    #[test]
+    fn shannon_limits() {
+        assert_eq!(shannon(&[10, 0, 0, 0], 10), 0.0);
+        let uniform = shannon(&[5, 5, 5, 5], 20);
+        assert!((uniform - 2.0).abs() < 1e-12, "uniform over 4 bins = 2 bits, got {uniform}");
+        assert_eq!(shannon(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn constant_block_has_zero_entropy() {
+        let e = Entropy::reflectivity();
+        assert_eq!(e.score(&[45.0; 64], DIMS), 0.0);
+    }
+
+    #[test]
+    fn uniform_noise_has_high_entropy() {
+        let e = Entropy::reflectivity();
+        // Noise spanning the full dBZ range.
+        let data: Vec<f32> = noise(4096, 70.0, 1).iter().map(|v| v + 10.0).collect();
+        let s = e.score(&data, DIMS);
+        assert!(s > 6.0, "wide noise should near log2(256)=8 bits, got {s}");
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let e = Entropy::reflectivity();
+        let h = e.histogram(&[-1000.0, 1000.0, f32::NAN]);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[255], 1);
+        assert_eq!(h.iter().sum::<u32>(), 2);
+    }
+
+    #[test]
+    fn more_bins_discriminate_narrow_bands() {
+        // Two close values fall in one 32-bin bucket but two 1024-bin ones.
+        let data = [0.0f32, 0.2, 0.0, 0.2, 0.0, 0.2];
+        let coarse = Entropy::with_bins(32).score(&data, DIMS);
+        let fine = Entropy::with_bins(1024).score(&data, DIMS);
+        assert_eq!(coarse, 0.0);
+        assert!((fine - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_entropy_flat_vs_noisy() {
+        let le = LocalEntropy { base: Entropy::reflectivity(), radius: 1 };
+        let flat = le.score(&[10.0; 64], DIMS);
+        let noisy = le.score(
+            &noise(64, 60.0, 2),
+            DIMS,
+        );
+        assert_eq!(flat, 0.0);
+        assert!(noisy > 1.0, "noisy local entropy = {noisy}");
+    }
+
+    #[test]
+    fn local_entropy_is_the_expensive_one() {
+        assert!(LocalEntropy::default().cost_per_point() > 10.0 * Entropy::default().cost_per_point());
+    }
+}

@@ -1,0 +1,87 @@
+//! LEA: the lightweight (bytewise) entropy analyzer (paper §IV-B-d).
+
+use apc_grid::Dims3;
+
+use crate::entropy::shannon;
+use crate::BlockScorer;
+
+/// LEA treats each `f32` as 4 bytes and computes the Shannon entropy of each
+/// byte position independently, returning the sum.
+///
+/// Unlike ITL it needs no histogram tuning: each byte position has exactly
+/// 256 possible values, so the probability of a value is simply its
+/// frequency of appearance. The maximum score is therefore 4 × 8 = 32 bits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lea;
+
+impl BlockScorer for Lea {
+    fn name(&self) -> &'static str {
+        "LEA"
+    }
+
+    fn score(&self, data: &[f32], _dims: Dims3) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let mut counts = [[0u32; 256]; 4];
+        for v in data {
+            let bytes = v.to_le_bytes();
+            for (pos, &b) in bytes.iter().enumerate() {
+                counts[pos][b as usize] += 1;
+            }
+        }
+        counts.iter().map(|c| shannon(c, data.len())).sum()
+    }
+
+    fn cost_per_point(&self) -> f64 {
+        7.1e-8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::noise;
+
+    const DIMS: Dims3 = Dims3::new(4, 4, 4);
+
+    #[test]
+    fn empty_and_constant() {
+        assert_eq!(Lea.score(&[], DIMS), 0.0);
+        assert_eq!(Lea.score(&[13.5; 64], DIMS), 0.0);
+    }
+
+    #[test]
+    fn bounded_by_32_bits() {
+        let data = noise(4096, 1e6, 9);
+        let s = Lea.score(&data, DIMS);
+        assert!(s > 0.0 && s <= 32.0, "LEA = {s}");
+    }
+
+    #[test]
+    fn two_values_give_at_most_four_bits() {
+        // Each byte position sees at most 2 symbols ⇒ ≤ 1 bit each.
+        let data: Vec<f32> = (0..128).map(|i| if i % 2 == 0 { 1.0 } else { 2.0 }).collect();
+        let s = Lea.score(&data, DIMS);
+        assert!(s <= 4.0 + 1e-9, "LEA = {s}");
+        assert!(s > 0.9, "differing exponent bytes should register, LEA = {s}");
+    }
+
+    #[test]
+    fn noise_outscores_smooth_ramp() {
+        let ramp: Vec<f32> = (0..512).map(|i| i as f32).collect();
+        let noisy = noise(512, 100.0, 4);
+        assert!(Lea.score(&noisy, DIMS) > Lea.score(&ramp, DIMS));
+    }
+
+    #[test]
+    fn no_histogram_tuning_needed_across_magnitudes() {
+        // The same metric works for values ~1e-6 and ~1e6 without knowing
+        // the range in advance (LEA's selling point over ITL).
+        let tiny = noise(512, 1e-6, 5);
+        let huge = noise(512, 1e6, 5);
+        let st = Lea.score(&tiny, DIMS);
+        let sh = Lea.score(&huge, DIMS);
+        assert!(st > 1.0 && sh > 1.0, "tiny {st}, huge {sh}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Metric registry: names ↔ scorer instances.
+//!
+//! The paper evaluated ~30 filters and reports a representative subset of
+//! six (§IV-B): RANGE, VAR, ITL, LEA, FPZIP, TRILIN. [`standard_six`]
+//! returns exactly that set, in the order the paper's tables and figures
+//! use; [`by_name`] resolves any supported metric, including the extras
+//! (ZFP, LZ, LOCAL_ENT, VAR+TRILIN).
+
+use crate::{BlockScorer, CompressionScore, Entropy, Lea, LocalEntropy, Range, Trilin, Variance, WeightedSum};
+
+/// The metric identifiers understood by [`by_name`].
+pub const METRIC_NAMES: &[&str] = &[
+    "RANGE",
+    "VAR",
+    "ITL",
+    "LEA",
+    "FPZIP",
+    "TRILIN",
+    "ZFP",
+    "LZ",
+    "LOCAL_ENT",
+    "VAR+TRILIN",
+];
+
+/// Strongly-typed metric name (useful for experiment configs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricName {
+    Range,
+    Var,
+    Itl,
+    Lea,
+    Fpzip,
+    Trilin,
+    Zfp,
+    Lz,
+    LocalEnt,
+    VarTrilin,
+}
+
+impl MetricName {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MetricName::Range => "RANGE",
+            MetricName::Var => "VAR",
+            MetricName::Itl => "ITL",
+            MetricName::Lea => "LEA",
+            MetricName::Fpzip => "FPZIP",
+            MetricName::Trilin => "TRILIN",
+            MetricName::Zfp => "ZFP",
+            MetricName::Lz => "LZ",
+            MetricName::LocalEnt => "LOCAL_ENT",
+            MetricName::VarTrilin => "VAR+TRILIN",
+        }
+    }
+
+    pub fn scorer(&self) -> Box<dyn BlockScorer> {
+        by_name(self.as_str()).expect("registry covers all MetricName variants")
+    }
+}
+
+/// Build a scorer from its name; `None` for unknown names.
+pub fn by_name(name: &str) -> Option<Box<dyn BlockScorer>> {
+    Some(match name {
+        "RANGE" => Box::new(Range),
+        "VAR" => Box::new(Variance),
+        "ITL" => Box::new(Entropy::reflectivity()),
+        "LEA" => Box::new(Lea),
+        "FPZIP" => Box::new(CompressionScore::fpzip()),
+        "TRILIN" => Box::new(Trilin),
+        "ZFP" => Box::new(CompressionScore::zfp()),
+        "LZ" => Box::new(CompressionScore::lz()),
+        "LOCAL_ENT" => Box::new(LocalEntropy::default()),
+        "VAR+TRILIN" => Box::new(WeightedSum::var_trilin()),
+        _ => return None,
+    })
+}
+
+/// The paper's representative subset, in its reporting order:
+/// RANGE, VAR, ITL, LEA, FPZIP, TRILIN.
+pub fn standard_six() -> Vec<Box<dyn BlockScorer>> {
+    ["RANGE", "VAR", "ITL", "LEA", "FPZIP", "TRILIN"]
+        .iter()
+        .map(|n| by_name(n).expect("standard metric registered"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_resolves() {
+        for name in METRIC_NAMES {
+            let s = by_name(name).unwrap_or_else(|| panic!("{name} not registered"));
+            assert_eq!(&s.name(), name);
+            assert!(s.cost_per_point() > 0.0);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("MAGIC").is_none());
+    }
+
+    #[test]
+    fn standard_six_order() {
+        let names: Vec<&str> = standard_six().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["RANGE", "VAR", "ITL", "LEA", "FPZIP", "TRILIN"]);
+    }
+
+    #[test]
+    fn metric_name_enum_roundtrips() {
+        for m in [
+            MetricName::Range,
+            MetricName::Var,
+            MetricName::Itl,
+            MetricName::Lea,
+            MetricName::Fpzip,
+            MetricName::Trilin,
+            MetricName::Zfp,
+            MetricName::Lz,
+            MetricName::LocalEnt,
+            MetricName::VarTrilin,
+        ] {
+            assert_eq!(m.scorer().name(), m.as_str());
+        }
+    }
+
+    #[test]
+    fn cheap_metrics_are_cheaper_than_heavy_ones() {
+        // The paper's conclusion from Table I: prefer LEA/VAR over TRILIN.
+        let var = by_name("VAR").unwrap().cost_per_point();
+        let lea = by_name("LEA").unwrap().cost_per_point();
+        let trilin = by_name("TRILIN").unwrap().cost_per_point();
+        let itl = by_name("ITL").unwrap().cost_per_point();
+        assert!(var < trilin && lea < trilin && var < itl && lea < itl);
+    }
+}

@@ -1,0 +1,68 @@
+//! TRILIN: trilinear interpolation error (paper §IV-B-b).
+
+use apc_grid::{interp, Dims3};
+
+use crate::BlockScorer;
+
+/// Mean square error between the block and its reconstruction from the 8
+/// corner values.
+///
+/// This is the metric that *matches the reduction operator*: a block that
+/// scores ~0 under TRILIN loses nothing when reduced to 2×2×2, because the
+/// renderer rebuilds exactly what was thrown away.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Trilin;
+
+impl BlockScorer for Trilin {
+    fn name(&self) -> &'static str {
+        "TRILIN"
+    }
+
+    fn score(&self, data: &[f32], dims: Dims3) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        interp::trilinear_mse(data, dims)
+    }
+
+    fn cost_per_point(&self) -> f64 {
+        5.0e-7
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::{gradient, noise};
+
+    const DIMS: Dims3 = Dims3::new(5, 5, 4);
+
+    #[test]
+    fn affine_blocks_score_zero() {
+        let data = gradient(DIMS);
+        assert!(Trilin.score(&data, DIMS) < 1e-9);
+    }
+
+    #[test]
+    fn noise_scores_high() {
+        let data = noise(DIMS.len(), 10.0, 7);
+        assert!(Trilin.score(&data, DIMS) > 1.0);
+    }
+
+    #[test]
+    fn score_is_reduction_error() {
+        // Reduce the block to corners, reconstruct, and verify TRILIN equals
+        // the actual MSE incurred.
+        let data = noise(DIMS.len(), 5.0, 2);
+        let corners = interp::corners_of(&data, DIMS);
+        let rec = interp::reconstruct_from_corners(&corners, DIMS);
+        let mse: f64 = data
+            .iter()
+            .zip(&rec)
+            .map(|(a, b)| ((a - b) as f64).powi(2))
+            .sum::<f64>()
+            / data.len() as f64;
+        let score = Trilin.score(&data, DIMS);
+        assert!((score - mse).abs() < 1e-9, "score {score} vs mse {mse}");
+    }
+}

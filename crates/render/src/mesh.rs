@@ -1,0 +1,119 @@
+//! Triangle meshes produced by isosurface extraction.
+
+use crate::math::Vec3;
+
+/// An indexed triangle mesh.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TriangleMesh {
+    /// Vertex positions.
+    pub positions: Vec<Vec3>,
+    /// Vertex indices, three per triangle.
+    pub indices: Vec<u32>,
+}
+
+impl TriangleMesh {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn triangle_count(&self) -> usize {
+        self.indices.len() / 3
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Append a triangle given three positions (no vertex dedup — isosurface
+    /// fragments are short-lived render input).
+    pub fn push_triangle(&mut self, a: Vec3, b: Vec3, c: Vec3) {
+        let base = self.positions.len() as u32;
+        self.positions.push(a);
+        self.positions.push(b);
+        self.positions.push(c);
+        self.indices.extend_from_slice(&[base, base + 1, base + 2]);
+    }
+
+    /// Merge another mesh into this one.
+    pub fn merge(&mut self, other: &TriangleMesh) {
+        let base = self.positions.len() as u32;
+        self.positions.extend_from_slice(&other.positions);
+        self.indices.extend(other.indices.iter().map(|&i| i + base));
+    }
+
+    /// Axis-aligned bounding box, `None` for an empty mesh.
+    pub fn bounds(&self) -> Option<(Vec3, Vec3)> {
+        let first = *self.positions.first()?;
+        let mut lo = first;
+        let mut hi = first;
+        for p in &self.positions {
+            lo.x = lo.x.min(p.x);
+            lo.y = lo.y.min(p.y);
+            lo.z = lo.z.min(p.z);
+            hi.x = hi.x.max(p.x);
+            hi.y = hi.y.max(p.y);
+            hi.z = hi.z.max(p.z);
+        }
+        Some((lo, hi))
+    }
+
+    /// Total surface area.
+    pub fn area(&self) -> f64 {
+        self.indices
+            .chunks_exact(3)
+            .map(|t| {
+                let a = self.positions[t[0] as usize];
+                let b = self.positions[t[1] as usize];
+                let c = self.positions[t[2] as usize];
+                ((b - a).cross(c - a).length() * 0.5) as f64
+            })
+            .sum()
+    }
+
+    /// Vertices of triangle `t`.
+    pub fn triangle(&self, t: usize) -> [Vec3; 3] {
+        let i = t * 3;
+        [
+            self.positions[self.indices[i] as usize],
+            self.positions[self.indices[i + 1] as usize],
+            self.positions[self.indices[i + 2] as usize],
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::vec3;
+
+    #[test]
+    fn push_and_count() {
+        let mut m = TriangleMesh::new();
+        assert!(m.is_empty());
+        m.push_triangle(vec3(0.0, 0.0, 0.0), vec3(1.0, 0.0, 0.0), vec3(0.0, 1.0, 0.0));
+        assert_eq!(m.triangle_count(), 1);
+        assert!((m.area() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_offsets_indices() {
+        let mut a = TriangleMesh::new();
+        a.push_triangle(vec3(0.0, 0.0, 0.0), vec3(1.0, 0.0, 0.0), vec3(0.0, 1.0, 0.0));
+        let mut b = TriangleMesh::new();
+        b.push_triangle(vec3(5.0, 0.0, 0.0), vec3(6.0, 0.0, 0.0), vec3(5.0, 1.0, 0.0));
+        a.merge(&b);
+        assert_eq!(a.triangle_count(), 2);
+        let t1 = a.triangle(1);
+        assert_eq!(t1[0], vec3(5.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn bounds() {
+        let mut m = TriangleMesh::new();
+        assert!(m.bounds().is_none());
+        m.push_triangle(vec3(-1.0, 2.0, 0.0), vec3(1.0, 0.0, 3.0), vec3(0.0, -2.0, 1.0));
+        let (lo, hi) = m.bounds().unwrap();
+        assert_eq!(lo, vec3(-1.0, -2.0, 0.0));
+        assert_eq!(hi, vec3(1.0, 2.0, 3.0));
+    }
+}

@@ -1,0 +1,111 @@
+//! Scoremaps: per-block score images (paper Fig 4).
+//!
+//! "Colormaps of the domain where colors represent scores of blocks —
+//! darker regions indicate higher scores." Scores are normalized over the
+//! blocks present, then each block paints its footprint in a plan view of
+//! the block grid.
+
+use apc_grid::DomainDecomp;
+
+use crate::colormap::{Colormap, Palette};
+use crate::image::Image;
+
+/// Render a scoremap from `(block id, score)` pairs.
+///
+/// The image has one `pixel_per_block × pixel_per_block` tile per block
+/// column; a block column's tile shows the *maximum* score over its z
+/// blocks (plan view). Missing blocks render as white.
+pub fn render_scoremap(
+    decomp: &DomainDecomp,
+    scores: &[(apc_grid::BlockId, f64)],
+    pixels_per_block: usize,
+) -> Image {
+    assert!(pixels_per_block > 0);
+    let gb = decomp.global_block_grid();
+    // Column-max score over z.
+    let mut col = vec![f64::NEG_INFINITY; gb.nx * gb.ny];
+    for &(id, s) in scores {
+        let (bi, bj, _bk) = decomp.block_coords(id);
+        let idx = bj * gb.nx + bi;
+        if s > col[idx] {
+            col[idx] = s;
+        }
+    }
+    let finite: Vec<f64> = col.iter().copied().filter(|v| v.is_finite()).collect();
+    let (lo, hi) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let cmap = Colormap::new(0.0, 1.0, Palette::GreyscaleInverted);
+
+    let w = gb.nx * pixels_per_block;
+    let h = gb.ny * pixels_per_block;
+    let mut img = Image::filled(w, h, [255, 255, 255]);
+    for bj in 0..gb.ny {
+        for bi in 0..gb.nx {
+            let v = col[bj * gb.nx + bi];
+            if !v.is_finite() {
+                continue;
+            }
+            let rgb = cmap.rgb(((v - lo) / span) as f32);
+            for dy in 0..pixels_per_block {
+                for dx in 0..pixels_per_block {
+                    // Flip y so north is up, like the slice renderer.
+                    img.set(
+                        bi * pixels_per_block + dx,
+                        (gb.ny - 1 - bj) * pixels_per_block + dy,
+                        rgb,
+                    );
+                }
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apc_grid::{Dims3, DomainDecomp, ProcGrid};
+
+    fn decomp() -> DomainDecomp {
+        DomainDecomp::new(Dims3::new(40, 40, 8), ProcGrid::new(2, 2, 1), Dims3::new(10, 10, 8))
+            .unwrap()
+    }
+
+    #[test]
+    fn image_size_matches_block_grid() {
+        let d = decomp(); // 4x4x1 blocks
+        let scores: Vec<_> = d.all_blocks().map(|id| (id, id as f64)).collect();
+        let img = render_scoremap(&d, &scores, 5);
+        assert_eq!((img.width(), img.height()), (20, 20));
+    }
+
+    #[test]
+    fn higher_scores_are_darker() {
+        let d = decomp();
+        let n = d.n_blocks() as u32;
+        let scores: Vec<_> = (0..n).map(|id| (id, id as f64)).collect();
+        let img = render_scoremap(&d, &scores, 2);
+        // Block 0 is at (0,0) → bottom-left; block n-1 top-right.
+        let low = img.get(0, img.height() - 1);
+        let high = img.get(img.width() - 1, 0);
+        assert!(high[0] < low[0], "high score should be darker: {high:?} vs {low:?}");
+    }
+
+    #[test]
+    fn missing_blocks_render_white() {
+        let d = decomp();
+        let img = render_scoremap(&d, &[(0, 1.0)], 1);
+        assert_eq!(img.get(img.width() - 1, 0), [255, 255, 255]);
+    }
+
+    #[test]
+    fn constant_scores_do_not_divide_by_zero() {
+        let d = decomp();
+        let scores: Vec<_> = d.all_blocks().map(|id| (id, 3.0)).collect();
+        let img = render_scoremap(&d, &scores, 1);
+        let px = img.get(0, 0);
+        assert_eq!(px[0], px[1]);
+    }
+}

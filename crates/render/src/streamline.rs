@@ -1,0 +1,191 @@
+//! Streamlines: the second 3D visualization scenario the paper's
+//! scientists use ("streamlines based on wind vectors", §IV-B).
+//!
+//! Classic fourth-order Runge–Kutta integration of a vector field, plus
+//! polyline rasterization into a [`crate::Framebuffer`].
+
+use crate::camera::Camera;
+use crate::math::Vec3;
+use crate::raster::Framebuffer;
+
+/// Integration parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamlineOptions {
+    /// Integration step in field units.
+    pub step: f32,
+    /// Maximum number of steps.
+    pub max_steps: usize,
+    /// Stop when the local speed falls below this.
+    pub min_speed: f32,
+    /// Axis-aligned integration bounds `(lo, hi)`; leaving them stops the
+    /// trace.
+    pub bounds: ([f32; 3], [f32; 3]),
+}
+
+impl StreamlineOptions {
+    pub fn within(lo: [f32; 3], hi: [f32; 3]) -> Self {
+        Self { step: 0.01, max_steps: 2000, min_speed: 1e-9, bounds: (lo, hi) }
+    }
+}
+
+#[inline]
+fn inside(p: Vec3, (lo, hi): ([f32; 3], [f32; 3])) -> bool {
+    p.x >= lo[0] && p.x <= hi[0] && p.y >= lo[1] && p.y <= hi[1] && p.z >= lo[2] && p.z <= hi[2]
+}
+
+/// Trace one streamline from `seed` through the vector field `wind`.
+/// Returns the polyline vertices (at least the seed point if it is inside
+/// the bounds).
+pub fn trace_streamline<F>(wind: F, seed: [f32; 3], opts: &StreamlineOptions) -> Vec<Vec3>
+where
+    F: Fn([f32; 3]) -> [f32; 3],
+{
+    let mut p = Vec3::from_array(seed);
+    let mut line = Vec::new();
+    if !inside(p, opts.bounds) {
+        return line;
+    }
+    line.push(p);
+    let eval = |q: Vec3| Vec3::from_array(wind(q.to_array()));
+    for _ in 0..opts.max_steps {
+        // RK4.
+        let h = opts.step;
+        let k1 = eval(p);
+        if k1.length() < opts.min_speed {
+            break;
+        }
+        let k2 = eval(p + k1 * (h / 2.0));
+        let k3 = eval(p + k2 * (h / 2.0));
+        let k4 = eval(p + k3 * h);
+        let next = p + (k1 + k2 * 2.0 + k3 * 2.0 + k4) * (h / 6.0);
+        if !inside(next, opts.bounds) {
+            break;
+        }
+        p = next;
+        line.push(p);
+    }
+    line
+}
+
+/// A regular grid of seed points over a z-plane — the usual seeding for
+/// storm inflow visualization.
+pub fn seed_grid(lo: [f32; 3], hi: [f32; 3], nx: usize, ny: usize, z: f32) -> Vec<[f32; 3]> {
+    let mut seeds = Vec::with_capacity(nx * ny);
+    for j in 0..ny {
+        for i in 0..nx {
+            let fx = if nx > 1 { i as f32 / (nx - 1) as f32 } else { 0.5 };
+            let fy = if ny > 1 { j as f32 / (ny - 1) as f32 } else { 0.5 };
+            seeds.push([lo[0] + fx * (hi[0] - lo[0]), lo[1] + fy * (hi[1] - lo[1]), z]);
+        }
+    }
+    seeds
+}
+
+impl Framebuffer {
+    /// Rasterize a polyline with depth testing (simple DDA in screen
+    /// space, depth interpolated per pixel).
+    pub fn draw_polyline(&mut self, line: &[Vec3], camera: &Camera, rgb: [u8; 3]) {
+        for seg in line.windows(2) {
+            let (Some(a), Some(b)) = (
+                camera.project(seg[0], self.width(), self.height()),
+                camera.project(seg[1], self.width(), self.height()),
+            ) else {
+                continue;
+            };
+            let steps = ((b[0] - a[0]).abs().max((b[1] - a[1]).abs()).ceil() as usize).max(1);
+            for s in 0..=steps {
+                let t = s as f32 / steps as f32;
+                let x = a[0] + (b[0] - a[0]) * t;
+                let y = a[1] + (b[1] - a[1]) * t;
+                let depth = a[2] + (b[2] - a[2]) * t;
+                if x < 0.0 || y < 0.0 {
+                    continue;
+                }
+                let (xi, yi) = (x as usize, y as usize);
+                if xi < self.width() && yi < self.height() {
+                    self.plot_depth_tested(xi, yi, depth, rgb);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::vec3;
+
+    const UNIT: ([f32; 3], [f32; 3]) = ([0.0, 0.0, 0.0], [1.0, 1.0, 1.0]);
+
+    #[test]
+    fn uniform_wind_gives_straight_line() {
+        let opts = StreamlineOptions { step: 0.01, ..StreamlineOptions::within(UNIT.0, UNIT.1) };
+        let line = trace_streamline(|_| [1.0, 0.0, 0.0], [0.1, 0.5, 0.5], &opts);
+        assert!(line.len() > 50);
+        for p in &line {
+            assert!((p.y - 0.5).abs() < 1e-5 && (p.z - 0.5).abs() < 1e-5);
+        }
+        // Advances in +x until the boundary.
+        let last = line.last().unwrap();
+        assert!(last.x > 0.98, "should reach the +x face, got {last:?}");
+    }
+
+    #[test]
+    fn trace_stops_at_bounds() {
+        let opts = StreamlineOptions::within(UNIT.0, UNIT.1);
+        let line = trace_streamline(|_| [0.0, -1.0, 0.0], [0.5, 0.05, 0.5], &opts);
+        assert!(line.len() < 20, "should exit quickly, got {} points", line.len());
+        assert!(line.iter().all(|p| p.y >= 0.0));
+    }
+
+    #[test]
+    fn trace_stops_in_calm_air() {
+        let opts = StreamlineOptions::within(UNIT.0, UNIT.1);
+        let line = trace_streamline(|_| [0.0, 0.0, 0.0], [0.5, 0.5, 0.5], &opts);
+        assert_eq!(line.len(), 1, "no wind, no movement");
+    }
+
+    #[test]
+    fn seed_outside_bounds_yields_empty() {
+        let opts = StreamlineOptions::within(UNIT.0, UNIT.1);
+        let line = trace_streamline(|_| [1.0, 0.0, 0.0], [2.0, 0.5, 0.5], &opts);
+        assert!(line.is_empty());
+    }
+
+    #[test]
+    fn rk4_follows_circular_flow() {
+        // Rotation about the center: radius must be conserved well by RK4.
+        let center = vec3(0.5, 0.5, 0.5);
+        let wind = |p: [f32; 3]| [-(p[1] - 0.5), p[0] - 0.5, 0.0];
+        let opts = StreamlineOptions {
+            step: 0.02,
+            max_steps: 1000,
+            ..StreamlineOptions::within(UNIT.0, UNIT.1)
+        };
+        let line = trace_streamline(wind, [0.8, 0.5, 0.5], &opts);
+        assert!(line.len() > 500, "rotating flow should keep tracing");
+        let r0 = (line[0] - center).length();
+        for p in &line {
+            let r = (*p - center).length();
+            assert!((r - r0).abs() < 0.01, "radius drifted: {r} vs {r0}");
+        }
+    }
+
+    #[test]
+    fn seed_grid_shape() {
+        let seeds = seed_grid(UNIT.0, UNIT.1, 3, 2, 0.25);
+        assert_eq!(seeds.len(), 6);
+        assert!(seeds.iter().all(|s| s[2] == 0.25));
+        assert_eq!(seeds[0], [0.0, 0.0, 0.25]);
+        assert_eq!(seeds[5], [1.0, 1.0, 0.25]);
+    }
+
+    #[test]
+    fn polyline_rasterizes_with_depth() {
+        let cam = crate::Camera::top_down(vec3(0.0, 0.0, 0.0), vec3(1.0, 1.0, 1.0));
+        let mut fb = Framebuffer::new(64, 64, [0, 0, 0]);
+        let line = vec![vec3(0.1, 0.5, 0.5), vec3(0.9, 0.5, 0.5)];
+        fb.draw_polyline(&line, &cam, [255, 0, 0]);
+        assert!(fb.coverage() > 0.005, "line should cover pixels: {}", fb.coverage());
+    }
+}

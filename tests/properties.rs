@@ -1,0 +1,110 @@
+//! Property-based tests of cross-crate invariants.
+
+use insitu::grid::{interp, Dims3};
+use insitu::metrics::{by_name, ranks_by_score};
+use insitu::pipeline::adapt_percent;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Algorithm 1 always returns a percentage in [0, 100], whatever the
+    /// observations.
+    #[test]
+    fn adapt_percent_stays_in_range(
+        target in 0.001f64..1e4,
+        t_prev in 0.0f64..1e4,
+        p_prev in 0.0f64..100.0,
+        t_cur in 0.0f64..1e4,
+        p_cur in 0.0f64..100.0,
+    ) {
+        let p = adapt_percent(target, t_prev, p_prev, t_cur, p_cur);
+        prop_assert!((0.0..=100.0).contains(&p), "p = {p}");
+    }
+
+    /// On an exactly linear monotone response, two observations put the
+    /// controller on target (up to clamping).
+    #[test]
+    fn adapt_percent_solves_linear_systems(
+        a in -10.0f64..-0.01,
+        b in 10.0f64..1000.0,
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+        target_frac in 0.05f64..0.95,
+    ) {
+        prop_assume!((p1 - p2).abs() > 1.0);
+        let t = |p: f64| a * p + b;
+        // Pick a target inside the achievable band.
+        let (lo, hi) = (t(100.0), t(0.0));
+        let target = lo + target_frac * (hi - lo);
+        prop_assume!(target > 0.0);
+        let p_next = adapt_percent(target, t(p1), p1, t(p2), p2);
+        prop_assert!((t(p_next) - target).abs() < 1e-6,
+            "t(p_next) = {} vs target {target}", t(p_next));
+    }
+
+    /// Rank vectors are permutations of 0..n.
+    #[test]
+    fn ranks_are_a_permutation(scores in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
+        let ranks = ranks_by_score(&scores);
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..scores.len()).collect::<Vec<_>>());
+    }
+
+    /// Trilinear reconstruction reproduces the corner values exactly and
+    /// never exceeds the corners' range (barycentric combination).
+    #[test]
+    fn reconstruction_bounded_by_corners(
+        corners in proptest::array::uniform8(-1e3f32..1e3),
+        nx in 2usize..6, ny in 2usize..6, nz in 2usize..6,
+    ) {
+        let dims = Dims3::new(nx, ny, nz);
+        let rec = interp::reconstruct_from_corners(&corners, dims);
+        let lo = corners.iter().cloned().fold(f32::MAX, f32::min);
+        let hi = corners.iter().cloned().fold(f32::MIN, f32::max);
+        for v in &rec {
+            prop_assert!(*v >= lo - 1e-2 && *v <= hi + 1e-2, "{v} outside [{lo}, {hi}]");
+        }
+        // Corners exact.
+        let c = interp::corners_of(&rec, dims);
+        for (got, want) in c.iter().zip(&corners) {
+            prop_assert!((got - want).abs() < 1e-3);
+        }
+    }
+
+    /// Every metric gives a flat block a score no higher than the same
+    /// block plus structured variation.
+    #[test]
+    fn metrics_respond_to_information(amp in 0.5f32..50.0, base in -50.0f32..50.0) {
+        let dims = Dims3::new(6, 6, 6);
+        let flat = vec![base; dims.len()];
+        let varied: Vec<f32> = (0..dims.len())
+            .map(|i| base + amp * ((i as f32 * 0.7).sin()))
+            .collect();
+        for name in ["RANGE", "VAR", "ITL", "LEA", "TRILIN", "FPZIP", "LZ", "ZFP"] {
+            let m = by_name(name).unwrap();
+            let s_flat = m.score(&flat, dims);
+            let s_varied = m.score(&varied, dims);
+            prop_assert!(s_flat <= s_varied + 1e-9,
+                "{name}: flat {s_flat} > varied {s_varied}");
+        }
+    }
+
+    /// The score order contract: sorting twice is stable and deterministic.
+    #[test]
+    fn score_order_is_total(ids in proptest::collection::vec(0u32..1000, 2..50)) {
+        use insitu::pipeline::ScoredBlock;
+        let mut blocks: Vec<ScoredBlock> = ids
+            .iter()
+            .map(|&id| ScoredBlock { id, score: (id % 7) as f64 })
+            .collect();
+        let cmp = |a: &ScoredBlock, b: &ScoredBlock| {
+            a.score.partial_cmp(&b.score).unwrap().then(a.id.cmp(&b.id))
+        };
+        blocks.sort_by(cmp);
+        let once = blocks.clone();
+        blocks.sort_by(cmp);
+        prop_assert_eq!(once, blocks);
+    }
+}
