@@ -24,7 +24,7 @@ impl Ctx {
                     iters.len(),
                     nranks
                 );
-                Prepared::new(nranks, scale.seed, iters)
+                Prepared::with_exec(nranks, scale.seed, iters, scale.exec)
             })
             .collect();
         Self { prepared }

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use apc_cm1::ReflectivityDataset;
 use apc_comm::NetModel;
-use apc_core::{run_experiment_prepared, IterationReport, PipelineConfig, StatsCache};
+use apc_core::{run_experiment_prepared, ExecPolicy, IterationReport, PipelineConfig, StatsCache};
 use apc_grid::Block;
 
 /// Experiment scale. `quick` (default) shrinks iteration counts and sweep
@@ -25,6 +25,10 @@ pub struct Scale {
     pub sweep: Vec<f64>,
     /// Dataset seed.
     pub seed: u64,
+    /// Intra-rank execution policy applied to every pipeline run (see
+    /// [`exec_from_env`]). Changes wall-clock time only; virtual-time
+    /// figures are byte-identical under every policy.
+    pub exec: ExecPolicy,
 }
 
 impl Scale {
@@ -35,25 +39,37 @@ impl Scale {
             adapt_iters: 12,
             sweep: vec![0.0, 20.0, 40.0, 60.0, 70.0, 80.0, 90.0, 95.0, 100.0],
             seed: 42,
+            exec: ExecPolicy::Serial,
         }
     }
 
     pub fn full() -> Self {
-        Self {
-            rank_counts: vec![64, 400],
-            component_iters: 10,
-            adapt_iters: 30,
-            sweep: (0..=20).map(|i| i as f64 * 5.0).collect(),
-            seed: 42,
-        }
+        Self { sweep: (0..=20).map(|i| i as f64 * 5.0).collect(), component_iters: 10, adapt_iters: 30, ..Self::quick() }
     }
 
-    /// Reads `APC_SCALE` (`full` or anything else ⇒ quick).
+    /// Reads `APC_SCALE` (`full` or anything else ⇒ quick) and
+    /// `APC_THREADS` (see [`exec_from_env`]).
     pub fn from_env() -> Self {
-        match std::env::var("APC_SCALE").as_deref() {
+        let mut scale = match std::env::var("APC_SCALE").as_deref() {
             Ok("full") => Self::full(),
             _ => Self::quick(),
-        }
+        };
+        scale.exec = exec_from_env();
+        scale
+    }
+}
+
+/// Reads `APC_THREADS`: unset or `1` ⇒ serial (the seed behavior);
+/// `auto` ⇒ one worker per core; `n` ⇒ `Threads(n)`. The experiment driver
+/// still clamps to `ranks × threads ≤ cores`, so `auto` is always safe.
+pub fn exec_from_env() -> ExecPolicy {
+    match std::env::var("APC_THREADS").as_deref() {
+        Ok("auto") => ExecPolicy::auto(),
+        Ok(n) => match n.parse::<usize>() {
+            Ok(0) | Ok(1) | Err(_) => ExecPolicy::Serial,
+            Ok(n) => ExecPolicy::Threads(n),
+        },
+        Err(_) => ExecPolicy::Serial,
     }
 }
 
@@ -108,12 +124,21 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 pub struct Prepared {
     pub dataset: ReflectivityDataset,
     pub iterations: Vec<usize>,
+    /// Execution policy injected into every config run through this input
+    /// (figure experiments never set one themselves).
+    pub exec: ExecPolicy,
     cache: Arc<StatsCache>,
     blocks: HashMap<(usize, usize), Vec<Block>>,
 }
 
 impl Prepared {
     pub fn new(nranks: usize, seed: u64, iterations: Vec<usize>) -> Self {
+        Self::with_exec(nranks, seed, iterations, ExecPolicy::Serial)
+    }
+
+    /// [`Prepared::new`] with an intra-rank execution policy applied to
+    /// every run (the harness passes `Scale::exec` / `APC_THREADS` here).
+    pub fn with_exec(nranks: usize, seed: u64, iterations: Vec<usize>, exec: ExecPolicy) -> Self {
         let dataset = ReflectivityDataset::paper_scaled(nranks, seed)
             .expect("paper-scaled decomposition");
         let mut blocks = HashMap::new();
@@ -122,7 +147,7 @@ impl Prepared {
                 blocks.insert((it, rank), dataset.rank_blocks(it, rank));
             }
         }
-        Self { dataset, iterations, cache: Arc::new(StatsCache::new()), blocks }
+        Self { dataset, iterations, exec, cache: Arc::new(StatsCache::new()), blocks }
     }
 
     /// The component-experiment iteration subset (`n` equally spaced out of
@@ -139,6 +164,7 @@ impl Prepared {
     /// Run a pipeline configuration over `iterations` (must be prepared).
     pub fn run(&self, mut config: PipelineConfig, iterations: &[usize]) -> Vec<IterationReport> {
         config.stats_cache = Some(Arc::clone(&self.cache));
+        config.exec = self.exec;
         run_experiment_prepared(
             self.dataset.decomp(),
             self.dataset.coords(),
@@ -162,6 +188,7 @@ impl Prepared {
         net: NetModel,
     ) -> Vec<IterationReport> {
         config.stats_cache = Some(Arc::clone(&self.cache));
+        config.exec = self.exec;
         run_experiment_prepared(
             self.dataset.decomp(),
             self.dataset.coords(),

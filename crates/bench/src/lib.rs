@@ -9,9 +9,15 @@
 //!   series/rows the paper reports, and writes CSV.
 //!
 //! Thin binaries in `src/bin/` wrap single experiments; the `figures` bench
-//! target (`cargo bench -p apc-bench --bench figures`) runs the whole set.
+//! target (`cargo bench -p apc-bench --bench figures`) runs the whole set,
+//! and the `kernels` bench target microbenchmarks the hot kernels,
+//! including the `Serial` vs `Threads(n)` execution-policy comparison.
+//!
+//! Set `APC_THREADS=<n>|auto` to fan the per-block kernels out inside each
+//! simulated rank (see [`harness::exec_from_env`]); virtual-time figures
+//! are byte-identical under every policy, only wall-clock changes.
 
 pub mod experiments;
 pub mod harness;
 
-pub use harness::Scale;
+pub use harness::{exec_from_env, Scale};

@@ -18,13 +18,13 @@ impl Rank {
     /// contributions (in rank order) and the maximum participating clock.
     fn rendezvous<I: Clone + Send + 'static>(&mut self, x: I) -> (Vec<I>, f64) {
         {
-            let mut slots = self.shared.slots.lock();
+            let mut slots = self.shared.slots.lock().unwrap();
             debug_assert!(slots[self.id].is_none(), "collective slot already full");
             slots[self.id] = Some((self.clock, Box::new(x) as Box<dyn Any + Send>));
         }
         self.shared.barrier.wait();
         let (vals, max_clock) = {
-            let slots = self.shared.slots.lock();
+            let slots = self.shared.slots.lock().unwrap();
             let mut max_clock = f64::MIN;
             let mut vals = Vec::with_capacity(slots.len());
             for slot in slots.iter() {
@@ -41,7 +41,7 @@ impl Rank {
         };
         self.shared.barrier.wait();
         // Everyone has read; reclaim our own slot for the next collective.
-        self.shared.slots.lock()[self.id] = None;
+        self.shared.slots.lock().unwrap()[self.id] = None;
         (vals, max_clock)
     }
 

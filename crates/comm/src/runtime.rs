@@ -2,11 +2,9 @@
 
 use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::{Arc, Barrier};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::Duration;
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 
 use crate::netmodel::NetModel;
 use crate::p2p::{Envelope, Tag};
@@ -51,6 +49,16 @@ impl Runtime {
         self.nranks
     }
 
+    /// How many *extra* worker threads each rank can afford for intra-rank
+    /// data parallelism (kernel fan-out) without oversubscribing the host:
+    /// the runtime already runs one OS thread per rank, so the budget is
+    /// `max(1, cores / nranks)`. Experiment drivers feed this to
+    /// `ExecPolicy::clamp_for_ranks` (in `apc-par`, which implements the
+    /// same rule) before entering the pipeline.
+    pub fn thread_budget(&self) -> usize {
+        thread_budget(self.nranks)
+    }
+
     /// Run `f` on every rank concurrently; returns the per-rank results in
     /// rank order. Panics in any rank propagate.
     pub fn run<T, F>(&self, f: F) -> Vec<T>
@@ -69,24 +77,23 @@ impl Runtime {
         let mut txs = Vec::with_capacity(n);
         let mut rxs = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded::<Envelope>();
+            let (tx, rx) = channel::<Envelope>();
             txs.push(tx);
             rxs.push(rx);
         }
 
         let f = &f;
-        let results: Vec<T> = crossbeam::thread::scope(|scope| {
+        let results: Vec<T> = std::thread::scope(|scope| {
             let handles: Vec<_> = rxs
                 .into_iter()
                 .enumerate()
                 .map(|(id, inbox)| {
                     let senders = txs.clone();
                     let shared = Arc::clone(&shared);
-                    scope
-                        .builder()
+                    std::thread::Builder::new()
                         .name(format!("rank-{id}"))
                         .stack_size(self.stack_size)
-                        .spawn(move |_| {
+                        .spawn_scoped(scope, move || {
                             let mut rank = Rank {
                                 id,
                                 clock: 0.0,
@@ -100,6 +107,9 @@ impl Runtime {
                         .expect("failed to spawn rank thread")
                 })
                 .collect();
+            // Rank threads own the only senders now, so a hung-up peer is
+            // detected instead of masked by our copies.
+            drop(txs);
             handles
                 .into_iter()
                 .map(|h| match h.join() {
@@ -109,10 +119,17 @@ impl Runtime {
                     Err(payload) => std::panic::resume_unwind(payload),
                 })
                 .collect()
-        })
-        .expect("rank scope failed");
+        });
         results
     }
+}
+
+/// Per-rank intra-rank worker-thread budget for `nranks` concurrently
+/// running rank threads: `max(1, cores / nranks)`. Delegates to
+/// [`apc_par::thread_budget`] so the oversubscription rule has exactly one
+/// implementation (the same one `ExecPolicy::clamp_for_ranks` applies).
+pub fn thread_budget(nranks: usize) -> usize {
+    apc_par::thread_budget(nranks)
 }
 
 /// Per-rank communicator handle, passed to the closure given to
@@ -135,6 +152,12 @@ impl Rank {
 
     pub fn nranks(&self) -> usize {
         self.shared.nranks
+    }
+
+    /// This rank's intra-rank worker-thread budget (see
+    /// [`Runtime::thread_budget`]).
+    pub fn thread_budget(&self) -> usize {
+        thread_budget(self.shared.nranks)
     }
 
     pub fn net(&self) -> NetModel {
@@ -212,6 +235,19 @@ mod tests {
     #[should_panic(expected = "need at least one rank")]
     fn zero_ranks_rejected() {
         let _ = Runtime::new(0, NetModel::free());
+    }
+
+    #[test]
+    fn thread_budget_never_oversubscribes() {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        for n in [1, 2, 64, 400] {
+            let rt = Runtime::new(n, NetModel::free());
+            let budget = rt.thread_budget();
+            assert!(budget >= 1, "budget is at least one thread");
+            assert!(n * budget <= cores.max(n), "{n} ranks × {budget} threads > {cores} cores");
+        }
+        let budgets = Runtime::new(3, NetModel::free()).run(|rank| rank.thread_budget());
+        assert_eq!(budgets, vec![thread_budget(3); 3]);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Parallel compressor-ratio probe passes.
+//!
+//! Compressor metrics (paper §IV-B-e) score a block by *running the codec
+//! on it* and taking the compressed-size ratio — by far the most expensive
+//! scoring family (Table I). The probes are independent per array, so a
+//! sweep over a rank's block set parallelizes embarrassingly; this module
+//! is the batch entry point the execution layer ([`apc_par`]) plugs into.
+
+use apc_par::{par_map, ExecPolicy, RecommendedConcurrency};
+
+use crate::{FloatCodec, Shape};
+
+/// How much parallelism a probe pass can use: codec kernels are heavy
+/// enough that even two blocks per worker amortize fan-out.
+pub fn recommended_concurrency(narrays: usize) -> RecommendedConcurrency {
+    RecommendedConcurrency::per_items(narrays, 2)
+}
+
+/// Compressed-size ratio of every array under `codec`, in input order.
+/// The serial path is exactly `arrays.iter().map(|a| codec.compressed_ratio(..))`.
+pub fn probe_ratios<C: FloatCodec + Sync>(
+    codec: &C,
+    arrays: &[(Vec<f32>, Shape)],
+    policy: ExecPolicy,
+) -> Vec<f64> {
+    let policy = policy.for_kernel(recommended_concurrency(arrays.len()));
+    par_map(policy, arrays, |(data, shape)| codec.compressed_ratio(data, *shape))
+}
+
+/// Probe one array against several codecs concurrently (the
+/// "which compressor ranks this block highest" ablation pass).
+pub fn probe_codecs(
+    codecs: &[&(dyn FloatCodec + Sync)],
+    data: &[f32],
+    shape: Shape,
+    policy: ExecPolicy,
+) -> Vec<f64> {
+    let policy = policy.for_kernel(RecommendedConcurrency::per_items(codecs.len(), 1));
+    par_map(policy, codecs, |codec| codec.compressed_ratio(data, shape))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fpz, Lz77, Zfpx};
+
+    fn arrays(n: usize) -> Vec<(Vec<f32>, Shape)> {
+        (0..n)
+            .map(|i| {
+                let shape = (6, 6, 6);
+                let data = (0..216)
+                    .map(|j| (((i * 216 + j) as f32) * 0.737).sin())
+                    .collect();
+                (data, shape)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_probe_matches_serial_bitwise() {
+        let arrays = arrays(16);
+        let serial = probe_ratios(&Fpz, &arrays, ExecPolicy::Serial);
+        let par = probe_ratios(&Fpz, &arrays, ExecPolicy::Threads(8));
+        assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn probe_codecs_covers_all() {
+        let (data, shape) = &arrays(1)[0];
+        let codecs: Vec<&(dyn FloatCodec + Sync)> = vec![&Fpz, &Lz77, &Zfpx { tolerance: 1e-3 }];
+        let ratios = probe_codecs(&codecs, data, *shape, ExecPolicy::Threads(3));
+        assert_eq!(ratios.len(), 3);
+        for r in ratios {
+            assert!(r > 0.0);
+        }
+    }
+}

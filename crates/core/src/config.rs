@@ -1,5 +1,6 @@
 //! Pipeline configuration.
 
+use apc_par::ExecPolicy;
 use apc_render::RenderCostModel;
 
 /// Block redistribution strategy (paper §IV-D).
@@ -52,6 +53,16 @@ pub struct PipelineConfig {
     /// cuts the *wall-clock* cost of parameter sweeps that re-render
     /// identical full blocks. Use one cache per dataset seed.
     pub stats_cache: Option<std::sync::Arc<crate::pipeline::StatsCache>>,
+    /// Intra-rank execution policy for the per-block hot kernels (scoring
+    /// and isosurface extraction). Like `stats_cache`, this changes
+    /// *wall-clock* time only: virtual-time accounting is summed from
+    /// per-block counters, so `Serial` and `Threads(n)` produce
+    /// byte-identical [`crate::IterationReport`]s (guarded by the
+    /// `exec_policy_determinism` regression test). The pipeline uses the
+    /// policy exactly as given; experiment drivers that spawn one OS thread
+    /// per rank clamp it first so `ranks × threads ≤ cores`
+    /// (see [`ExecPolicy::clamp_for_ranks`]).
+    pub exec: ExecPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -67,6 +78,7 @@ impl Default for PipelineConfig {
             reduce_keep: 2,
             cost: RenderCostModel::default(),
             stats_cache: None,
+            exec: ExecPolicy::Serial,
         }
     }
 }
@@ -105,6 +117,12 @@ impl PipelineConfig {
         self
     }
 
+    /// Select the intra-rank execution policy for per-block kernels.
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Deterministic variant (no render jitter) for reproducible tests.
     pub fn deterministic(mut self) -> Self {
         self.cost = self.cost.deterministic();
@@ -124,6 +142,13 @@ mod tests {
         assert_eq!(c.redistribution, Redistribution::None);
         assert_eq!(c.fixed_percent, 0.0);
         assert!(c.target_time.is_none());
+        assert_eq!(c.exec, ExecPolicy::Serial, "seed behavior is serial by default");
+    }
+
+    #[test]
+    fn exec_builder() {
+        let c = PipelineConfig::default().with_exec(ExecPolicy::Threads(8));
+        assert_eq!(c.exec, ExecPolicy::Threads(8));
     }
 
     #[test]

@@ -42,10 +42,15 @@ pub fn run_experiment_on(
 /// block input. Parameter sweeps use this with pre-generated blocks so the
 /// synthetic simulation runs once instead of once per configuration (the
 /// virtual-time results are identical either way).
+///
+/// The driver spawns one OS thread per rank, so it clamps the config's
+/// [`crate::ExecPolicy`] to the per-rank thread budget
+/// (`ranks × threads ≤ cores`) before entering the pipeline. Virtual-time
+/// output is unaffected — the clamp only protects wall-clock throughput.
 pub fn run_experiment_prepared<F>(
     decomp: &apc_grid::DomainDecomp,
     coords: &apc_grid::RectilinearCoords,
-    config: PipelineConfig,
+    mut config: PipelineConfig,
     iterations: &[usize],
     net: NetModel,
     blocks: F,
@@ -53,6 +58,7 @@ pub fn run_experiment_prepared<F>(
 where
     F: Fn(usize, usize) -> Vec<apc_grid::Block> + Sync,
 {
+    config.exec = config.exec.clamp_for_ranks(decomp.nranks());
     let runtime = Runtime::new(decomp.nranks(), net);
     let mut all: Vec<Vec<IterationReport>> = runtime.run(|rank| {
         let mut pipeline = Pipeline::new(config.clone(), *decomp, coords.clone());

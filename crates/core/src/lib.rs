@@ -19,6 +19,16 @@
 //! [`Pipeline`] that chains them inside a rank, and an experiment
 //! [`driver`] that replays a [`apc_cm1::ReflectivityDataset`] through a
 //! virtual-time [`apc_comm::Runtime`].
+//!
+//! The per-block hot loops (steps 1 and 5) run under an intra-rank
+//! [`ExecPolicy`] from `apc-par`, re-exported here: `Serial` reproduces
+//! the original loops, `Threads(n)` fans them out over scoped worker
+//! threads. Virtual-time accounting is summed from per-block counters —
+//! never from wall time — so the two policies produce byte-identical
+//! [`IterationReport`]s (guarded by the `exec_policy_determinism`
+//! integration test); only wall-clock time changes. Experiment drivers
+//! clamp the policy so `ranks × threads ≤ cores`
+//! ([`ExecPolicy::clamp_for_ranks`]).
 
 pub mod config;
 pub mod controller;
@@ -28,6 +38,7 @@ pub mod redistribute;
 pub mod report;
 pub mod selection;
 
+pub use apc_par::{ExecPolicy, RecommendedConcurrency};
 pub use config::{PipelineConfig, Redistribution, SortStrategy};
 pub use controller::{adapt_percent, BudgetController};
 pub use driver::{run_experiment, run_experiment_on, run_experiment_prepared};

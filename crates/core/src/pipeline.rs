@@ -3,6 +3,7 @@
 use apc_comm::{sort, Rank};
 use apc_grid::{Block, DomainDecomp, RectilinearCoords};
 use apc_metrics::BlockScorer;
+use apc_par::par_map;
 use apc_render::{block_isosurface, IsoStats, RenderCostModel};
 
 use crate::config::{PipelineConfig, Redistribution, SortStrategy};
@@ -23,7 +24,7 @@ const REDUCE_COST_PER_BLOCK: f64 = 2.0e-6;
 /// cache.
 #[derive(Debug, Default)]
 pub struct StatsCache {
-    map: parking_lot::Mutex<std::collections::HashMap<(usize, apc_grid::BlockId), IsoStats>>,
+    map: std::sync::Mutex<std::collections::HashMap<(usize, apc_grid::BlockId), IsoStats>>,
 }
 
 impl StatsCache {
@@ -32,15 +33,15 @@ impl StatsCache {
     }
 
     fn get(&self, key: (usize, apc_grid::BlockId)) -> Option<IsoStats> {
-        self.map.lock().get(&key).copied()
+        self.map.lock().unwrap().get(&key).copied()
     }
 
     fn put(&self, key: (usize, apc_grid::BlockId), stats: IsoStats) {
-        self.map.lock().insert(key, stats);
+        self.map.lock().unwrap().insert(key, stats);
     }
 
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        self.map.lock().unwrap().len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -51,6 +52,29 @@ impl StatsCache {
 /// A rank-local pipeline instance. Controller state is replicated on every
 /// rank and stays identical because it is fed with the globally-agreed
 /// iteration time (deterministic adaptation without extra communication).
+///
+/// The per-block hot kernels (scoring, isosurface extraction) run under
+/// the config's [`crate::ExecPolicy`]; virtual time is counted, not
+/// measured, so the policy never changes the reports:
+///
+/// ```
+/// use apc_cm1::ReflectivityDataset;
+/// use apc_comm::{NetModel, Runtime};
+/// use apc_core::{ExecPolicy, Pipeline, PipelineConfig};
+///
+/// let dataset = ReflectivityDataset::tiny(2, 42).unwrap();
+/// let config = PipelineConfig::default()
+///     .deterministic()
+///     .with_fixed_percent(50.0)
+///     .with_exec(ExecPolicy::Threads(2)); // fan block kernels out per rank
+/// let reports = Runtime::new(2, NetModel::blue_waters()).run(|rank| {
+///     let mut p = Pipeline::new(config.clone(), *dataset.decomp(), dataset.coords().clone());
+///     let blocks = dataset.rank_blocks(300, rank.rank());
+///     p.run_iteration(rank, blocks, 300).0
+/// });
+/// assert_eq!(reports[0], reports[1], "every rank derives the same report");
+/// assert!(reports[0].triangles_total > 0);
+/// ```
 pub struct Pipeline {
     config: PipelineConfig,
     scorer: Box<dyn BlockScorer>,
@@ -90,21 +114,20 @@ impl Pipeline {
         iteration: usize,
     ) -> (IterationReport, Vec<Block>) {
         let percent = self.percent();
+        let exec = self.config.exec;
         rank.barrier(); // align clocks so step times are max-over-ranks
         let c0 = rank.clock();
 
         // Step 1 — score blocks (real scores on real data; virtual time
-        // from the metric's calibrated per-point cost).
-        let mut scored = Vec::with_capacity(blocks.len());
-        let mut points = 0usize;
-        for b in &blocks {
-            let samples = b.samples();
-            scored.push(ScoredBlock {
-                id: b.id,
-                score: self.scorer.score(&samples, b.dims()),
-            });
-            points += samples.len();
-        }
+        // from the metric's calibrated per-point cost). The batch entry
+        // point fans the per-block evaluations out under `exec`; results
+        // come back in block order, and the clock is charged from the
+        // summed per-block point counts, so every policy yields the same
+        // virtual time.
+        let batch = apc_metrics::score_blocks(self.scorer.as_ref(), &blocks, exec);
+        let scored: Vec<ScoredBlock> =
+            batch.iter().map(|r| ScoredBlock { id: r.id, score: r.score }).collect();
+        let points: usize = batch.iter().map(|r| r.points).sum();
         rank.advance(points as f64 * self.scorer.cost_per_point());
         rank.barrier();
         let c1 = rank.clock();
@@ -147,21 +170,30 @@ impl Pipeline {
         rank.barrier();
         let c4 = rank.clock();
 
-        // Step 5 — render the isosurface of the held blocks.
-        let mut stats = IsoStats::default();
-        for b in &held {
-            let s = match (&self.config.stats_cache, b.is_reduced()) {
+        // Step 5 — render the isosurface of the held blocks. Extraction is
+        // fanned out per block under `exec` (the stats cache is
+        // thread-safe); per-block counters are merged in block order, so
+        // the counted work — and with it the virtual render time — is
+        // identical under every policy.
+        let config = &self.config;
+        let coords = &self.coords;
+        let per_block: Vec<IsoStats> = par_map(
+            exec.for_kernel(apc_render::isosurface::recommended_concurrency(held.len())),
+            &held,
+            |b| match (&config.stats_cache, b.is_reduced()) {
                 (Some(cache), false) => {
                     let key = (iteration, b.id);
                     cache.get(key).unwrap_or_else(|| {
-                        let (_mesh, s) =
-                            block_isosurface(b, &self.coords, self.config.isovalue);
+                        let (_mesh, s) = block_isosurface(b, coords, config.isovalue);
                         cache.put(key, s);
                         s
                     })
                 }
-                _ => block_isosurface(b, &self.coords, self.config.isovalue).1,
-            };
+                _ => block_isosurface(b, coords, config.isovalue).1,
+            },
+        );
+        let mut stats = IsoStats::default();
+        for s in per_block {
             stats.merge(s);
         }
         let render_t = self.config.cost.render_time(

@@ -5,11 +5,8 @@
 //! exchange blocks with non-blocking sends/receives — realized here over
 //! [`apc_comm`]'s `alltoallv`.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
 use apc_comm::Rank;
+use apc_par::SplitMix64;
 use apc_grid::{Block, BlockId};
 
 use crate::config::Redistribution;
@@ -39,8 +36,7 @@ pub fn assignment(
             // Deterministic shuffle computed identically on every rank
             // (paper: "making sure all processes use the same seed").
             let mut ids: Vec<BlockId> = (0..n as BlockId).collect();
-            let mut rng = StdRng::seed_from_u64(seed);
-            ids.shuffle(&mut rng);
+            SplitMix64::new(seed).shuffle(&mut ids);
             let per_rank = n / nranks;
             let remainder = n % nranks;
             let mut cursor = 0;

@@ -23,6 +23,7 @@
 //! magnitudes so Table I lands in the paper's range.
 
 pub mod analysis;
+pub mod batch;
 pub mod combo;
 pub mod compressor;
 pub mod entropy;
@@ -32,6 +33,7 @@ pub mod statistics;
 pub mod trilin;
 
 pub use analysis::{ranks_by_score, spearman};
+pub use batch::{score_blocks, BlockScore};
 pub use combo::WeightedSum;
 pub use compressor::CompressionScore;
 pub use entropy::{Entropy, LocalEntropy};

@@ -1,0 +1,132 @@
+//! A tiny seeded PRNG for deterministic shuffles and test-case generation.
+//!
+//! The workspace needs randomness in exactly two places — the paper's
+//! random-shuffle redistribution ("making sure all processes use the same
+//! seed", §IV-D) and randomized tests — and both demand bit-for-bit
+//! reproducibility across platforms. SplitMix64 (Steele, Lea & Flood 2014)
+//! is the standard 64-bit mixer: tiny state, excellent avalanche, and a
+//! fixed published algorithm, so results never change under dependency
+//! updates.
+
+/// SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    /// Uses the widening-multiply technique (Lemire 2019), bias-free enough
+    /// for shuffles and test generation.
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0, "below(0) is meaningless");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f32` in `[lo, hi)`. The upper bound is enforced explicitly:
+    /// `lo + f * (hi - lo)` can round up to `hi` in float arithmetic even
+    /// for `f < 1`, so the result is clamped to the largest representable
+    /// value below `hi`.
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        let v = lo + (self.next_f64() as f32) * (hi - lo);
+        v.min(hi.next_down()).max(lo)
+    }
+
+    /// Uniform `f64` in `[lo, hi)` (upper bound enforced as in
+    /// [`SplitMix64::range_f32`]).
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let v = lo + self.next_f64() * (hi - lo);
+        v.min(hi.next_down()).max(lo)
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            items.swap(i, self.below(i + 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = { let mut r = SplitMix64::new(9); (0..8).map(|_| r.next_u64()).collect() };
+        let b: Vec<u64> = { let mut r = SplitMix64::new(9); (0..8).map(|_| r.next_u64()).collect() };
+        let c: Vec<u64> = { let mut r = SplitMix64::new(10); (0..8).map(|_| r.next_u64()).collect() };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn known_answer_first_output() {
+        // Reference value from the published SplitMix64 algorithm, seed 0.
+        assert_eq!(SplitMix64::new(0).next_u64(), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = SplitMix64::new(3);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let v = r.below(7);
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = SplitMix64::new(4);
+        for _ in 0..100 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            let g = r.range_f32(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn range_upper_bound_is_exclusive_even_under_rounding() {
+        // A fraction within f32 rounding distance of 1.0 would push
+        // `lo + f * (hi - lo)` onto `hi` without the explicit clamp.
+        let mut r = SplitMix64::new(0);
+        for _ in 0..10_000 {
+            let v = r.range_f32(0.0, 1.0);
+            assert!(v < 1.0, "range_f32 produced its exclusive bound: {v}");
+            let w = r.range_f64(2.0, 2.5);
+            assert!((2.0..2.5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<usize> = (0..100).collect();
+        SplitMix64::new(5).shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move things");
+    }
+}

@@ -10,6 +10,7 @@
 //! triangle counts an honest proxy for rendering load (DESIGN.md §2).
 
 use apc_grid::{Block, Dims3, RectilinearCoords};
+use apc_par::{par_map, ExecPolicy, RecommendedConcurrency};
 
 use crate::math::Vec3;
 use crate::mesh::TriangleMesh;
@@ -235,6 +236,30 @@ pub fn block_isosurface(
     }
 }
 
+/// How much parallelism isosurface extraction can use: triangle density is
+/// wildly uneven across blocks (storm core vs clear air), so prefer plenty
+/// of workers and let the dynamic chunking in [`apc_par::par_map`] balance
+/// them — but never more than one worker per two blocks.
+pub fn recommended_concurrency(nblocks: usize) -> RecommendedConcurrency {
+    RecommendedConcurrency::per_items(nblocks, 2)
+}
+
+/// Extract isosurface work counters for a whole block set under an
+/// [`ExecPolicy`], in block order. Meshes are discarded — this is the entry
+/// point for the pipeline's render-cost step and for sweeps, where only the
+/// counted work feeds the virtual clock. The serial path is exactly the
+/// per-block loop the pipeline ran before this layer existed, so counters
+/// are bit-identical under every policy.
+pub fn batch_isosurface_stats(
+    blocks: &[Block],
+    coords: &RectilinearCoords,
+    iso: f32,
+    policy: ExecPolicy,
+) -> Vec<IsoStats> {
+    let policy = policy.for_kernel(recommended_concurrency(blocks.len()));
+    par_map(policy, blocks, |b| block_isosurface(b, coords, iso).1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,5 +397,35 @@ mod tests {
         let (lo, hi) = mesh.bounds().unwrap();
         // Physical extent is [4, 14] on each axis.
         assert!(lo.x >= 4.0 - 1e-4 && hi.x <= 14.0 + 1e-4, "{lo:?} {hi:?}");
+    }
+
+    #[test]
+    fn batch_stats_match_serial_loop_under_any_policy() {
+        let dims = Dims3::new(8, 8, 8);
+        let coords = RectilinearCoords::uniform(Dims3::new(64, 64, 64), 1.0);
+        let blocks: Vec<Block> = (0..12)
+            .map(|i| {
+                let r = 1.5 + 0.3 * i as f32; // varying triangle density
+                let field = Field3::from_vec(dims, sphere_field(dims, r)).unwrap();
+                let mut b = Block::from_field(
+                    i as apc_grid::BlockId,
+                    Extent3::new((0, 0, 0), (8, 8, 8)),
+                    &field,
+                )
+                .unwrap();
+                let o = (i % 4) * 8;
+                b.extent = Extent3::new((o, 0, 0), (o + 8, 8, 8));
+                b
+            })
+            .collect();
+        let serial = batch_isosurface_stats(&blocks, &coords, 0.0, ExecPolicy::Serial);
+        let reference: Vec<IsoStats> =
+            blocks.iter().map(|b| block_isosurface(b, &coords, 0.0).1).collect();
+        assert_eq!(serial, reference, "serial batch must equal the plain loop");
+        for threads in [2, 8] {
+            let par = batch_isosurface_stats(&blocks, &coords, 0.0, ExecPolicy::Threads(threads));
+            assert_eq!(serial, par, "Threads({threads}) counters must be bit-identical");
+        }
+        assert!(serial.iter().any(|s| s.triangles > 0));
     }
 }

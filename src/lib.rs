@@ -16,4 +16,5 @@ pub use apc_compress as compress;
 pub use apc_core as pipeline;
 pub use apc_grid as grid;
 pub use apc_metrics as metrics;
+pub use apc_par as par;
 pub use apc_render as render;

@@ -1,0 +1,98 @@
+//! Regression guard for the execution layer's core invariant: the
+//! intra-rank [`ExecPolicy`] changes *wall-clock* time only. Virtual-time
+//! accounting is summed from per-block counters (never measured), so
+//! `Serial` and `Threads(8)` must produce identical [`IterationReport`]
+//! streams — bit-for-bit, including every step time and triangle count —
+//! for any dataset and metric.
+//!
+//! The runs go through the [`Pipeline`] directly rather than the
+//! experiment driver, because the driver clamps the policy to the host's
+//! core budget: on a small CI machine that would silently turn
+//! `Threads(8)` back into `Serial` and the test would guard nothing.
+
+use insitu::cm1::ReflectivityDataset;
+use insitu::comm::{NetModel, Runtime};
+use insitu::pipeline::{
+    ExecPolicy, IterationReport, Pipeline, PipelineConfig, Redistribution,
+};
+
+/// Run `config` on `dataset` across its rank count, asserting all ranks
+/// agree, and return rank 0's reports.
+fn run(dataset: &ReflectivityDataset, config: &PipelineConfig, iters: &[usize]) -> Vec<IterationReport> {
+    let nranks = dataset.decomp().nranks();
+    let all: Vec<Vec<IterationReport>> = Runtime::new(nranks, NetModel::blue_waters()).run(|rank| {
+        let mut p = Pipeline::new(config.clone(), *dataset.decomp(), dataset.coords().clone());
+        iters
+            .iter()
+            .map(|&it| p.run_iteration(rank, dataset.rank_blocks(it, rank.rank()), it).0)
+            .collect()
+    });
+    for r in 1..all.len() {
+        assert_eq!(all[0], all[r], "rank {r} disagrees");
+    }
+    all.into_iter().next().unwrap()
+}
+
+fn assert_policies_agree(config: PipelineConfig, dataset: &ReflectivityDataset, iters: &[usize]) {
+    let serial = run(dataset, &config.clone().with_exec(ExecPolicy::Serial), iters);
+    let threads = run(dataset, &config.with_exec(ExecPolicy::Threads(8)), iters);
+    assert_eq!(serial.len(), threads.len());
+    for (s, t) in serial.iter().zip(&threads) {
+        // PartialEq covers every field; compare the whole struct first for
+        // a readable failure, then pin the float fields bit-for-bit.
+        assert_eq!(s, t, "reports diverged at iteration {}", s.iteration);
+        for (a, b) in [
+            (s.t_score, t.t_score),
+            (s.t_sort, t.t_sort),
+            (s.t_reduce, t.t_reduce),
+            (s.t_redistribute, t.t_redistribute),
+            (s.t_render, t.t_render),
+            (s.t_total, t.t_total),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits(), "virtual time drifted at iteration {}", s.iteration);
+        }
+    }
+}
+
+/// 2 datasets × 2 metrics, as the execution-layer issue specifies: a cheap
+/// statistics metric and the expensive compressor probe, each on two
+/// different storms.
+#[test]
+fn serial_and_threads_reports_are_identical() {
+    for seed in [42, 7] {
+        let dataset = ReflectivityDataset::tiny(4, seed).unwrap();
+        let iters = dataset.sample_iterations(2);
+        for metric in ["VAR", "FPZIP"] {
+            let config = PipelineConfig::default()
+                .deterministic()
+                .with_metric(metric)
+                .with_fixed_percent(40.0);
+            assert_policies_agree(config, &dataset, &iters);
+        }
+    }
+}
+
+/// The invariant also holds with every pipeline stage active (adaptation,
+/// redistribution, render jitter) — jitter is seeded from counted work,
+/// not from scheduling.
+#[test]
+fn full_pipeline_with_jitter_and_redistribution_agrees() {
+    let dataset = ReflectivityDataset::tiny(4, 42).unwrap();
+    let iters = dataset.sample_iterations(3);
+    let config = PipelineConfig::default()
+        .with_redistribution(Redistribution::RoundRobin)
+        .with_target(3.0);
+    assert_policies_agree(config, &dataset, &iters);
+}
+
+/// Oversubscription stress: more workers than blocks or cores must not
+/// change results either.
+#[test]
+fn absurd_thread_counts_are_safe() {
+    let dataset = ReflectivityDataset::tiny(2, 11).unwrap();
+    let iters = [dataset.sample_iterations(1)[0]];
+    let base = PipelineConfig::default().deterministic();
+    let serial = run(&dataset, &base.clone().with_exec(ExecPolicy::Serial), &iters);
+    let wide = run(&dataset, &base.with_exec(ExecPolicy::Threads(64)), &iters);
+    assert_eq!(serial, wide);
+}
