@@ -2,16 +2,21 @@
 //! kernels`), self-harnessed with `std::time` so the suite has no external
 //! benchmarking dependency.
 //!
-//! Two sections:
+//! Three sections:
 //!
-//! 1. **Execution-policy comparison** — the tentpole measurement: block
-//!    scoring and isosurface extraction over a 64-block set, `Serial` vs
-//!    `Threads(8)`, with the wall-clock speedup printed per kernel, plus a
+//! 1. **Execution-policy comparison** — block scoring and isosurface
+//!    extraction over a 64-block set, `Serial` vs `Threads(8)`, with the
+//!    wall-clock speedup printed per kernel, plus a
 //!    byte-identical-reports check between the two policies on a full
 //!    pipeline run. On an N-core machine the speedup approaches
 //!    `min(8, N)`; on a 1-core container it is ~1.0 by physics, and the
 //!    determinism check is the part that must always hold.
-//! 2. **Serial micro-timings** — metrics, codecs, marching tetrahedra,
+//! 2. **Session vs spawn-per-run** — a small configuration sweep executed
+//!    (a) the pre-session way, one fresh `Runtime::run` (thread spawn +
+//!    join) per configuration, and (b) through one persistent
+//!    `Runtime::session`. Reports the wall-clock comparison and checks the
+//!    reports are byte-identical.
+//! 3. **Serial micro-timings** — metrics, codecs, marching tetrahedra,
 //!    storm generation and the distributed sort, as throughput numbers.
 
 use std::time::Instant;
@@ -155,6 +160,107 @@ fn check_policy_determinism() {
     );
 }
 
+/// Session vs spawn-per-run: the sweep-engine measurement. A fig07-style
+/// percentage sweep (8 configurations, 16 ranks, 2 iterations each) runs
+/// once with a fresh `Runtime::run` per configuration — tearing 16 threads
+/// up and down 8 times — and once through a single persistent session.
+/// Virtual-time reports must be byte-identical; only wall-clock differs.
+fn bench_session_vs_respawn() {
+    let nranks = 16;
+    let dataset = ReflectivityDataset::tiny(nranks, 42).unwrap();
+    let iters = dataset.sample_iterations(2);
+    let percents = [0.0, 20.0, 40.0, 60.0, 70.0, 80.0, 90.0, 100.0];
+    let configs: Vec<PipelineConfig> = percents
+        .iter()
+        .map(|&p| PipelineConfig::default().deterministic().with_fixed_percent(p))
+        .collect();
+    let runtime = Runtime::new(nranks, NetModel::blue_waters());
+    let run_config = |rank: &mut apc_comm::Rank, config: &PipelineConfig| {
+        let mut p = Pipeline::new(config.clone(), *dataset.decomp(), dataset.coords().clone());
+        iters
+            .iter()
+            .map(|&it| p.run_iteration(rank, dataset.rank_blocks(it, rank.rank()), it).0)
+            .collect::<Vec<_>>()
+    };
+
+    let runs = 3;
+    let mut respawn_reports = Vec::new();
+    let t_respawn = time_median(runs, || {
+        respawn_reports = configs
+            .iter()
+            .map(|config| {
+                let mut all = runtime.run(|rank| run_config(rank, config));
+                all.swap_remove(0)
+            })
+            .collect::<Vec<_>>();
+    });
+
+    let mut session_reports = Vec::new();
+    let t_session = time_median(runs, || {
+        let mut session = runtime.session();
+        session_reports = configs
+            .iter()
+            .map(|config| {
+                let mut all = session.run(|rank| run_config(rank, config));
+                all.swap_remove(0)
+            })
+            .collect::<Vec<_>>();
+    });
+
+    assert_eq!(
+        respawn_reports, session_reports,
+        "session and spawn-per-run sweeps must produce identical reports"
+    );
+
+    // The same sweep with an empty per-rank job isolates the pure
+    // runtime overhead (thread spawn/join, channel setup) the session
+    // removes — the pipeline rows bury it under compute on few-core
+    // machines, but it is what grows to tens of thousands of spawns in a
+    // full-scale 400-rank figure sweep.
+    let noop_runs = 9;
+    let t_respawn_noop = time_median(noop_runs, || {
+        for _ in 0..configs.len() {
+            runtime.run(|rank| rank.rank());
+        }
+    });
+    let t_session_noop = time_median(noop_runs, || {
+        let mut session = runtime.session();
+        for _ in 0..configs.len() {
+            session.run(|rank| rank.rank());
+        }
+    });
+
+    print_table(
+        &format!(
+            "sweep wall-clock: {} configs × {} ranks, spawn-per-run vs one session",
+            configs.len(),
+            nranks
+        ),
+        &["strategy", "pipeline ms", "no-op ms", "threads spawned"],
+        &[
+            vec![
+                "spawn-per-run".into(),
+                format!("{:.2}", t_respawn * 1e3),
+                format!("{:.3}", t_respawn_noop * 1e3),
+                format!("{}", configs.len() * nranks),
+            ],
+            vec![
+                "session".into(),
+                format!("{:.2}", t_session * 1e3),
+                format!("{:.3}", t_session_noop * 1e3),
+                format!("{nranks}"),
+            ],
+            vec![
+                "speedup".into(),
+                format!("{:.2}x", t_respawn / t_session.max(1e-12)),
+                format!("{:.2}x", t_respawn_noop / t_session_noop.max(1e-12)),
+                String::new(),
+            ],
+        ],
+    );
+    println!("session sweep reports identical to spawn-per-run ✓");
+}
+
 fn bench_metrics() {
     let (data, dims) = storm_block();
     let mut rows = Vec::new();
@@ -252,6 +358,7 @@ fn main() {
     let t0 = Instant::now();
     bench_exec_policies();
     check_policy_determinism();
+    bench_session_vs_respawn();
     bench_metrics();
     bench_codecs();
     bench_isosurface_and_storm();

@@ -5,7 +5,10 @@ use crate::harness::{Prepared, Scale};
 /// Prepared inputs for every rank count in the scale. Building this once
 /// and sharing it across experiments amortizes the synthetic-CM1 data
 /// generation the same way the paper amortizes its 3-day CM1 run by
-/// replaying a stored dataset.
+/// replaying a stored dataset. Each [`Prepared`] also owns a persistent
+/// rank session, so every figure's configuration sweep reuses one set of
+/// rank threads (64 and 400 of them here) for the whole suite instead of
+/// re-spawning them per configuration.
 pub struct Ctx {
     pub prepared: Vec<Prepared>,
 }

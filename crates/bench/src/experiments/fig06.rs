@@ -21,11 +21,14 @@ pub fn run(ctx: &Ctx, scale: &Scale) {
         let prepared = ctx.at(nranks);
         let iters = prepared.subset(scale.component_iters);
         let mut rows = Vec::new();
-        for &p in percent_set(nranks) {
-            let reports =
-                prepared.run(PipelineConfig::default().with_fixed_percent(p), &iters);
+        let configs: Vec<PipelineConfig> = percent_set(nranks)
+            .iter()
+            .map(|&p| PipelineConfig::default().with_fixed_percent(p))
+            .collect();
+        let swept = prepared.run_sweep(&configs, &iters);
+        for (&p, reports) in percent_set(nranks).iter().zip(&swept) {
             let mut row = vec![format!("{p:.0}%")];
-            for r in &reports {
+            for r in reports {
                 row.push(format!("{:.1}", r.t_render));
                 csv.push(format!("{nranks},{p},{},{:.4}", r.iteration, r.t_render));
             }

@@ -18,9 +18,14 @@ pub fn run(ctx: &Ctx, scale: &Scale) {
         let iters = prepared.subset(scale.component_iters);
         let mut rows = Vec::new();
         let mut series = Vec::new();
-        for &p in &scale.sweep {
-            let reports =
-                prepared.run(PipelineConfig::default().with_fixed_percent(p), &iters);
+        // The whole percentage sweep replays through one rank session.
+        let configs: Vec<PipelineConfig> = scale
+            .sweep
+            .iter()
+            .map(|&p| PipelineConfig::default().with_fixed_percent(p))
+            .collect();
+        let swept = prepared.run_sweep(&configs, &iters);
+        for (&p, reports) in scale.sweep.iter().zip(&swept) {
             let (avg, min, max) = stats(reports.iter().map(|r| r.t_render));
             rows.push(vec![
                 format!("{p:.0}"),

@@ -16,19 +16,26 @@ pub fn run(ctx: &Ctx, scale: &Scale) {
         let prepared = ctx.at(nranks);
         let iters = prepared.subset(scale.component_iters);
         let mut rows = Vec::new();
-        for &p in &scale.sweep {
+        let strategies = [
+            ("NONE", Redistribution::None),
+            ("RR", Redistribution::RoundRobin),
+            ("SHUFFLE", Redistribution::RandomShuffle { seed: scale.seed }),
+        ];
+        // The whole percent × strategy grid goes through one rank session,
+        // flattened row-major (strategy fastest).
+        let configs: Vec<PipelineConfig> = scale
+            .sweep
+            .iter()
+            .flat_map(|&p| {
+                strategies.iter().map(move |&(_, strat)| {
+                    PipelineConfig::default().with_redistribution(strat).with_fixed_percent(p)
+                })
+            })
+            .collect();
+        let swept = prepared.run_sweep(&configs, &iters);
+        for (&p, per_strategy) in scale.sweep.iter().zip(swept.chunks(strategies.len())) {
             let mut row = vec![format!("{p:.0}")];
-            for (label, strat) in [
-                ("NONE", Redistribution::None),
-                ("RR", Redistribution::RoundRobin),
-                ("SHUFFLE", Redistribution::RandomShuffle { seed: scale.seed }),
-            ] {
-                let reports = prepared.run(
-                    PipelineConfig::default()
-                        .with_redistribution(strat)
-                        .with_fixed_percent(p),
-                    &iters,
-                );
+            for ((label, _), reports) in strategies.iter().zip(per_strategy) {
                 let (avg, min, max) = stats(reports.iter().map(|r| r.t_render));
                 row.push(format!("{avg:.1} [{min:.1},{max:.1}]"));
                 csv.push(format!("{nranks},{label},{p},{avg:.4},{min:.4},{max:.4}"));

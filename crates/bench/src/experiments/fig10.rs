@@ -31,8 +31,11 @@ pub(crate) fn run_adaptation(
         let iters = prepared.iterations[..scale.adapt_iters.min(prepared.iterations.len())]
             .to_vec();
         println!("\n== {title}, {nranks} ranks ==");
-        for &target in targets_for(nranks) {
-            let reports = prepared.run(config_for_target(target), &iters);
+        // All targets replay through one rank session.
+        let configs: Vec<PipelineConfig> =
+            targets_for(nranks).iter().map(|&t| config_for_target(t)).collect();
+        let swept = prepared.run_sweep(&configs, &iters);
+        for (&target, reports) in targets_for(nranks).iter().zip(&swept) {
             let times: Vec<f64> = reports.iter().map(|r| r.t_total).collect();
             let percents: Vec<f64> = reports.iter().map(|r| r.percent_reduced).collect();
             // Convergence diagnostics over the second half of the run.

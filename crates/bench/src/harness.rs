@@ -1,12 +1,21 @@
 //! Shared experiment-harness utilities.
+//!
+//! The centerpiece is [`Prepared`]: pre-generated pipeline input plus a
+//! persistent rank [`Session`], so a figure's parameter sweep replays many
+//! configurations over **one** set of rank threads and one shared
+//! isosurface-stats cache instead of re-spawning everything per
+//! configuration ([`Prepared::run_sweep`]).
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use apc_cm1::ReflectivityDataset;
-use apc_comm::NetModel;
-use apc_core::{run_experiment_prepared, ExecPolicy, IterationReport, PipelineConfig, StatsCache};
+use apc_comm::{NetModel, Runtime, Session};
+use apc_core::{
+    run_experiment_prepared, run_sweep_in_session, ExecPolicy, IterationReport, PipelineConfig,
+    StatsCache,
+};
 use apc_grid::Block;
 
 /// Experiment scale. `quick` (default) shrinks iteration counts and sweep
@@ -59,17 +68,29 @@ impl Scale {
     }
 }
 
-/// Reads `APC_THREADS`: unset or `1` ⇒ serial (the seed behavior);
+/// Reads `APC_THREADS`: unset, `0`, or `1` ⇒ serial (the seed behavior);
 /// `auto` ⇒ one worker per core; `n` ⇒ `Threads(n)`. The experiment driver
 /// still clamps to `ranks × threads ≤ cores`, so `auto` is always safe.
+/// Anything else panics — a typo that silently fell back to serial would
+/// invalidate a measurement without anyone noticing.
 pub fn exec_from_env() -> ExecPolicy {
-    match std::env::var("APC_THREADS").as_deref() {
-        Ok("auto") => ExecPolicy::auto(),
-        Ok(n) => match n.parse::<usize>() {
-            Ok(0) | Ok(1) | Err(_) => ExecPolicy::Serial,
-            Ok(n) => ExecPolicy::Threads(n),
-        },
-        Err(_) => ExecPolicy::Serial,
+    exec_from_str(std::env::var("APC_THREADS").ok().as_deref())
+}
+
+/// [`exec_from_env`]'s parser, split out for testing.
+pub fn exec_from_str(var: Option<&str>) -> ExecPolicy {
+    let Some(raw) = var else { return ExecPolicy::Serial };
+    let s = raw.trim();
+    if s == "auto" {
+        return ExecPolicy::auto();
+    }
+    match s.parse::<usize>() {
+        Ok(0) | Ok(1) => ExecPolicy::Serial,
+        Ok(n) => ExecPolicy::Threads(n),
+        Err(_) => panic!(
+            "APC_THREADS must be a thread count or \"auto\", got {raw:?} — \
+             refusing to silently fall back to serial"
+        ),
     }
 }
 
@@ -118,17 +139,23 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 }
 
 /// Pre-generated pipeline input for one `(rank count, iteration set)`:
-/// blocks for every `(iteration, rank)` and a shared isosurface-stats
-/// cache. Generating once and replaying across configurations is exactly
-/// what the paper does by reloading its stored dataset with BIL (§V-A).
+/// blocks for every `(iteration, rank)`, a shared isosurface-stats cache,
+/// and a persistent rank [`Session`] so every configuration replayed
+/// through this input reuses the same rank threads. Generating once and
+/// replaying across configurations is exactly what the paper does by
+/// reloading its stored dataset with BIL (§V-A).
 pub struct Prepared {
     pub dataset: ReflectivityDataset,
     pub iterations: Vec<usize>,
     /// Execution policy injected into every config run through this input
     /// (figure experiments never set one themselves).
     pub exec: ExecPolicy,
+    /// Network model the session was built with; [`Prepared::run_on`] with
+    /// a different model falls back to a one-shot runtime.
+    net: NetModel,
     cache: Arc<StatsCache>,
     blocks: HashMap<(usize, usize), Vec<Block>>,
+    session: Mutex<Session>,
 }
 
 impl Prepared {
@@ -141,63 +168,130 @@ impl Prepared {
     pub fn with_exec(nranks: usize, seed: u64, iterations: Vec<usize>, exec: ExecPolicy) -> Self {
         let dataset = ReflectivityDataset::paper_scaled(nranks, seed)
             .expect("paper-scaled decomposition");
+        Self::from_dataset(dataset, iterations, exec, NetModel::blue_waters().for_paper_scale())
+    }
+
+    /// Prepare an arbitrary dataset (integration tests use the `tiny`
+    /// geometry) with an explicit network model for the session.
+    pub fn from_dataset(
+        dataset: ReflectivityDataset,
+        mut iterations: Vec<usize>,
+        exec: ExecPolicy,
+        net: NetModel,
+    ) -> Self {
+        let nranks = dataset.decomp().nranks();
+        // The subset/averaging logic assumes a strictly increasing,
+        // duplicate-free timeline; enforce it here once.
+        iterations.sort_unstable();
+        iterations.dedup();
         let mut blocks = HashMap::new();
         for &it in &iterations {
             for rank in 0..nranks {
                 blocks.insert((it, rank), dataset.rank_blocks(it, rank));
             }
         }
-        Self { dataset, iterations, exec, cache: Arc::new(StatsCache::new()), blocks }
+        let session = Mutex::new(Runtime::new(nranks, net).session());
+        Self { dataset, iterations, exec, net, cache: Arc::new(StatsCache::new()), blocks, session }
     }
 
-    /// The component-experiment iteration subset (`n` equally spaced out of
-    /// the prepared set).
+    /// The component-experiment iteration subset: `n` strictly increasing,
+    /// duplicate-free iterations equally spaced through the prepared set.
     pub fn subset(&self, n: usize) -> Vec<usize> {
-        if n >= self.iterations.len() {
-            return self.iterations.clone();
-        }
-        (0..n)
-            .map(|i| self.iterations[i * (self.iterations.len() - 1) / (n - 1).max(1)])
-            .collect()
+        spaced_subset(&self.iterations, n)
     }
 
-    /// Run a pipeline configuration over `iterations` (must be prepared).
-    pub fn run(&self, mut config: PipelineConfig, iterations: &[usize]) -> Vec<IterationReport> {
-        config.stats_cache = Some(Arc::clone(&self.cache));
-        config.exec = self.exec;
-        run_experiment_prepared(
+    /// Run a pipeline configuration over `iterations` (must be prepared)
+    /// through the persistent rank session.
+    pub fn run(&self, config: PipelineConfig, iterations: &[usize]) -> Vec<IterationReport> {
+        self.run_sweep(std::slice::from_ref(&config), iterations).swap_remove(0)
+    }
+
+    /// The sweep engine entry point: replay every configuration over the
+    /// same prepared blocks, one rank session, one stats cache. Returns one
+    /// report series per configuration, in order — byte-identical to
+    /// running each configuration through a fresh spawn-per-run runtime
+    /// (guarded by the `sweep_engine` integration tests).
+    pub fn run_sweep(
+        &self,
+        configs: &[PipelineConfig],
+        iterations: &[usize],
+    ) -> Vec<Vec<IterationReport>> {
+        let configs: Vec<PipelineConfig> =
+            configs.iter().map(|c| self.instrument(c.clone())).collect();
+        let mut session = self.session.lock().expect("an earlier sweep panicked");
+        run_sweep_in_session(
+            &mut session,
             self.dataset.decomp(),
             self.dataset.coords(),
-            config,
+            &configs,
             iterations,
-            NetModel::blue_waters().for_paper_scale(),
-            |it, rank| {
-                self.blocks
-                    .get(&(it, rank))
-                    .unwrap_or_else(|| panic!("iteration {it} not prepared"))
-                    .clone()
-            },
+            &|it, rank| self.prepared_blocks(it, rank),
         )
     }
 
-    /// Like [`Prepared::run`] with an explicit network model.
+    /// Like [`Prepared::run`] with an explicit network model. A model equal
+    /// to the prepared one reuses the session; a different model needs its
+    /// own runtime (the network is baked into the session's shared state),
+    /// so those runs fall back to spawn-per-run.
     pub fn run_on(
         &self,
-        mut config: PipelineConfig,
+        config: PipelineConfig,
         iterations: &[usize],
         net: NetModel,
     ) -> Vec<IterationReport> {
-        config.stats_cache = Some(Arc::clone(&self.cache));
-        config.exec = self.exec;
+        if net == self.net {
+            return self.run(config, iterations);
+        }
         run_experiment_prepared(
             self.dataset.decomp(),
             self.dataset.coords(),
-            config,
+            self.instrument(config),
             iterations,
             net,
-            |it, rank| self.blocks[&(it, rank)].clone(),
+            |it, rank| self.prepared_blocks(it, rank),
         )
     }
+
+    /// Inject the shared cache and execution policy into a configuration.
+    fn instrument(&self, mut config: PipelineConfig) -> PipelineConfig {
+        config.stats_cache = Some(Arc::clone(&self.cache));
+        config.exec = self.exec;
+        config
+    }
+
+    fn prepared_blocks(&self, it: usize, rank: usize) -> Vec<Block> {
+        self.blocks
+            .get(&(it, rank))
+            .unwrap_or_else(|| panic!("iteration {it} not prepared"))
+            .clone()
+    }
+}
+
+/// `n` entries equally spaced through `items`, always strictly increasing
+/// and duplicate-free (for `n >= 2` the first and last entries are always
+/// included; `n >= items.len()` returns everything). `items` must be
+/// strictly increasing. Figure averages double-count nothing because of
+/// this guarantee.
+pub fn spaced_subset(items: &[usize], n: usize) -> Vec<usize> {
+    if n >= items.len() {
+        return items.to_vec();
+    }
+    debug_assert!(items.windows(2).all(|w| w[1] > w[0]), "items must be strictly increasing");
+    let mut out = Vec::with_capacity(n);
+    let mut prev: Option<usize> = None;
+    for i in 0..n {
+        let mut idx = i * (items.len() - 1) / (n - 1).max(1);
+        // Integer spacing can only repeat an index when n approaches
+        // items.len(); bump forward to keep the selection unique.
+        if let Some(p) = prev {
+            if idx <= p {
+                idx = p + 1;
+            }
+        }
+        prev = Some(idx);
+        out.push(items[idx]);
+    }
+    out
 }
 
 /// Average / min / max of a series.
@@ -210,4 +304,54 @@ pub fn stats(series: impl IntoIterator<Item = f64>) -> (f64, f64, f64) {
     let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     (sum / v.len() as f64, min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spaced_subset_boundaries() {
+        let items: Vec<usize> = vec![10, 20, 30, 40, 50, 60];
+        assert!(spaced_subset(&items, 0).is_empty());
+        assert_eq!(spaced_subset(&items, 1), vec![10]);
+        // n = len - 1 is the regime where naive integer spacing repeats an
+        // index and a figure average double-counts an iteration.
+        assert_eq!(spaced_subset(&items, items.len() - 1).len(), items.len() - 1);
+        assert_eq!(spaced_subset(&items, items.len()), items);
+        assert_eq!(spaced_subset(&items, items.len() + 5), items);
+    }
+
+    #[test]
+    fn spaced_subset_is_strictly_increasing_and_unique_for_every_n() {
+        let items: Vec<usize> = (0..17).map(|i| 57 + i * 3).collect();
+        for n in 0..=items.len() + 2 {
+            let sub = spaced_subset(&items, n);
+            assert_eq!(sub.len(), n.min(items.len()), "n = {n}");
+            assert!(
+                sub.windows(2).all(|w| w[1] > w[0]),
+                "subset for n = {n} is not strictly increasing: {sub:?}"
+            );
+            if n >= 2 {
+                assert_eq!(sub[0], items[0], "first element always included");
+                assert_eq!(*sub.last().unwrap(), *items.last().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn exec_from_str_accepts_counts_and_auto() {
+        assert_eq!(exec_from_str(None), ExecPolicy::Serial);
+        assert_eq!(exec_from_str(Some("0")), ExecPolicy::Serial);
+        assert_eq!(exec_from_str(Some("1")), ExecPolicy::Serial);
+        assert_eq!(exec_from_str(Some("8")), ExecPolicy::Threads(8));
+        assert_eq!(exec_from_str(Some(" 4 ")), ExecPolicy::Threads(4));
+        assert!(matches!(exec_from_str(Some("auto")), ExecPolicy::Serial | ExecPolicy::Threads(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "APC_THREADS must be a thread count")]
+    fn exec_from_str_rejects_garbage_loudly() {
+        let _ = exec_from_str(Some("eight"));
+    }
 }

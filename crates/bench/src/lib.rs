@@ -2,7 +2,11 @@
 //!
 //! Layout:
 //!
-//! * [`harness`] — run scales (quick vs `APC_SCALE=full`), CSV output under
+//! * [`harness`] — run scales (quick vs `APC_SCALE=full`), the
+//!   [`harness::Prepared`] input (pre-generated blocks + persistent rank
+//!   session + shared stats cache) whose
+//!   [`run_sweep`](harness::Prepared::run_sweep) replays whole
+//!   configuration sweeps over one set of rank threads, CSV output under
 //!   `target/experiments/`, ASCII tables;
 //! * [`experiments`] — one module per paper table/figure plus the ablations
 //!   listed in DESIGN.md §4. Each exposes `run(&Scale)`, prints the

@@ -1,0 +1,180 @@
+//! Integration tests for the sweep engine: one persistent rank session +
+//! one `Prepared` input replaying many pipeline configurations.
+//!
+//! The two contracts under guard:
+//!
+//! 1. **Byte-identical reports** — a fig07-style sweep through
+//!    `Prepared::run_sweep` (one session, shared stats cache) produces
+//!    exactly the reports the spawn-per-run driver produces per
+//!    configuration, down to the bits of every virtual-time field.
+//! 2. **No stale cache reuse** — configurations that vary the isovalue
+//!    through one `Prepared` (one shared `StatsCache`) get their own
+//!    isosurface stats, not the first configuration's (the regression this
+//!    PR fixes).
+
+use apc_bench::harness::Prepared;
+use apc_cm1::ReflectivityDataset;
+use apc_comm::NetModel;
+use apc_core::{run_experiment_on, ExecPolicy, IterationReport, PipelineConfig, Redistribution};
+
+fn tiny_prepared(nranks: usize, seed: u64, n_iters: usize) -> Prepared {
+    let dataset = ReflectivityDataset::tiny(nranks, seed).expect("tiny decomposition");
+    let iters = dataset.sample_iterations(n_iters);
+    Prepared::from_dataset(dataset, iters, ExecPolicy::Serial, NetModel::blue_waters())
+}
+
+fn assert_bitwise_equal(a: &[IterationReport], b: &[IterationReport], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x, y, "{what}: reports diverged at iteration {}", x.iteration);
+        for (fx, fy) in [
+            (x.t_score, y.t_score),
+            (x.t_sort, y.t_sort),
+            (x.t_reduce, y.t_reduce),
+            (x.t_redistribute, y.t_redistribute),
+            (x.t_render, y.t_render),
+            (x.t_total, y.t_total),
+        ] {
+            assert_eq!(
+                fx.to_bits(),
+                fy.to_bits(),
+                "{what}: virtual time drifted at iteration {}",
+                x.iteration
+            );
+        }
+    }
+}
+
+/// The acceptance-criteria test: a fig07-style percentage sweep through
+/// the session + sweep engine is byte-identical to the spawn-per-run path.
+#[test]
+fn fig07_style_sweep_is_byte_identical_to_spawn_per_run() {
+    let prepared = tiny_prepared(4, 42, 3);
+    let iters = prepared.subset(2);
+    let percents = [0.0, 40.0, 80.0, 100.0];
+    let configs: Vec<PipelineConfig> = percents
+        .iter()
+        .map(|&p| PipelineConfig::default().deterministic().with_fixed_percent(p))
+        .collect();
+
+    // One session, one shared stats cache, four configurations.
+    let swept = prepared.run_sweep(&configs, &iters);
+    assert_eq!(swept.len(), configs.len());
+
+    // Spawn-per-run reference: a fresh runtime per configuration, no
+    // shared cache, straight from the dataset.
+    for (config, series) in configs.iter().zip(&swept) {
+        let reference = run_experiment_on(
+            &prepared.dataset,
+            config.clone(),
+            &iters,
+            NetModel::blue_waters(),
+        );
+        assert_bitwise_equal(series, &reference, "sweep vs spawn-per-run");
+    }
+
+    // And the paper's shape holds on the swept series: rendering time is
+    // non-increasing in the reduction percentage.
+    let renders: Vec<f64> = swept.iter().map(|s| s[0].t_render).collect();
+    assert!(
+        renders.windows(2).all(|w| w[1] <= w[0] + 1e-12),
+        "render time must not increase with percentage: {renders:?}"
+    );
+}
+
+/// Regression for the stale-cache bug: two isovalues swept through one
+/// `Prepared` (hence one shared `StatsCache`) must each see their own
+/// geometry. Before keying the cache on the isovalue, the second
+/// configuration silently got the first one's triangle counts.
+#[test]
+fn sweeping_two_isovalues_produces_different_triangle_counts() {
+    let prepared = tiny_prepared(4, 42, 2);
+    let iters = prepared.subset(1);
+    let configs = [
+        PipelineConfig::default().deterministic(), // the paper's 45 dBZ
+        PipelineConfig::default().deterministic().with_isovalue(20.0),
+    ];
+    let swept = prepared.run_sweep(&configs, &iters);
+    let (hot, cool) = (&swept[0], &swept[1]);
+    assert!(
+        cool[0].triangles_total > hot[0].triangles_total,
+        "the 20 dBZ surface must enclose more geometry than 45 dBZ \
+         ({} vs {}); equality means the cache returned stale stats",
+        cool[0].triangles_total,
+        hot[0].triangles_total
+    );
+    // Both match their uncached spawn-per-run references exactly.
+    for (config, series) in configs.iter().zip(&swept) {
+        let reference = run_experiment_on(
+            &prepared.dataset,
+            config.clone(),
+            &iters,
+            NetModel::blue_waters(),
+        );
+        assert_bitwise_equal(series, &reference, "isovalue sweep vs reference");
+    }
+}
+
+/// A sweep mixing every pipeline dimension (redistribution, sort strategy,
+/// adaptation) through one session still matches spawn-per-run — the
+/// epoch isolation holds under real p2p traffic, not just collectives.
+#[test]
+fn heterogeneous_sweep_matches_spawn_per_run() {
+    let prepared = tiny_prepared(4, 7, 2);
+    let iters = prepared.iterations.clone();
+    let mut sample_sort_cfg = PipelineConfig::default().deterministic().with_fixed_percent(60.0);
+    sample_sort_cfg.sort = apc_core::SortStrategy::SampleSort;
+    let configs = [
+        PipelineConfig::default()
+            .deterministic()
+            .with_redistribution(Redistribution::RoundRobin)
+            .with_fixed_percent(50.0),
+        sample_sort_cfg,
+        PipelineConfig::default().with_target(3.0),
+        PipelineConfig::default()
+            .deterministic()
+            .with_redistribution(Redistribution::RandomShuffle { seed: 5 }),
+    ];
+    let swept = prepared.run_sweep(&configs, &iters);
+    for (config, series) in configs.iter().zip(&swept) {
+        let reference = run_experiment_on(
+            &prepared.dataset,
+            config.clone(),
+            &iters,
+            NetModel::blue_waters(),
+        );
+        assert_bitwise_equal(series, &reference, "heterogeneous sweep");
+    }
+}
+
+/// Re-running a sweep over the (now warm) cache and the same session must
+/// reproduce the cold results exactly.
+#[test]
+fn warm_cache_rerun_is_exact() {
+    let prepared = tiny_prepared(4, 42, 2);
+    let iters = prepared.subset(2);
+    let configs = [
+        PipelineConfig::default().deterministic().with_fixed_percent(30.0),
+        PipelineConfig::default().deterministic().with_isovalue(20.0),
+    ];
+    let cold = prepared.run_sweep(&configs, &iters);
+    let warm = prepared.run_sweep(&configs, &iters);
+    assert_eq!(cold, warm, "cache hits must not perturb any report");
+}
+
+/// `run_on` with the session's own network model reuses the session; with
+/// a different model it falls back to spawn-per-run. Both must agree with
+/// the driver.
+#[test]
+fn run_on_matches_driver_for_both_paths() {
+    let prepared = tiny_prepared(4, 42, 2);
+    let iters = prepared.subset(1);
+    let cfg = PipelineConfig::default()
+        .deterministic()
+        .with_redistribution(Redistribution::RandomShuffle { seed: 1 });
+    for net in [NetModel::blue_waters(), NetModel::gigabit_ethernet()] {
+        let via_prepared = prepared.run_on(cfg.clone(), &iters, net);
+        let reference = run_experiment_on(&prepared.dataset, cfg.clone(), &iters, net);
+        assert_bitwise_equal(&via_prepared, &reference, "run_on");
+    }
+}

@@ -16,11 +16,13 @@ use crate::runtime::Rank;
 impl Rank {
     /// Shared-memory rendezvous: deposit `x`, wait for everyone, read all
     /// contributions (in rank order) and the maximum participating clock.
+    /// Contributions carry the session-run epoch so a slot left over from
+    /// another run can never be mistaken for this run's data.
     fn rendezvous<I: Clone + Send + 'static>(&mut self, x: I) -> (Vec<I>, f64) {
         {
             let mut slots = self.shared.slots.lock().unwrap();
             debug_assert!(slots[self.id].is_none(), "collective slot already full");
-            slots[self.id] = Some((self.clock, Box::new(x) as Box<dyn Any + Send>));
+            slots[self.id] = Some((self.epoch, self.clock, Box::new(x) as Box<dyn Any + Send>));
         }
         self.shared.barrier.wait();
         let (vals, max_clock) = {
@@ -28,7 +30,12 @@ impl Rank {
             let mut max_clock = f64::MIN;
             let mut vals = Vec::with_capacity(slots.len());
             for slot in slots.iter() {
-                let (t, payload) = slot.as_ref().expect("missing collective contribution");
+                let (epoch, t, payload) =
+                    slot.as_ref().expect("missing collective contribution");
+                assert_eq!(
+                    *epoch, self.epoch,
+                    "collective contribution from another session run"
+                );
                 max_clock = max_clock.max(*t);
                 vals.push(
                     payload
@@ -332,6 +339,28 @@ mod tests {
             assert_eq!(a, vec![0, 1, 2, 3]);
             assert_eq!(b, vec![0, 2, 4, 6]);
             assert_eq!(c, 4);
+        }
+    }
+
+    #[test]
+    fn collectives_are_stable_across_session_runs() {
+        // The same collective sequence, repeated over one persistent
+        // session, must see fresh slots and clocks every run.
+        let mut session = Runtime::new(4, NetModel::free()).session();
+        let mut previous = None;
+        for _ in 0..3 {
+            let out = session.run(|rank| {
+                let g = rank.allgather(rank.rank() as u32);
+                let s = rank.allreduce(1u64, |a, b| a + b);
+                rank.barrier();
+                (g, s, rank.clock())
+            });
+            assert_eq!(out[0].0, vec![0, 1, 2, 3]);
+            assert_eq!(out[0].1, 4);
+            if let Some(prev) = &previous {
+                assert_eq!(prev, &out, "session runs must be identical");
+            }
+            previous = Some(out);
         }
     }
 

@@ -10,6 +10,14 @@
 //!   (`send`/`recv`/`isend`/`irecv` with tags) and the collectives the
 //!   pipeline needs (barrier, broadcast, gather, allgather, reduce,
 //!   allreduce, alltoall(v), exclusive scan).
+//! * **Reusable rank sessions.** [`Runtime::session`] spawns the rank
+//!   threads once and executes a series of closures over them
+//!   ([`Session::run`]) — the substrate of parameter sweeps, which replay
+//!   many configurations over the same ranks. Runs are isolated by
+//!   epoch-stamped envelopes and collective slots plus a per-run
+//!   virtual-clock reset, so a session run is observationally identical to
+//!   a one-shot `Runtime::run` (which is itself implemented as a
+//!   single-run session).
 //! * **Virtual time.** Every rank owns a virtual clock ([`Rank::clock`]).
 //!   Local compute charges the clock through [`Rank::advance`]; messages and
 //!   collectives charge it through a latency+bandwidth [`NetModel`].
@@ -39,4 +47,4 @@ pub mod sort;
 pub use meter::Meter;
 pub use netmodel::NetModel;
 pub use p2p::{Request, Tag};
-pub use runtime::{Rank, Runtime};
+pub use runtime::{parse_recv_timeout, Rank, Runtime, Session};

@@ -27,6 +27,9 @@ impl Tag {
 pub(crate) struct Envelope {
     pub src: usize,
     pub tag: Tag,
+    /// Session run (epoch) that produced the message; receives only match
+    /// envelopes from their own run, so session runs cannot interfere.
+    pub epoch: u64,
     /// Sender's virtual clock when the message left.
     pub ts: f64,
     pub bytes: usize,
@@ -56,7 +59,14 @@ impl Rank {
         assert!(dst < self.nranks(), "invalid destination rank {dst}");
         let bytes = msg.nbytes();
         self.clock += self.net().send_overhead;
-        let env = Envelope { src: self.id, tag, ts: self.clock, bytes, payload: Box::new(msg) };
+        let env = Envelope {
+            src: self.id,
+            tag,
+            epoch: self.epoch,
+            ts: self.clock,
+            bytes,
+            payload: Box::new(msg),
+        };
         self.senders[dst].send(env).expect("destination rank hung up");
     }
 

@@ -1,28 +1,133 @@
 //! The rank runtime: one OS thread per rank, shared rendezvous state.
+//!
+//! Two entry points share the same machinery:
+//!
+//! * [`Runtime::run`] — one-shot SPMD execution (spawn, run, join), the
+//!   original API;
+//! * [`Runtime::session`] — a persistent [`Session`] that spawns the rank
+//!   threads **once** and executes a series of closures over them. This is
+//!   the substrate of parameter sweeps: a fig07-style sweep at 400 ranks
+//!   replays dozens of configurations, and re-spawning 400 threads per
+//!   configuration is pure overhead the session removes.
+//!
+//! Runs inside one session are isolated from each other by an **epoch**:
+//! every envelope and collective contribution is stamped with the epoch of
+//! the run that produced it, and each run starts by resetting the rank's
+//! virtual clock, clearing its stash, and discarding stale-epoch messages.
+//! A closure that leaks unconsumed messages therefore cannot corrupt the
+//! next run. `Runtime::run` is implemented as a single-run session, so the
+//! two paths produce byte-identical results by construction.
 
 use std::any::Any;
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Barrier, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use crate::netmodel::NetModel;
 use crate::p2p::{Envelope, Tag};
 
-/// How long a blocking receive waits before declaring the program deadlocked.
-/// Generous enough for oversubscribed CI machines, small enough that a buggy
-/// pipeline fails a test instead of hanging it forever.
-const RECV_TIMEOUT: Duration = Duration::from_secs(300);
+/// Default for how long a blocking receive — or a collective barrier
+/// wait — lasts before declaring the program deadlocked. Generous enough
+/// for oversubscribed CI machines, small enough that a buggy pipeline
+/// fails a test instead of hanging it forever. Override with
+/// `APC_RECV_TIMEOUT` (seconds, float) — the workspace-level
+/// `.cargo/config.toml` sets 120 s for everything cargo runs here, so a
+/// deadlock regression fails CI in two minutes; full-scale runs on
+/// heavily oversubscribed machines can raise it per invocation
+/// (`APC_RECV_TIMEOUT=300 APC_SCALE=full cargo run ...`).
+const RECV_TIMEOUT_DEFAULT: Duration = Duration::from_secs(300);
 
-/// A deposited collective contribution: `(virtual clock, payload)`.
-pub(crate) type Contribution = (f64, Box<dyn Any + Send>);
+/// Parse an `APC_RECV_TIMEOUT` value (seconds, float). Garbage is rejected
+/// loudly: a typo that silently restored the 5-minute default would defeat
+/// the point of setting the variable.
+pub fn parse_recv_timeout(var: Option<&str>) -> Duration {
+    match var {
+        None => RECV_TIMEOUT_DEFAULT,
+        Some(s) => {
+            let secs: f64 = s.trim().parse().unwrap_or_else(|_| {
+                panic!("APC_RECV_TIMEOUT must be a number of seconds, got {s:?}")
+            });
+            assert!(
+                secs.is_finite() && secs > 0.0,
+                "APC_RECV_TIMEOUT must be a positive number of seconds, got {s:?}"
+            );
+            Duration::from_secs_f64(secs)
+        }
+    }
+}
+
+/// The effective receive timeout (read from the environment once).
+fn recv_timeout() -> Duration {
+    static TIMEOUT: OnceLock<Duration> = OnceLock::new();
+    *TIMEOUT.get_or_init(|| {
+        parse_recv_timeout(std::env::var("APC_RECV_TIMEOUT").ok().as_deref())
+    })
+}
+
+/// A deposited collective contribution: `(epoch, virtual clock, payload)`.
+/// The epoch pins the contribution to the session run that deposited it.
+pub(crate) type Contribution = (u64, f64, Box<dyn Any + Send>);
+
+/// A reusable (generation-counted) barrier whose wait gives up after the
+/// configured receive timeout. `std::sync::Barrier` waits forever, which
+/// turns "one rank panicked before its collective" into every *other*
+/// rank blocking eternally — and with it the whole run. Here the stranded
+/// ranks panic with a diagnostic instead, so the run fails loudly within
+/// the timeout and the original panic still propagates.
+pub(crate) struct TimeoutBarrier {
+    n: usize,
+    timeout: Duration,
+    state: Mutex<(usize, u64)>, // (waiting count, generation)
+    cvar: Condvar,
+}
+
+impl TimeoutBarrier {
+    fn new(n: usize, timeout: Duration) -> Self {
+        Self { n, timeout, state: Mutex::new((0, 0)), cvar: Condvar::new() }
+    }
+
+    pub fn wait(&self) {
+        let mut state = self.state.lock().unwrap();
+        let generation = state.1;
+        state.0 += 1;
+        if state.0 == self.n {
+            state.0 = 0;
+            state.1 += 1;
+            self.cvar.notify_all();
+            return;
+        }
+        let deadline = Instant::now() + self.timeout;
+        while state.1 == generation {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let (guard, result) = self.cvar.wait_timeout(state, remaining).unwrap();
+            state = guard;
+            if result.timed_out() && state.1 == generation {
+                let arrived = state.0;
+                // Release the lock before unwinding so fellow waiters see
+                // their own timeout diagnostic, not a poisoned mutex.
+                drop(state);
+                panic!(
+                    "deadlocked in a collective barrier after {:.1} s: only {arrived} \
+                     of {} ranks arrived (a peer died or diverged)",
+                    self.timeout.as_secs_f64(),
+                    self.n
+                );
+            }
+        }
+    }
+}
 
 pub(crate) struct Shared {
     pub nranks: usize,
     pub net: NetModel,
-    pub barrier: Barrier,
+    pub barrier: TimeoutBarrier,
     /// Rendezvous slots for collectives.
     pub slots: Mutex<Vec<Option<Contribution>>>,
+    /// How long receives and barrier waits block before declaring
+    /// deadlock (from `APC_RECV_TIMEOUT`, overridable per runtime).
+    pub timeout: Duration,
 }
 
 /// Launch configuration: number of ranks and network model.
@@ -31,17 +136,26 @@ pub struct Runtime {
     nranks: usize,
     net: NetModel,
     stack_size: usize,
+    timeout: Option<Duration>,
 }
 
 impl Runtime {
     pub fn new(nranks: usize, net: NetModel) -> Self {
         assert!(nranks > 0, "need at least one rank");
-        Self { nranks, net, stack_size: 4 << 20 }
+        Self { nranks, net, stack_size: 4 << 20, timeout: None }
     }
 
     /// Per-rank thread stack size (default 4 MiB).
     pub fn stack_size(mut self, bytes: usize) -> Self {
         self.stack_size = bytes;
+        self
+    }
+
+    /// Override the deadlock timeout (receives and barrier waits) for
+    /// runtimes built from this configuration; defaults to
+    /// `APC_RECV_TIMEOUT` / 300 s.
+    pub fn deadlock_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
         self
     }
 
@@ -59,19 +173,19 @@ impl Runtime {
         thread_budget(self.nranks)
     }
 
-    /// Run `f` on every rank concurrently; returns the per-rank results in
-    /// rank order. Panics in any rank propagate.
-    pub fn run<T, F>(&self, f: F) -> Vec<T>
-    where
-        T: Send,
-        F: Fn(&mut Rank) -> T + Sync,
-    {
+    /// Spawn the rank threads once and return a reusable [`Session`].
+    /// Each [`Session::run`] executes one SPMD closure over the same
+    /// threads; the network model and rank count are fixed for the
+    /// session's lifetime.
+    pub fn session(&self) -> Session {
         let n = self.nranks;
+        let timeout = self.timeout.unwrap_or_else(recv_timeout);
         let shared = Arc::new(Shared {
             nranks: n,
             net: self.net,
-            barrier: Barrier::new(n),
+            barrier: TimeoutBarrier::new(n, timeout),
             slots: Mutex::new((0..n).map(|_| None).collect()),
+            timeout,
         });
 
         let mut txs = Vec::with_capacity(n);
@@ -82,45 +196,225 @@ impl Runtime {
             rxs.push(rx);
         }
 
-        let f = &f;
-        let results: Vec<T> = std::thread::scope(|scope| {
-            let handles: Vec<_> = rxs
-                .into_iter()
-                .enumerate()
-                .map(|(id, inbox)| {
-                    let senders = txs.clone();
-                    let shared = Arc::clone(&shared);
-                    std::thread::Builder::new()
-                        .name(format!("rank-{id}"))
-                        .stack_size(self.stack_size)
-                        .spawn_scoped(scope, move || {
-                            let mut rank = Rank {
-                                id,
-                                clock: 0.0,
-                                shared,
-                                senders,
-                                inbox,
-                                stash: VecDeque::new(),
-                            };
-                            f(&mut rank)
-                        })
-                        .expect("failed to spawn rank thread")
+        let mut job_txs = Vec::with_capacity(n);
+        let mut status_rxs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (id, inbox) in rxs.into_iter().enumerate() {
+            let (job_tx, job_rx) = channel::<RawJob>();
+            let (status_tx, status_rx) = channel::<RunStatus>();
+            let senders = txs.clone();
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("rank-{id}"))
+                .stack_size(self.stack_size)
+                .spawn(move || {
+                    let mut rank = Rank {
+                        id,
+                        epoch: 0,
+                        clock: 0.0,
+                        shared,
+                        senders,
+                        inbox,
+                        stash: VecDeque::new(),
+                    };
+                    // The job loop: run each dispatched closure, report its
+                    // outcome, and stop on the first panic (the session is
+                    // poisoned then — shared barrier/slot state may be out
+                    // of step) or when the session is dropped.
+                    while let Ok(job) = job_rx.recv() {
+                        rank.begin_run(job.epoch);
+                        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            // SAFETY: `Session::run` keeps the closure and
+                            // result buffer alive until every rank has
+                            // reported its status for this job.
+                            unsafe { (job.call)(job.data.0, &mut rank) }
+                        }));
+                        let failed = result.is_err();
+                        if status_tx.send(result).is_err() || failed {
+                            break;
+                        }
+                    }
                 })
-                .collect();
-            // Rank threads own the only senders now, so a hung-up peer is
-            // detected instead of masked by our copies.
-            drop(txs);
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(v) => v,
-                    // Re-raise with the original payload so callers (and
-                    // #[should_panic] tests) see the rank's own message.
-                    Err(payload) => std::panic::resume_unwind(payload),
-                })
-                .collect()
-        });
+                .expect("failed to spawn rank thread");
+            job_txs.push(job_tx);
+            status_rxs.push(status_rx);
+            handles.push(handle);
+        }
+        // Workers hold the only envelope senders, so a rank that stops
+        // (panic) makes sends to it fail loudly instead of queueing forever.
+        drop(txs);
+        Session { nranks: n, epoch: 0, poisoned: false, job_txs, status_rxs, handles }
+    }
+
+    /// Run `f` on every rank concurrently; returns the per-rank results in
+    /// rank order. Panics in any rank propagate.
+    ///
+    /// This is the one-shot wrapper over [`Runtime::session`]: it spawns a
+    /// fresh session, executes `f` once, and tears the threads down. Use a
+    /// session directly when running many closures over the same ranks.
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Rank) -> T + Sync,
+    {
+        self.session().run(f)
+    }
+}
+
+/// Type-erased SPMD job sent to a rank thread. `data` points at the
+/// dispatching [`Session::run`] frame (closure + result buffer); `call`
+/// reconstitutes the types. Erasure keeps the worker channels free of the
+/// caller's lifetimes, which is what lets `Session::run` accept borrowing
+/// closures exactly like scoped threads do.
+struct RawJob {
+    epoch: u64,
+    data: SendPtr,
+    call: unsafe fn(*const (), &mut Rank),
+}
+
+struct SendPtr(*const ());
+// SAFETY: the pointee is a `RunCtx` on the dispatching thread's stack; the
+// dispatcher blocks until every worker reports completion, so the pointer
+// never dangles while a worker can still use it.
+unsafe impl Send for SendPtr {}
+
+type RunStatus = std::thread::Result<()>;
+
+/// Per-run bridge between `Session::run` and the rank threads: the shared
+/// closure and the raw result slots (one per rank, disjoint writes).
+struct RunCtx<T, F> {
+    f: *const F,
+    results: *mut Option<T>,
+}
+
+unsafe fn call_spmd<T, F>(data: *const (), rank: &mut Rank)
+where
+    T: Send,
+    F: Fn(&mut Rank) -> T + Sync,
+{
+    let ctx = &*(data as *const RunCtx<T, F>);
+    let out = (&*ctx.f)(rank);
+    // Disjoint per-rank slot; `None` in place, so plain assignment is fine.
+    *ctx.results.add(rank.id) = Some(out);
+}
+
+/// A persistent group of rank threads created by [`Runtime::session`].
+///
+/// Each [`Session::run`] call executes one SPMD closure across all ranks
+/// and blocks until every rank finishes, so consecutive runs are fully
+/// serialized — combined with epoch-stamped envelopes and collective slots,
+/// messages from different runs can never cross. Per run, every rank's
+/// virtual clock restarts at zero and its stash is cleared, so a session
+/// run is observationally identical to a fresh [`Runtime::run`].
+///
+/// A panic in any rank propagates out of [`Session::run`] with the original
+/// payload and **poisons** the session (the shared barrier may be out of
+/// step); later runs panic immediately. Dropping the session joins the
+/// threads.
+///
+/// ```
+/// use apc_comm::{NetModel, Runtime};
+///
+/// let mut session = Runtime::new(4, NetModel::free()).session();
+/// let a = session.run(|rank| rank.allreduce(1u64, |x, y| x + y));
+/// let b = session.run(|rank| rank.rank() * 2); // same threads, fresh clocks
+/// assert_eq!(a, vec![4; 4]);
+/// assert_eq!(b, vec![0, 2, 4, 6]);
+/// ```
+pub struct Session {
+    nranks: usize,
+    epoch: u64,
+    poisoned: bool,
+    job_txs: Vec<Sender<RawJob>>,
+    status_rxs: Vec<Receiver<RunStatus>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Session {
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// How many runs this session has executed (diagnostics).
+    pub fn runs_completed(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether an earlier run panicked, making the session unusable.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Run `f` on every rank concurrently; returns the per-rank results in
+    /// rank order. Blocks until all ranks finish. Panics in any rank
+    /// propagate (lowest rank's payload first, matching the one-shot
+    /// join order) and poison the session.
+    pub fn run<T, F>(&mut self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Rank) -> T + Sync,
+    {
+        assert!(!self.poisoned, "session poisoned by a panic in an earlier run");
+        self.epoch += 1;
+        let n = self.nranks;
+        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let ctx = RunCtx::<T, F> { f: &f, results: results.as_mut_ptr() };
+        let data = &ctx as *const RunCtx<T, F> as *const ();
+
+        let mut dispatch_failed = false;
+        let mut dispatched = 0;
+        for tx in &self.job_txs {
+            let job =
+                RawJob { epoch: self.epoch, data: SendPtr(data), call: call_spmd::<T, F> };
+            if tx.send(job).is_err() {
+                // Worker thread gone without poisoning us first — should be
+                // unreachable; fail loudly after draining the ranks that did
+                // get the job (they must not outlive `ctx`).
+                dispatch_failed = true;
+                break;
+            }
+            dispatched += 1;
+        }
+
+        // Wait for every dispatched rank before touching the results (or
+        // unwinding!) — the workers borrow `f` and `results` until then.
+        let mut first_panic: Option<Box<dyn Any + Send>> = None;
+        for rx in &self.status_rxs[..dispatched] {
+            match rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(payload)) => {
+                    self.poisoned = true;
+                    first_panic.get_or_insert(payload);
+                }
+                Err(_) => {
+                    self.poisoned = true;
+                    dispatch_failed = true;
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            // Re-raise with the original payload so callers (and
+            // #[should_panic] tests) see the rank's own message.
+            std::panic::resume_unwind(payload);
+        }
+        if dispatch_failed {
+            self.poisoned = true;
+            panic!("a rank thread died outside a run; session unusable");
+        }
         results
+            .into_iter()
+            .map(|r| r.expect("every rank reported success, so every slot is filled"))
+            .collect()
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // Closing the job channels ends the worker loops; then join.
+        self.job_txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
     }
 }
 
@@ -133,10 +427,14 @@ pub fn thread_budget(nranks: usize) -> usize {
 }
 
 /// Per-rank communicator handle, passed to the closure given to
-/// [`Runtime::run`]. All point-to-point and collective operations live here
-/// (collectives are in [`crate::collectives`], implemented on this type).
+/// [`Runtime::run`] / [`Session::run`]. All point-to-point and collective
+/// operations live here (collectives are in [`crate::collectives`],
+/// implemented on this type).
 pub struct Rank {
     pub(crate) id: usize,
+    /// The session run this rank is currently executing; stamps every
+    /// envelope and collective contribution so runs cannot interfere.
+    pub(crate) epoch: u64,
     pub(crate) clock: f64,
     pub(crate) shared: Arc<Shared>,
     pub(crate) senders: Vec<Sender<Envelope>>,
@@ -145,6 +443,24 @@ pub struct Rank {
 }
 
 impl Rank {
+    /// Reset per-run state at the start of a session run: fresh virtual
+    /// clock, empty stash, and any *stale-epoch* envelopes still sitting in
+    /// the inbox are discarded. Current-epoch envelopes are kept — a peer
+    /// that started this run earlier may already have sent to us.
+    fn begin_run(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.clock = 0.0;
+        self.stash.clear();
+        while let Ok(env) = self.inbox.try_recv() {
+            if env.epoch == epoch {
+                self.stash.push_back(env);
+            }
+            // Older epochs: leftovers from a run that did not consume all
+            // of its messages — exactly the cross-run leak the epoch tag
+            // exists to stop. Dropped.
+        }
+    }
+
     /// This rank's id in `0..nranks`.
     pub fn rank(&self) -> usize {
         self.id
@@ -182,12 +498,23 @@ impl Rank {
     }
 
     pub(crate) fn pop_matching(&mut self, src: usize, tag: Tag) -> Envelope {
-        if let Some(pos) = self.stash.iter().position(|e| e.src == src && e.tag == tag) {
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|e| e.src == src && e.tag == tag && e.epoch == self.epoch)
+        {
             return self.stash.remove(pos).unwrap();
         }
         loop {
-            match self.inbox.recv_timeout(RECV_TIMEOUT) {
+            match self.inbox.recv_timeout(self.shared.timeout) {
                 Ok(env) => {
+                    // Runs are serialized by the session, so an envelope
+                    // from a *future* epoch is impossible; one from a past
+                    // epoch is a leak from a sloppy closure — drop it.
+                    debug_assert!(env.epoch <= self.epoch, "message from a future run");
+                    if env.epoch != self.epoch {
+                        continue;
+                    }
                     if env.src == src && env.tag == tag {
                         return env;
                     }
@@ -257,5 +584,154 @@ mod tests {
         let out = Runtime::new(400, NetModel::free()).run(|rank| rank.rank());
         assert_eq!(out.len(), 400);
         assert_eq!(out[399], 399);
+    }
+
+    #[test]
+    fn session_reuses_threads_across_runs() {
+        let mut session = Runtime::new(4, NetModel::free()).session();
+        let names_a = session.run(|_| std::thread::current().name().map(str::to_owned));
+        let sums = session.run(|rank| rank.allreduce(rank.rank() as u64, |a, b| a + b));
+        let names_b = session.run(|_| std::thread::current().name().map(str::to_owned));
+        assert_eq!(sums, vec![6; 4]);
+        assert_eq!(names_a, names_b, "the same OS threads serve every run");
+        assert_eq!(names_a[2].as_deref(), Some("rank-2"));
+        assert_eq!(session.runs_completed(), 3);
+    }
+
+    #[test]
+    fn session_resets_clocks_per_run() {
+        let mut session = Runtime::new(3, NetModel::free()).session();
+        let first = session.run(|rank| {
+            rank.advance(5.0);
+            rank.clock()
+        });
+        let second = session.run(|rank| rank.clock());
+        assert_eq!(first, vec![5.0; 3]);
+        assert_eq!(second, vec![0.0; 3], "each run starts from a fresh virtual clock");
+    }
+
+    #[test]
+    fn stale_messages_cannot_cross_runs() {
+        // Run 1 leaks a message (rank 2 sends to rank 0, never received).
+        // Run 2 sends a different value on the same (src, tag): the epoch
+        // tag must make rank 0 see run 2's message, not run 1's leftover.
+        let mut session = Runtime::new(3, NetModel::free()).session();
+        session.run(|rank| {
+            if rank.rank() == 2 {
+                rank.send(0, Tag(9), 111u32);
+            }
+        });
+        let out = session.run(|rank| {
+            if rank.rank() == 2 {
+                rank.send(0, Tag(9), 222u32);
+            }
+            if rank.rank() == 0 {
+                rank.recv::<u32>(2, Tag(9))
+            } else {
+                0
+            }
+        });
+        assert_eq!(out[0], 222, "run 2 must not see run 1's leaked message");
+    }
+
+    #[test]
+    fn session_panic_propagates_and_poisons() {
+        let mut session = Runtime::new(2, NetModel::free()).session();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            session.run(|rank| {
+                if rank.rank() == 1 {
+                    panic!("rank 1 exploded");
+                }
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "rank 1 exploded", "original payload preserved");
+        assert!(session.is_poisoned());
+        let next = std::panic::catch_unwind(AssertUnwindSafe(|| session.run(|_| ())));
+        assert!(next.is_err(), "poisoned session refuses further runs");
+    }
+
+    #[test]
+    fn panic_next_to_a_collective_fails_the_run_instead_of_hanging() {
+        // Rank 2 panics before its allreduce contribution; ranks 0 and 1
+        // are stranded in the collective barrier. With std's Barrier they
+        // would block forever and the run would hang; the timeout barrier
+        // fails them loudly and the run terminates with a panic within
+        // the deadlock timeout.
+        let t0 = Instant::now();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Runtime::new(3, NetModel::free())
+                .deadlock_timeout(Duration::from_millis(300))
+                .run(|rank| {
+                    if rank.rank() == 2 {
+                        panic!("scorer blew up");
+                    }
+                    rank.allreduce(1u64, |a, b| a + b)
+                });
+        }));
+        assert!(caught.is_err(), "the run must fail, not hang");
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "the failure must arrive within the deadlock timeout, not hang CI"
+        );
+    }
+
+    #[test]
+    fn barrier_timeout_panic_is_diagnostic() {
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Runtime::new(2, NetModel::free())
+                .deadlock_timeout(Duration::from_millis(200))
+                .run(|rank| {
+                    if rank.rank() == 0 {
+                        rank.barrier(); // rank 1 never joins
+                    }
+                });
+        }));
+        let payload = caught.expect_err("stranded barrier must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("deadlocked in a collective barrier"),
+            "diagnostic panic expected, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn session_matches_one_shot_run() {
+        let runtime = Runtime::new(4, NetModel::blue_waters());
+        let job = |rank: &mut Rank| {
+            rank.advance(0.25 * (rank.rank() as f64 + 1.0));
+            let sum = rank.allreduce(rank.rank() as u64, |a, b| a + b);
+            rank.barrier();
+            (sum, rank.clock())
+        };
+        let one_shot = runtime.run(job);
+        let mut session = runtime.session();
+        for _ in 0..3 {
+            assert_eq!(session.run(job), one_shot, "session runs mirror one-shot runs");
+        }
+    }
+
+    #[test]
+    fn recv_timeout_parsing() {
+        assert_eq!(parse_recv_timeout(None), RECV_TIMEOUT_DEFAULT);
+        assert_eq!(parse_recv_timeout(Some("2.5")), Duration::from_secs_f64(2.5));
+        assert_eq!(parse_recv_timeout(Some(" 30 ")), Duration::from_secs(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "APC_RECV_TIMEOUT must be a number")]
+    fn recv_timeout_rejects_garbage() {
+        let _ = parse_recv_timeout(Some("five minutes"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive number")]
+    fn recv_timeout_rejects_nonpositive() {
+        let _ = parse_recv_timeout(Some("0"));
     }
 }

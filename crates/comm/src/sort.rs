@@ -208,6 +208,22 @@ mod tests {
     }
 
     #[test]
+    fn both_sorts_are_stable_across_session_runs() {
+        // Sweeps re-run the global sort many times over one session; the
+        // internal SAMPLE_SORT p2p tags must not leak between runs.
+        let mut session = Runtime::new(4, NetModel::blue_waters()).session();
+        let gsb = session.run(|rank| {
+            gather_sort_broadcast(rank, scored_pairs(rank.rank(), 40), cmp_pairs)
+        });
+        for _ in 0..2 {
+            let ss = session
+                .run(|rank| sample_sort(rank, scored_pairs(rank.rank(), 40), cmp_pairs));
+            assert_eq!(gsb[0], ss[0], "session reuse must not perturb the sort");
+            assert_sorted(&ss[2]);
+        }
+    }
+
+    #[test]
     fn sorting_charges_time() {
         let clocks = Runtime::new(2, NetModel::blue_waters()).run(|rank| {
             let t0 = rank.clock();

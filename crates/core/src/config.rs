@@ -51,7 +51,10 @@ pub struct PipelineConfig {
     /// Optional shared isosurface-stats cache. Virtual time is unaffected
     /// (the cost model charges the same counted work either way); this only
     /// cuts the *wall-clock* cost of parameter sweeps that re-render
-    /// identical full blocks. Use one cache per dataset seed.
+    /// identical full blocks. Entries are keyed by isovalue and block
+    /// content fingerprint on top of `(iteration, block id)`, so one cache
+    /// may safely serve configurations that vary the isovalue or even the
+    /// dataset — mismatches miss cleanly (see [`crate::StatsCache`]).
     pub stats_cache: Option<std::sync::Arc<crate::pipeline::StatsCache>>,
     /// Intra-rank execution policy for the per-block hot kernels (scoring
     /// and isosurface extraction). Like `stats_cache`, this changes
@@ -91,6 +94,15 @@ impl PipelineConfig {
 
     pub fn with_redistribution(mut self, r: Redistribution) -> Self {
         self.redistribution = r;
+        self
+    }
+
+    /// Select the rendered isovalue (the paper's scenario fixes 45 dBZ;
+    /// sweeps may vary it — the [`crate::StatsCache`] keys on it, so mixed
+    /// isovalues through one cache stay correct).
+    pub fn with_isovalue(mut self, isovalue: f32) -> Self {
+        assert!(isovalue.is_finite(), "isovalue must be finite");
+        self.isovalue = isovalue;
         self
     }
 

@@ -1,9 +1,22 @@
 //! Experiment driver: replay a dataset through the pipeline on the virtual
 //! runtime — the equivalent of the paper's BIL-reload + Catalyst kernel
 //! (§V-A).
+//!
+//! Two execution shapes:
+//!
+//! * **one-shot** ([`run_experiment`] family) — spawn the rank threads,
+//!   run one configuration, join;
+//! * **sweep** ([`run_sweep_prepared`] / [`run_sweep_in_session`]) — spawn
+//!   the rank threads once ([`apc_comm::Session`]) and replay *many*
+//!   configurations over them, which is how the paper's Figs 6–11 explore
+//!   the parameter space over one stored dataset. Virtual time is counted,
+//!   not measured, so the two shapes produce byte-identical
+//!   [`IterationReport`]s (guarded by the `sweep_engine` integration
+//!   tests); the sweep only removes the per-configuration thread-spawn
+//!   wall-clock cost.
 
 use apc_cm1::ReflectivityDataset;
-use apc_comm::{NetModel, Runtime};
+use apc_comm::{NetModel, Runtime, Session};
 
 use crate::config::PipelineConfig;
 use crate::pipeline::Pipeline;
@@ -50,7 +63,7 @@ pub fn run_experiment_on(
 pub fn run_experiment_prepared<F>(
     decomp: &apc_grid::DomainDecomp,
     coords: &apc_grid::RectilinearCoords,
-    mut config: PipelineConfig,
+    config: PipelineConfig,
     iterations: &[usize],
     net: NetModel,
     blocks: F,
@@ -58,19 +71,68 @@ pub fn run_experiment_prepared<F>(
 where
     F: Fn(usize, usize) -> Vec<apc_grid::Block> + Sync,
 {
-    config.exec = config.exec.clamp_for_ranks(decomp.nranks());
-    let runtime = Runtime::new(decomp.nranks(), net);
-    let mut all: Vec<Vec<IterationReport>> = runtime.run(|rank| {
-        let mut pipeline = Pipeline::new(config.clone(), *decomp, coords.clone());
-        iterations
-            .iter()
-            .map(|&it| {
-                let input = blocks(it, rank.rank());
-                pipeline.run_iteration(rank, input, it).0
-            })
-            .collect()
-    });
-    all.swap_remove(0)
+    run_sweep_prepared(decomp, coords, std::slice::from_ref(&config), iterations, net, blocks)
+        .swap_remove(0)
+}
+
+/// The sweep engine: replay every configuration in `configs` over the same
+/// prepared input through **one** rank session — the rank threads are
+/// spawned once, not once per configuration. Returns one report series per
+/// configuration, in order. Byte-identical to running each configuration
+/// through [`run_experiment_prepared`] separately.
+pub fn run_sweep_prepared<F>(
+    decomp: &apc_grid::DomainDecomp,
+    coords: &apc_grid::RectilinearCoords,
+    configs: &[PipelineConfig],
+    iterations: &[usize],
+    net: NetModel,
+    blocks: F,
+) -> Vec<Vec<IterationReport>>
+where
+    F: Fn(usize, usize) -> Vec<apc_grid::Block> + Sync,
+{
+    let mut session = Runtime::new(decomp.nranks(), net).session();
+    run_sweep_in_session(&mut session, decomp, coords, configs, iterations, &blocks)
+}
+
+/// [`run_sweep_prepared`] over a caller-owned [`Session`], so several
+/// sweeps (e.g. consecutive figures of the paper) can share one persistent
+/// rank pool. The session's rank count must match the decomposition; its
+/// network model is whatever the session was created with.
+pub fn run_sweep_in_session<F>(
+    session: &mut Session,
+    decomp: &apc_grid::DomainDecomp,
+    coords: &apc_grid::RectilinearCoords,
+    configs: &[PipelineConfig],
+    iterations: &[usize],
+    blocks: &F,
+) -> Vec<Vec<IterationReport>>
+where
+    F: Fn(usize, usize) -> Vec<apc_grid::Block> + Sync,
+{
+    assert_eq!(
+        session.nranks(),
+        decomp.nranks(),
+        "session rank count must match the decomposition"
+    );
+    configs
+        .iter()
+        .map(|cfg| {
+            let mut config = cfg.clone();
+            config.exec = config.exec.clamp_for_ranks(decomp.nranks());
+            let mut all: Vec<Vec<IterationReport>> = session.run(|rank| {
+                let mut pipeline = Pipeline::new(config.clone(), *decomp, coords.clone());
+                iterations
+                    .iter()
+                    .map(|&it| {
+                        let input = blocks(it, rank.rank());
+                        pipeline.run_iteration(rank, input, it).0
+                    })
+                    .collect()
+            });
+            all.swap_remove(0)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -87,6 +149,31 @@ mod tests {
         for (r, &it) in reports.iter().zip(&iters) {
             assert_eq!(r.iteration, it);
             assert!(r.t_total > 0.0);
+        }
+    }
+
+    #[test]
+    fn sweep_matches_one_shot_per_config() {
+        // The sweep engine's core invariant: one session replaying many
+        // configs produces exactly what spawn-per-run produces per config.
+        let dataset = ReflectivityDataset::tiny(4, 11).unwrap();
+        let iters = dataset.sample_iterations(2);
+        let configs: Vec<PipelineConfig> = [0.0, 50.0, 100.0]
+            .iter()
+            .map(|&p| PipelineConfig::default().deterministic().with_fixed_percent(p))
+            .collect();
+        let swept = run_sweep_prepared(
+            dataset.decomp(),
+            dataset.coords(),
+            &configs,
+            &iters,
+            NetModel::blue_waters(),
+            |it, rank| dataset.rank_blocks(it, rank),
+        );
+        assert_eq!(swept.len(), configs.len());
+        for (cfg, series) in configs.iter().zip(&swept) {
+            let one_shot = run_experiment(&dataset, cfg.clone(), &iters);
+            assert_eq!(series, &one_shot, "sweep diverged for {cfg:?}");
         }
     }
 

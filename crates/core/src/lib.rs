@@ -18,7 +18,13 @@
 //! The crate exposes each step for unit testing and ablation, a
 //! [`Pipeline`] that chains them inside a rank, and an experiment
 //! [`driver`] that replays a [`apc_cm1::ReflectivityDataset`] through a
-//! virtual-time [`apc_comm::Runtime`].
+//! virtual-time [`apc_comm::Runtime`]. For parameter sweeps the driver
+//! also offers a **sweep engine** ([`run_sweep_prepared`]): many
+//! [`PipelineConfig`]s replayed over one persistent rank session
+//! ([`apc_comm::Session`]), byte-identical to running each configuration
+//! one-shot, minus the per-configuration thread-spawn cost. The
+//! [`StatsCache`] wall-clock accelerator is keyed by isovalue and block
+//! content fingerprint so sweeps that vary either stay correct.
 //!
 //! The per-block hot loops (steps 1 and 5) run under an intra-rank
 //! [`ExecPolicy`] from `apc-par`, re-exported here: `Serial` reproduces
@@ -41,7 +47,10 @@ pub mod selection;
 pub use apc_par::{ExecPolicy, RecommendedConcurrency};
 pub use config::{PipelineConfig, Redistribution, SortStrategy};
 pub use controller::{adapt_percent, BudgetController};
-pub use driver::{run_experiment, run_experiment_on, run_experiment_prepared};
+pub use driver::{
+    run_experiment, run_experiment_on, run_experiment_prepared, run_sweep_in_session,
+    run_sweep_prepared,
+};
 pub use pipeline::{Pipeline, StatsCache};
 pub use report::IterationReport;
 pub use selection::{reduction_set, ScoredBlock};

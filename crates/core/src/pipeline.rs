@@ -16,15 +16,57 @@ use crate::selection::{reduction_set, score_order, ScoredBlock};
 /// step is measured like every other).
 const REDUCE_COST_PER_BLOCK: f64 = 2.0e-6;
 
+/// Cache key for one block's isosurface stats. `IsoStats` is a pure
+/// function of `(block content, isovalue)`, so the key carries both: the
+/// isovalue bit pattern and a cheap content fingerprint of the block, on
+/// top of the `(iteration, block id)` coordinates that make lookups
+/// collision-free within one dataset. A sweep that varies the isovalue —
+/// or a cache accidentally shared between two datasets — therefore gets a
+/// clean miss instead of silently stale stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct StatsKey {
+    iteration: usize,
+    block: apc_grid::BlockId,
+    isovalue_bits: u32,
+    content_fp: u64,
+}
+
+/// O(1) content fingerprint of a block: its id, extent, sample count and a
+/// handful of evenly spaced sample bit patterns, mixed SplitMix64-style.
+/// Two blocks from different datasets (different storm seed, different
+/// iteration timeline) disagree on essentially every sample, so any probe
+/// catches the mismatch; the cost is eight array reads — nothing next to
+/// the isosurface extraction the cache elides.
+fn block_fingerprint(samples: &[f32], b: &Block) -> u64 {
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 31;
+    };
+    mix(b.id as u64);
+    mix(b.extent.lo.0 as u64 ^ ((b.extent.lo.1 as u64) << 21) ^ ((b.extent.lo.2 as u64) << 42));
+    mix(samples.len() as u64);
+    let probes = 8.min(samples.len());
+    for p in 0..probes {
+        let idx = p * (samples.len() - 1) / probes.max(1);
+        mix(u64::from(samples[idx].to_bits()) << 1 | 1);
+    }
+    h
+}
+
 /// Wall-clock accelerator for parameter sweeps: memoizes the isosurface
-/// work counters of *full* blocks per `(iteration, block id)`. Block data
-/// is a pure function of `(dataset seed, iteration, id)`, so reuse across
-/// pipeline configurations is sound as long as one cache serves one
-/// dataset and one isovalue. Virtual time is identical with or without the
-/// cache.
+/// work counters of *full* blocks. Block data is a pure function of
+/// `(dataset seed, iteration, id)`, so reuse across pipeline
+/// configurations is sound — and the cache enforces soundness itself:
+/// entries are keyed by `(iteration, block id, isovalue bits, block
+/// content fingerprint)`, so configurations that vary the isovalue or feed
+/// a different dataset through the same cache miss cleanly instead of
+/// returning stale stats (the pre-sweep-engine bug). Virtual time is
+/// identical with or without the cache; only wall-clock time changes.
 #[derive(Debug, Default)]
 pub struct StatsCache {
-    map: std::sync::Mutex<std::collections::HashMap<(usize, apc_grid::BlockId), IsoStats>>,
+    map: std::sync::Mutex<std::collections::HashMap<StatsKey, IsoStats>>,
 }
 
 impl StatsCache {
@@ -32,11 +74,11 @@ impl StatsCache {
         Self::default()
     }
 
-    fn get(&self, key: (usize, apc_grid::BlockId)) -> Option<IsoStats> {
+    fn get(&self, key: StatsKey) -> Option<IsoStats> {
         self.map.lock().unwrap().get(&key).copied()
     }
 
-    fn put(&self, key: (usize, apc_grid::BlockId), stats: IsoStats) {
+    fn put(&self, key: StatsKey, stats: IsoStats) {
         self.map.lock().unwrap().insert(key, stats);
     }
 
@@ -182,7 +224,12 @@ impl Pipeline {
             &held,
             |b| match (&config.stats_cache, b.is_reduced()) {
                 (Some(cache), false) => {
-                    let key = (iteration, b.id);
+                    let key = StatsKey {
+                        iteration,
+                        block: b.id,
+                        isovalue_bits: config.isovalue.to_bits(),
+                        content_fp: block_fingerprint(&b.samples(), b),
+                    };
                     cache.get(key).unwrap_or_else(|| {
                         let (_mesh, s) = block_isosurface(b, coords, config.isovalue);
                         cache.put(key, s);
@@ -412,6 +459,35 @@ mod tests {
             assert!(r.percent_reduced <= 60.0, "iteration {} at {}%", r.iteration, r.percent_reduced);
         }
         assert!(reports.last().unwrap().percent_reduced > 50.0);
+    }
+
+    #[test]
+    fn stats_cache_keys_on_isovalue() {
+        // Regression: one shared cache used to be keyed by
+        // `(iteration, block)` only, so the second isovalue silently got
+        // the first isovalue's stats. The key now carries the isovalue.
+        let cache = std::sync::Arc::new(StatsCache::new());
+        let cached = |iso: f32| {
+            let mut c = PipelineConfig::default().deterministic().with_isovalue(iso);
+            c.stats_cache = Some(std::sync::Arc::clone(&cache));
+            run_tiny(c, &[300])
+        };
+        let hot = cached(45.0); // warms the cache at the paper's 45 dBZ
+        let cool = cached(20.0); // same cache, lower isovalue
+        assert!(
+            cool[0].triangles_total > hot[0].triangles_total,
+            "a lower isovalue exposes more geometry ({} vs {}); equality means \
+             the cache served stale stats",
+            cool[0].triangles_total,
+            hot[0].triangles_total
+        );
+        // Both cached runs match their uncached references exactly, and a
+        // warm re-run (pure cache hits) is still exact.
+        let reference =
+            run_tiny(PipelineConfig::default().deterministic().with_isovalue(20.0), &[300]);
+        assert_eq!(cool, reference);
+        assert_eq!(cached(45.0), hot);
+        assert_eq!(cache.len(), 256, "128 blocks × 2 isovalues");
     }
 
     #[test]

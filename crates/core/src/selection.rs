@@ -21,11 +21,18 @@ impl Meter for ScoredBlock {
 }
 
 /// The paper's total order: increasing score, ties broken by id.
+///
+/// Uses [`f64::total_cmp`], so it is a total order even if a metric emits
+/// a NaN on degenerate input (constant blocks, empty ranges): instead of
+/// panicking mid-sort inside a collective — which would take down the
+/// whole run — NaNs sort deterministically by their IEEE bit pattern
+/// (positive NaN above all finite scores, negative NaN below; every rank
+/// agrees, which is what the replicated selection needs). All registered
+/// metrics return finite scores on constant blocks — guarded by
+/// `apc_metrics`' `every_metric_is_finite_on_constant_blocks` test — so
+/// this is defense in depth for user-supplied scorers.
 pub fn score_order(a: &ScoredBlock, b: &ScoredBlock) -> Ordering {
-    a.score
-        .partial_cmp(&b.score)
-        .expect("scores must not be NaN")
-        .then(a.id.cmp(&b.id))
+    a.score.total_cmp(&b.score).then(a.id.cmp(&b.id))
 }
 
 /// Number of blocks reduced at percentage `p` of `n` blocks.
@@ -87,6 +94,24 @@ mod tests {
         let sorted = sorted_fixture();
         assert!(reduction_set(&sorted, 0.0).is_empty());
         assert_eq!(reduction_set(&sorted, 100.0).len(), 10);
+    }
+
+    #[test]
+    fn nan_scores_sort_deterministically_instead_of_panicking() {
+        // A NaN mid-list used to panic inside the global sort collective;
+        // total_cmp gives the IEEE total order: negative NaN below every
+        // finite score, positive NaN above, ties by id.
+        let mut v = [
+            ScoredBlock { id: 1, score: f64::NAN },
+            ScoredBlock { id: 3, score: 2.0 },
+            ScoredBlock { id: 0, score: f64::NAN },
+            ScoredBlock { id: 4, score: -f64::NAN },
+            ScoredBlock { id: 2, score: -1.0 },
+        ];
+        v.sort_by(score_order);
+        assert_eq!(v.iter().map(|s| s.id).collect::<Vec<_>>(), vec![4, 2, 3, 0, 1]);
+        // Selection still works on the NaN-bracketed list.
+        assert_eq!(reduction_set(&v, 40.0).len(), 2);
     }
 
     #[test]

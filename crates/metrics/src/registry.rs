@@ -127,6 +127,28 @@ mod tests {
     }
 
     #[test]
+    fn every_metric_is_finite_on_constant_blocks() {
+        // Degenerate input (an all-constant block — clear air, or a
+        // reduced block expanded back) must never score NaN/inf: a single
+        // NaN used to panic the global sort mid-collective and take down
+        // the whole run. Exercise every registered metric on constant
+        // blocks of several values, including ±0.0 and a negative.
+        use apc_grid::Dims3;
+        let dims = Dims3::new(11, 11, 19);
+        for value in [0.0f32, -0.0, 45.0, -30.0] {
+            let data = vec![value; dims.len()];
+            for name in METRIC_NAMES {
+                let scorer = by_name(name).unwrap();
+                let score = scorer.score(&data, dims);
+                assert!(
+                    score.is_finite(),
+                    "{name} on constant {value} block scored {score}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn cheap_metrics_are_cheaper_than_heavy_ones() {
         // The paper's conclusion from Table I: prefer LEA/VAR over TRILIN.
         let var = by_name("VAR").unwrap().cost_per_point();

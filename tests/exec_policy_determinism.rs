@@ -85,6 +85,56 @@ fn full_pipeline_with_jitter_and_redistribution_agrees() {
     assert_policies_agree(config, &dataset, &iters);
 }
 
+/// Session-reuse determinism: the same config run twice over one
+/// persistent rank session, and once through the one-shot `Runtime::run`,
+/// must produce identical `IterationReport`s — the session's epoch
+/// isolation and per-run clock reset make reuse observationally invisible.
+#[test]
+fn session_reuse_matches_one_shot_run() {
+    let dataset = ReflectivityDataset::tiny(4, 42).unwrap();
+    let iters = dataset.sample_iterations(2);
+    let config = PipelineConfig::default()
+        .with_redistribution(Redistribution::RoundRobin)
+        .with_target(3.0)
+        .with_exec(ExecPolicy::Threads(2));
+    let nranks = dataset.decomp().nranks();
+    let runtime = Runtime::new(nranks, NetModel::blue_waters());
+
+    let job = |rank: &mut insitu::comm::Rank| -> Vec<IterationReport> {
+        let mut p = Pipeline::new(config.clone(), *dataset.decomp(), dataset.coords().clone());
+        iters
+            .iter()
+            .map(|&it| p.run_iteration(rank, dataset.rank_blocks(it, rank.rank()), it).0)
+            .collect()
+    };
+
+    let one_shot = runtime.run(job);
+    let mut session = runtime.session();
+    let first = session.run(job);
+    let second = session.run(job);
+
+    for (label, run) in [("first session run", &first), ("second session run", &second)] {
+        assert_eq!(run, &one_shot, "{label} diverged from the one-shot run");
+        for (s, t) in run[0].iter().zip(&one_shot[0]) {
+            for (a, b) in [
+                (s.t_score, t.t_score),
+                (s.t_sort, t.t_sort),
+                (s.t_reduce, t.t_reduce),
+                (s.t_redistribute, t.t_redistribute),
+                (s.t_render, t.t_render),
+                (s.t_total, t.t_total),
+            ] {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{label}: virtual time drifted at iteration {}",
+                    s.iteration
+                );
+            }
+        }
+    }
+}
+
 /// Oversubscription stress: more workers than blocks or cores must not
 /// change results either.
 #[test]
