@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification entry point — what CI runs and what a PR must keep
+# green. Mirrors the "Developing" recipe in README.md.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (umbrella integration tests)"
+cargo test -q
+
+echo "==> cargo test --workspace -q (every crate's suite)"
+cargo test --workspace -q
+
+echo "==> rustdoc lint (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> compile-check examples and benches"
+cargo build --examples --benches --quiet
+
+echo "ci.sh: all green"

@@ -16,19 +16,25 @@
 //!    join) per configuration, and (b) through one persistent
 //!    `Runtime::session`. Reports the wall-clock comparison and checks the
 //!    reports are byte-identical.
-//! 3. **Serial micro-timings** — metrics, codecs, marching tetrahedra,
+//! 3. **Store read vs in-memory generation** — one rank's per-iteration
+//!    block input produced by (a) the synthetic simulation and (b) an
+//!    `apc-store` chunked dataset under each codec (memory- and
+//!    disk-backed), with stored sizes and a bit-exactness check for the
+//!    lossless codecs.
+//! 4. **Serial micro-timings** — metrics, codecs, marching tetrahedra,
 //!    storm generation and the distributed sort, as throughput numbers.
 
 use std::time::Instant;
 
 use apc_bench::harness::print_table;
-use apc_cm1::{ReflectivityDataset, StormModel, DBZ_ISOVALUE};
+use apc_cm1::{open_dataset, write_dataset, write_dataset_to, ReflectivityDataset, StormModel, DBZ_ISOVALUE};
 use apc_comm::{sort, NetModel, Runtime};
 use apc_compress::{probe_ratios, FloatCodec, Fpz, Lz77, Zfpx};
 use apc_core::{ExecPolicy, IterationReport, Pipeline, PipelineConfig};
 use apc_grid::{Block, Dims3, RectilinearCoords};
 use apc_metrics::{score_blocks, standard_six};
 use apc_render::{batch_isosurface_stats, marching_tetrahedra};
+use apc_store::{CodecKind, MemStore};
 
 /// Median wall-clock seconds of `runs` invocations of `f`.
 fn time_median<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
@@ -261,6 +267,65 @@ fn bench_session_vs_respawn() {
     println!("session sweep reports identical to spawn-per-run ✓");
 }
 
+/// Store read vs in-memory generation: the per-iteration block input of
+/// one rank, produced three ways — regenerated from the storm model,
+/// decoded from a memory-backed chunked store (per codec), and decoded
+/// from a disk-backed store. Lossless codecs must reproduce the generated
+/// blocks bit-exactly; sizes show what each codec buys.
+fn bench_store_read() {
+    let dataset = ReflectivityDataset::tiny(4, 42).expect("tiny dataset");
+    let it = dataset.sample_iterations(3)[1];
+    let raw_bytes =
+        dataset.decomp().subdomain_dims().len() * dataset.decomp().nranks() * 4;
+    let runs = 5;
+    let generated = dataset.rank_blocks(it, 0);
+
+    let mut rows = Vec::new();
+    let t_gen = time_median(runs, || dataset.rank_blocks(it, 0));
+    rows.push(vec![
+        "generate (in-memory)".into(),
+        format!("{:.3}", t_gen * 1e3),
+        format!("{:.2}", raw_bytes as f64 / 1e6),
+        "1.000".into(),
+    ]);
+
+    for codec in [CodecKind::Raw, CodecKind::Fpz, CodecKind::Lz] {
+        let store = write_dataset_to(&dataset, &[it], MemStore::new(), codec)
+            .expect("write mem store");
+        let from_store = store.read_rank_blocks(it, 0).expect("read rank blocks");
+        assert_eq!(from_store, generated, "{} store read must be bit-exact", codec.name());
+        let stored = store.backend().nbytes();
+        let t = time_median(runs, || store.read_rank_blocks(it, 0).expect("read"));
+        rows.push(vec![
+            format!("mem store / {}", codec.name()),
+            format!("{:.3}", t * 1e3),
+            format!("{:.2}", stored as f64 / 1e6),
+            format!("{:.3}", stored as f64 / raw_bytes as f64),
+        ]);
+    }
+
+    let dir = std::env::temp_dir().join("apc_kernels_bench_store");
+    let _ = std::fs::remove_dir_all(&dir);
+    write_dataset(&dataset, &[it], &dir, CodecKind::Fpz).expect("write dir store");
+    let stored = open_dataset(&dir).expect("reopen dir store");
+    assert_eq!(stored.rank_blocks(it, 0).expect("read"), generated);
+    let t_disk = time_median(runs, || stored.rank_blocks(it, 0).expect("read"));
+    rows.push(vec![
+        "dir store / fpz".into(),
+        format!("{:.3}", t_disk * 1e3),
+        String::from("-"),
+        String::from("-"),
+    ]);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    print_table(
+        "block input: store read vs in-memory generation (one rank, one iteration)",
+        &["source", "ms/rank", "stored MB (all ranks)", "ratio"],
+        &rows,
+    );
+    println!("store reads bit-exact vs generation for every lossless codec ✓");
+}
+
 fn bench_metrics() {
     let (data, dims) = storm_block();
     let mut rows = Vec::new();
@@ -359,6 +424,7 @@ fn main() {
     bench_exec_policies();
     check_policy_determinism();
     bench_session_vs_respawn();
+    bench_store_read();
     bench_metrics();
     bench_codecs();
     bench_isosurface_and_storm();

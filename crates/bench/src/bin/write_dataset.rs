@@ -1,0 +1,119 @@
+//! Persist a synthetic reflectivity time series as an `apc-store` chunked
+//! dataset directory — the "generate once, replay forever" half of the
+//! paper's §V-A workflow. Point `APC_DATASET` at the resulting directory
+//! and every figure binary replays it instead of regenerating the
+//! simulation in memory:
+//!
+//! ```text
+//! cargo run --release -p apc-bench --bin write_dataset -- target/dataset
+//! APC_DATASET=target/dataset cargo run --release -p apc-bench --bin fig07_percent_sweep
+//! ```
+//!
+//! Knobs (environment):
+//!
+//! * `APC_GEOM`  — `paper` (default, 440×440×76), `tiny` (80×80×16 test
+//!   geometry) or `full` (2200×2200×380 — bench-cluster territory);
+//! * `APC_RANKS` — rank count of the decomposition (default 64);
+//! * `APC_SEED`  — storm seed (default 42);
+//! * `APC_STORE_ITERS` — how many equally-spaced iterations to store
+//!   (default 12, matching the quick-scale adaptation runs);
+//! * `APC_CODEC` — `fpz` (default), `raw`, `lz`, or `zfpx[:tolerance]`
+//!   (lossy; replay is then only approximately the in-memory result).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use apc_cm1::{write_dataset, ReflectivityDataset};
+use apc_store::CodecKind;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be an integer, got {s:?}")),
+    }
+}
+
+fn env_codec() -> CodecKind {
+    let Ok(raw) = std::env::var("APC_CODEC") else { return CodecKind::Fpz };
+    let s = raw.trim();
+    if let Some(tol) = s.strip_prefix("zfpx") {
+        let tolerance = match tol.strip_prefix(':') {
+            None if tol.is_empty() => 1e-2,
+            Some(t) => t
+                .parse()
+                .unwrap_or_else(|_| panic!("APC_CODEC zfpx tolerance must be a float: {raw:?}")),
+            _ => panic!("APC_CODEC must be raw|fpz|lz|zfpx[:tol], got {raw:?}"),
+        };
+        return CodecKind::Zfpx { tolerance };
+    }
+    CodecKind::from_name(s, None)
+        .unwrap_or_else(|_| panic!("APC_CODEC must be raw|fpz|lz|zfpx[:tol], got {raw:?}"))
+}
+
+fn dir_size(dir: &std::path::Path) -> u64 {
+    let mut total = 0;
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).expect("read store dir") {
+            let entry = entry.expect("dir entry");
+            let meta = entry.metadata().expect("entry metadata");
+            if meta.is_dir() {
+                stack.push(entry.path());
+            } else {
+                total += meta.len();
+            }
+        }
+    }
+    total
+}
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/experiments/dataset"));
+    let nranks = env_usize("APC_RANKS", 64);
+    let seed = env_usize("APC_SEED", 42) as u64;
+    let n_iters = env_usize("APC_STORE_ITERS", 12);
+    let codec = env_codec();
+
+    let geom = std::env::var("APC_GEOM").unwrap_or_else(|_| "paper".into());
+    let dataset = match geom.as_str() {
+        "paper" => ReflectivityDataset::paper_scaled(nranks, seed),
+        "tiny" => ReflectivityDataset::tiny(nranks, seed),
+        "full" => ReflectivityDataset::paper_full(nranks, seed),
+        other => panic!("APC_GEOM must be paper|tiny|full, got {other:?}"),
+    }
+    .expect("decomposition");
+    let iterations = dataset.sample_iterations(n_iters);
+
+    let d = dataset.decomp();
+    let raw_bytes = d.domain().len() as u64 * 4 * iterations.len() as u64;
+    println!(
+        "writing {} iterations of {} ({} ranks, {} blocks of {}) with codec {} -> {}",
+        iterations.len(),
+        d.domain(),
+        d.nranks(),
+        d.n_blocks(),
+        d.block_dims(),
+        codec.name(),
+        dir.display(),
+    );
+
+    let t0 = Instant::now();
+    write_dataset(&dataset, &iterations, &dir, codec).expect("write dataset");
+    let secs = t0.elapsed().as_secs_f64();
+
+    let stored_bytes = dir_size(&dir);
+    println!(
+        "done in {:.1} s: {:.1} MB stored ({:.1} MB raw, ratio {:.3})",
+        secs,
+        stored_bytes as f64 / 1e6,
+        raw_bytes as f64 / 1e6,
+        stored_bytes as f64 / raw_bytes as f64,
+    );
+    println!("replay with: APC_DATASET={} cargo run --release -p apc-bench --bin <figure>", dir.display());
+}

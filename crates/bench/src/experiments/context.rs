@@ -1,5 +1,7 @@
 //! Shared experiment context: one prepared dataset per rank count.
 
+use apc_comm::NetModel;
+
 use crate::harness::{Prepared, Scale};
 
 /// Prepared inputs for every rank count in the scale. Building this once
@@ -9,12 +11,28 @@ use crate::harness::{Prepared, Scale};
 /// rank session, so every figure's configuration sweep reuses one set of
 /// rank threads (64 and 400 of them here) for the whole suite instead of
 /// re-spawning them per configuration.
+///
+/// With `APC_DATASET` bound (see [`Scale::from_env`]) nothing is
+/// generated at all: the single prepared input replays the stored
+/// `apc-store` dataset, each rank lazily reading its own chunks.
 pub struct Ctx {
     pub prepared: Vec<Prepared>,
 }
 
 impl Ctx {
     pub fn new(scale: &Scale) -> Self {
+        if let Some(dir) = &scale.dataset {
+            // Re-opening is a cheap metadata read; `Scale::from_env`
+            // already validated the store and announced the replay.
+            let stored = apc_cm1::open_dataset(dir)
+                .unwrap_or_else(|e| panic!("APC_DATASET={}: {e}", dir.display()));
+            let prepared = Prepared::from_store(
+                stored,
+                scale.exec,
+                NetModel::blue_waters().for_paper_scale(),
+            );
+            return Self { prepared: vec![prepared] };
+        }
         let prepared = scale
             .rank_counts
             .iter()

@@ -1,22 +1,20 @@
 //! Shared experiment-harness utilities.
 //!
-//! The centerpiece is [`Prepared`]: pre-generated pipeline input plus a
-//! persistent rank [`Session`], so a figure's parameter sweep replays many
-//! configurations over **one** set of rank threads and one shared
-//! isosurface-stats cache instead of re-spawning everything per
-//! configuration ([`Prepared::run_sweep`]).
+//! The centerpiece is [`Prepared`] (now hosted by `apc-core`, re-exported
+//! here): pipeline input plus a persistent rank session, so a figure's
+//! parameter sweep replays many configurations over **one** set of rank
+//! threads and one shared isosurface-stats cache instead of re-spawning
+//! everything per configuration ([`Prepared::run_sweep`]). The input can
+//! be pre-generated in memory or — with `APC_DATASET=<dir>` pointing at
+//! an `apc-store` dataset written by `apc_cm1::write_dataset` — read
+//! lazily from disk through [`Prepared::from_store`].
 
-use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
 
-use apc_cm1::ReflectivityDataset;
-use apc_comm::{NetModel, Runtime, Session};
-use apc_core::{
-    run_experiment_prepared, run_sweep_in_session, ExecPolicy, IterationReport, PipelineConfig,
-    StatsCache,
-};
-use apc_grid::Block;
+use apc_cm1::StoredTimeSeries;
+use apc_core::ExecPolicy;
+
+pub use apc_core::{spaced_subset, Prepared};
 
 /// Experiment scale. `quick` (default) shrinks iteration counts and sweep
 /// resolution so the whole figure suite completes in minutes on one core;
@@ -24,7 +22,9 @@ use apc_grid::Block;
 /// for component experiments, 30 for adaptation, 5%-step sweeps).
 #[derive(Debug, Clone)]
 pub struct Scale {
-    /// Rank counts to evaluate (the paper: 64 and 400).
+    /// Rank counts to evaluate (the paper: 64 and 400). When a stored
+    /// dataset is bound via `APC_DATASET`, this collapses to the stored
+    /// decomposition's rank count.
     pub rank_counts: Vec<usize>,
     /// Iterations for component experiments (paper: 10).
     pub component_iters: usize,
@@ -38,6 +38,10 @@ pub struct Scale {
     /// [`exec_from_env`]). Changes wall-clock time only; virtual-time
     /// figures are byte-identical under every policy.
     pub exec: ExecPolicy,
+    /// `APC_DATASET`: directory of a stored `apc-store` dataset to replay
+    /// instead of regenerating the synthetic simulation in memory. Written
+    /// with `cargo run -p apc-bench --bin write_dataset`.
+    pub dataset: Option<PathBuf>,
 }
 
 impl Scale {
@@ -49,6 +53,7 @@ impl Scale {
             sweep: vec![0.0, 20.0, 40.0, 60.0, 70.0, 80.0, 90.0, 95.0, 100.0],
             seed: 42,
             exec: ExecPolicy::Serial,
+            dataset: None,
         }
     }
 
@@ -56,16 +61,41 @@ impl Scale {
         Self { sweep: (0..=20).map(|i| i as f64 * 5.0).collect(), component_iters: 10, adapt_iters: 30, ..Self::quick() }
     }
 
-    /// Reads `APC_SCALE` (`full` or anything else ⇒ quick) and
-    /// `APC_THREADS` (see [`exec_from_env`]).
+    /// Reads `APC_SCALE` (`full` or anything else ⇒ quick), `APC_THREADS`
+    /// (see [`exec_from_env`]) and `APC_DATASET` (see [`dataset_from_env`];
+    /// binding a stored dataset pins `rank_counts` and `seed` to the
+    /// store's metadata so every figure replays the stored decomposition).
     pub fn from_env() -> Self {
         let mut scale = match std::env::var("APC_SCALE").as_deref() {
             Ok("full") => Self::full(),
             _ => Self::quick(),
         };
         scale.exec = exec_from_env();
+        if let Some((dir, stored)) = dataset_from_env() {
+            eprintln!(
+                "[prep] APC_DATASET: replaying {} ({} ranks, {} stored iterations, codec {})",
+                dir.display(),
+                stored.decomp().nranks(),
+                stored.iterations().len(),
+                stored.codec().name(),
+            );
+            scale.rank_counts = vec![stored.decomp().nranks()];
+            scale.seed = stored.seed();
+            scale.dataset = Some(dir);
+        }
         scale
     }
+}
+
+/// Reads `APC_DATASET`: unset ⇒ `None`; otherwise the directory must hold
+/// a readable `apc-store` dataset (a typo'd path or corrupt store panics —
+/// silently regenerating in memory would invalidate a replay measurement
+/// without anyone noticing).
+pub fn dataset_from_env() -> Option<(PathBuf, StoredTimeSeries)> {
+    let dir = PathBuf::from(std::env::var_os("APC_DATASET")?);
+    let stored = apc_cm1::open_dataset(&dir)
+        .unwrap_or_else(|e| panic!("APC_DATASET={}: {e}", dir.display()));
+    Some((dir, stored))
 }
 
 /// Reads `APC_THREADS`: unset, `0`, or `1` ⇒ serial (the seed behavior);
@@ -138,162 +168,6 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// Pre-generated pipeline input for one `(rank count, iteration set)`:
-/// blocks for every `(iteration, rank)`, a shared isosurface-stats cache,
-/// and a persistent rank [`Session`] so every configuration replayed
-/// through this input reuses the same rank threads. Generating once and
-/// replaying across configurations is exactly what the paper does by
-/// reloading its stored dataset with BIL (§V-A).
-pub struct Prepared {
-    pub dataset: ReflectivityDataset,
-    pub iterations: Vec<usize>,
-    /// Execution policy injected into every config run through this input
-    /// (figure experiments never set one themselves).
-    pub exec: ExecPolicy,
-    /// Network model the session was built with; [`Prepared::run_on`] with
-    /// a different model falls back to a one-shot runtime.
-    net: NetModel,
-    cache: Arc<StatsCache>,
-    blocks: HashMap<(usize, usize), Vec<Block>>,
-    session: Mutex<Session>,
-}
-
-impl Prepared {
-    pub fn new(nranks: usize, seed: u64, iterations: Vec<usize>) -> Self {
-        Self::with_exec(nranks, seed, iterations, ExecPolicy::Serial)
-    }
-
-    /// [`Prepared::new`] with an intra-rank execution policy applied to
-    /// every run (the harness passes `Scale::exec` / `APC_THREADS` here).
-    pub fn with_exec(nranks: usize, seed: u64, iterations: Vec<usize>, exec: ExecPolicy) -> Self {
-        let dataset = ReflectivityDataset::paper_scaled(nranks, seed)
-            .expect("paper-scaled decomposition");
-        Self::from_dataset(dataset, iterations, exec, NetModel::blue_waters().for_paper_scale())
-    }
-
-    /// Prepare an arbitrary dataset (integration tests use the `tiny`
-    /// geometry) with an explicit network model for the session.
-    pub fn from_dataset(
-        dataset: ReflectivityDataset,
-        mut iterations: Vec<usize>,
-        exec: ExecPolicy,
-        net: NetModel,
-    ) -> Self {
-        let nranks = dataset.decomp().nranks();
-        // The subset/averaging logic assumes a strictly increasing,
-        // duplicate-free timeline; enforce it here once.
-        iterations.sort_unstable();
-        iterations.dedup();
-        let mut blocks = HashMap::new();
-        for &it in &iterations {
-            for rank in 0..nranks {
-                blocks.insert((it, rank), dataset.rank_blocks(it, rank));
-            }
-        }
-        let session = Mutex::new(Runtime::new(nranks, net).session());
-        Self { dataset, iterations, exec, net, cache: Arc::new(StatsCache::new()), blocks, session }
-    }
-
-    /// The component-experiment iteration subset: `n` strictly increasing,
-    /// duplicate-free iterations equally spaced through the prepared set.
-    pub fn subset(&self, n: usize) -> Vec<usize> {
-        spaced_subset(&self.iterations, n)
-    }
-
-    /// Run a pipeline configuration over `iterations` (must be prepared)
-    /// through the persistent rank session.
-    pub fn run(&self, config: PipelineConfig, iterations: &[usize]) -> Vec<IterationReport> {
-        self.run_sweep(std::slice::from_ref(&config), iterations).swap_remove(0)
-    }
-
-    /// The sweep engine entry point: replay every configuration over the
-    /// same prepared blocks, one rank session, one stats cache. Returns one
-    /// report series per configuration, in order — byte-identical to
-    /// running each configuration through a fresh spawn-per-run runtime
-    /// (guarded by the `sweep_engine` integration tests).
-    pub fn run_sweep(
-        &self,
-        configs: &[PipelineConfig],
-        iterations: &[usize],
-    ) -> Vec<Vec<IterationReport>> {
-        let configs: Vec<PipelineConfig> =
-            configs.iter().map(|c| self.instrument(c.clone())).collect();
-        let mut session = self.session.lock().expect("an earlier sweep panicked");
-        run_sweep_in_session(
-            &mut session,
-            self.dataset.decomp(),
-            self.dataset.coords(),
-            &configs,
-            iterations,
-            &|it, rank| self.prepared_blocks(it, rank),
-        )
-    }
-
-    /// Like [`Prepared::run`] with an explicit network model. A model equal
-    /// to the prepared one reuses the session; a different model needs its
-    /// own runtime (the network is baked into the session's shared state),
-    /// so those runs fall back to spawn-per-run.
-    pub fn run_on(
-        &self,
-        config: PipelineConfig,
-        iterations: &[usize],
-        net: NetModel,
-    ) -> Vec<IterationReport> {
-        if net == self.net {
-            return self.run(config, iterations);
-        }
-        run_experiment_prepared(
-            self.dataset.decomp(),
-            self.dataset.coords(),
-            self.instrument(config),
-            iterations,
-            net,
-            |it, rank| self.prepared_blocks(it, rank),
-        )
-    }
-
-    /// Inject the shared cache and execution policy into a configuration.
-    fn instrument(&self, mut config: PipelineConfig) -> PipelineConfig {
-        config.stats_cache = Some(Arc::clone(&self.cache));
-        config.exec = self.exec;
-        config
-    }
-
-    fn prepared_blocks(&self, it: usize, rank: usize) -> Vec<Block> {
-        self.blocks
-            .get(&(it, rank))
-            .unwrap_or_else(|| panic!("iteration {it} not prepared"))
-            .clone()
-    }
-}
-
-/// `n` entries equally spaced through `items`, always strictly increasing
-/// and duplicate-free (for `n >= 2` the first and last entries are always
-/// included; `n >= items.len()` returns everything). `items` must be
-/// strictly increasing. Figure averages double-count nothing because of
-/// this guarantee.
-pub fn spaced_subset(items: &[usize], n: usize) -> Vec<usize> {
-    if n >= items.len() {
-        return items.to_vec();
-    }
-    debug_assert!(items.windows(2).all(|w| w[1] > w[0]), "items must be strictly increasing");
-    let mut out = Vec::with_capacity(n);
-    let mut prev: Option<usize> = None;
-    for i in 0..n {
-        let mut idx = i * (items.len() - 1) / (n - 1).max(1);
-        // Integer spacing can only repeat an index when n approaches
-        // items.len(); bump forward to keep the selection unique.
-        if let Some(p) = prev {
-            if idx <= p {
-                idx = p + 1;
-            }
-        }
-        prev = Some(idx);
-        out.push(items[idx]);
-    }
-    out
-}
-
 /// Average / min / max of a series.
 pub fn stats(series: impl IntoIterator<Item = f64>) -> (f64, f64, f64) {
     let v: Vec<f64> = series.into_iter().collect();
@@ -309,35 +183,6 @@ pub fn stats(series: impl IntoIterator<Item = f64>) -> (f64, f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn spaced_subset_boundaries() {
-        let items: Vec<usize> = vec![10, 20, 30, 40, 50, 60];
-        assert!(spaced_subset(&items, 0).is_empty());
-        assert_eq!(spaced_subset(&items, 1), vec![10]);
-        // n = len - 1 is the regime where naive integer spacing repeats an
-        // index and a figure average double-counts an iteration.
-        assert_eq!(spaced_subset(&items, items.len() - 1).len(), items.len() - 1);
-        assert_eq!(spaced_subset(&items, items.len()), items);
-        assert_eq!(spaced_subset(&items, items.len() + 5), items);
-    }
-
-    #[test]
-    fn spaced_subset_is_strictly_increasing_and_unique_for_every_n() {
-        let items: Vec<usize> = (0..17).map(|i| 57 + i * 3).collect();
-        for n in 0..=items.len() + 2 {
-            let sub = spaced_subset(&items, n);
-            assert_eq!(sub.len(), n.min(items.len()), "n = {n}");
-            assert!(
-                sub.windows(2).all(|w| w[1] > w[0]),
-                "subset for n = {n} is not strictly increasing: {sub:?}"
-            );
-            if n >= 2 {
-                assert_eq!(sub[0], items[0], "first element always included");
-                assert_eq!(*sub.last().unwrap(), *items.last().unwrap());
-            }
-        }
-    }
 
     #[test]
     fn exec_from_str_accepts_counts_and_auto() {

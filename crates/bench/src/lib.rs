@@ -20,6 +20,13 @@
 //! Set `APC_THREADS=<n>|auto` to fan the per-block kernels out inside each
 //! simulated rank (see [`harness::exec_from_env`]); virtual-time figures
 //! are byte-identical under every policy, only wall-clock changes.
+//!
+//! Set `APC_DATASET=<dir>` to replay a stored `apc-store` dataset
+//! (written with the `write_dataset` binary) instead of regenerating the
+//! synthetic simulation — rank counts and seed then come from the store's
+//! metadata (see [`harness::dataset_from_env`]). Golden fig06–fig11
+//! report snapshots live in `tests/golden_reports.rs`; regenerate
+//! intentionally-changed fixtures with `APC_UPDATE_GOLDEN=1`.
 
 pub mod experiments;
 pub mod harness;

@@ -1,0 +1,228 @@
+//! Golden-report snapshots for the fig06–fig11 experiment families.
+//!
+//! Each figure's configuration grid is replayed at test scale (the `tiny`
+//! 4-rank geometry) and the resulting [`IterationReport`]s are serialized
+//! to CSV and compared **byte-for-byte** against in-repo fixtures under
+//! `tests/golden/`. Virtual time is counted, not measured, so these bytes
+//! are reproducible run-to-run and machine-to-machine for one build
+//! environment; a refactor that changes any paper number — a reordered
+//! reduction set, a perturbed cost constant, a broken cache key — fails
+//! here with a diff instead of silently shifting the figures.
+//!
+//! Regenerate after an *intentional* change with:
+//!
+//! ```text
+//! APC_UPDATE_GOLDEN=1 cargo test -p apc-bench --test golden_reports
+//! ```
+//!
+//! and review the fixture diff like any other code change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use apc_cm1::ReflectivityDataset;
+use apc_comm::NetModel;
+use apc_core::{ExecPolicy, IterationReport, PipelineConfig, Prepared, Redistribution};
+
+/// Seed shared with `Scale::quick()` so shuffle-based rows mirror the
+/// real experiments.
+const SEED: u64 = 42;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+fn render_csv(rows: &[(String, Vec<IterationReport>)]) -> String {
+    let mut out = String::new();
+    writeln!(out, "config,{}", IterationReport::csv_header().replace(char::is_whitespace, ""))
+        .unwrap();
+    for (label, reports) in rows {
+        for r in reports {
+            writeln!(out, "{label},{}", r.to_csv_row()).unwrap();
+        }
+    }
+    out
+}
+
+struct Golden {
+    prepared: Prepared,
+    component_iters: Vec<usize>,
+    adapt_iters: Vec<usize>,
+    mismatches: Vec<String>,
+}
+
+impl Golden {
+    fn new() -> Self {
+        let dataset = ReflectivityDataset::tiny(4, SEED).expect("tiny decomposition");
+        let iterations = dataset.sample_iterations(6);
+        let prepared = Prepared::from_dataset(
+            dataset,
+            iterations.clone(),
+            ExecPolicy::Serial,
+            NetModel::blue_waters(),
+        );
+        let component_iters = prepared.subset(3);
+        Self { prepared, component_iters, adapt_iters: iterations, mismatches: Vec::new() }
+    }
+
+    /// Sweep `configs` over `iters` and compare (or rewrite) the fixture.
+    fn check(
+        &mut self,
+        name: &str,
+        labeled: Vec<(String, PipelineConfig)>,
+        iters: &[usize],
+    ) {
+        let configs: Vec<PipelineConfig> = labeled.iter().map(|(_, c)| c.clone()).collect();
+        let swept = self.prepared.run_sweep(&configs, iters);
+        let rows: Vec<(String, Vec<IterationReport>)> = labeled
+            .into_iter()
+            .map(|(label, _)| label)
+            .zip(swept)
+            .collect();
+        let got = render_csv(&rows);
+
+        let path = golden_dir().join(format!("{name}.csv"));
+        if std::env::var_os("APC_UPDATE_GOLDEN").is_some() {
+            std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+            std::fs::write(&path, &got).expect("write golden fixture");
+            eprintln!("updated {}", path.display());
+            return;
+        }
+        let want = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                self.mismatches.push(format!(
+                    "{name}: fixture {} unreadable ({e}); run with APC_UPDATE_GOLDEN=1",
+                    path.display()
+                ));
+                return;
+            }
+        };
+        if got != want {
+            let diff = want
+                .lines()
+                .zip(got.lines())
+                .enumerate()
+                .find(|(_, (a, b))| a != b)
+                .map(|(i, (a, b))| format!("first diff at line {}:\n  -{a}\n  +{b}", i + 1))
+                .unwrap_or_else(|| {
+                    format!("line count {} -> {}", want.lines().count(), got.lines().count())
+                });
+            self.mismatches.push(format!("{name}: report bytes changed; {diff}"));
+        }
+    }
+}
+
+#[test]
+fn fig06_to_fig11_reports_match_golden_fixtures() {
+    let mut g = Golden::new();
+
+    // Fig 6 family: fixed reduction percentages, VAR, no redistribution.
+    g.check(
+        "fig06",
+        [0.0, 80.0, 90.0, 98.0, 100.0]
+            .iter()
+            .map(|&p| {
+                (format!("p{p:.0}"), PipelineConfig::default().with_fixed_percent(p))
+            })
+            .collect(),
+        &g.component_iters.clone(),
+    );
+
+    // Fig 7 family: the percentage sweep.
+    g.check(
+        "fig07",
+        [0.0, 20.0, 40.0, 70.0, 90.0, 100.0]
+            .iter()
+            .map(|&p| {
+                (format!("p{p:.0}"), PipelineConfig::default().with_fixed_percent(p))
+            })
+            .collect(),
+        &g.component_iters.clone(),
+    );
+
+    // Fig 8 family: redistribution (communication) time, LEA metric,
+    // round-robin vs seeded random shuffle.
+    g.check(
+        "fig08",
+        [0.0, 60.0, 100.0]
+            .iter()
+            .flat_map(|&p| {
+                [
+                    ("rr", Redistribution::RoundRobin),
+                    ("shuffle", Redistribution::RandomShuffle { seed: SEED }),
+                ]
+                .into_iter()
+                .map(move |(label, strat)| {
+                    (
+                        format!("{label}-p{p:.0}"),
+                        PipelineConfig::default()
+                            .with_metric("LEA")
+                            .with_redistribution(strat)
+                            .with_fixed_percent(p),
+                    )
+                })
+            })
+            .collect(),
+        &g.component_iters.clone(),
+    );
+
+    // Fig 9 family: reduction × redistribution strategy grid.
+    g.check(
+        "fig09",
+        [0.0, 90.0]
+            .iter()
+            .flat_map(|&p| {
+                [
+                    ("none", Redistribution::None),
+                    ("rr", Redistribution::RoundRobin),
+                    ("shuffle", Redistribution::RandomShuffle { seed: SEED }),
+                ]
+                .into_iter()
+                .map(move |(label, strat)| {
+                    (
+                        format!("{label}-p{p:.0}"),
+                        PipelineConfig::default()
+                            .with_redistribution(strat)
+                            .with_fixed_percent(p),
+                    )
+                })
+            })
+            .collect(),
+        &g.component_iters.clone(),
+    );
+
+    // Fig 10 family: adaptation without redistribution.
+    g.check(
+        "fig10",
+        [20.0, 5.0]
+            .iter()
+            .map(|&t| (format!("t{t:.0}"), PipelineConfig::default().with_target(t)))
+            .collect(),
+        &g.adapt_iters.clone(),
+    );
+
+    // Fig 11 family: adaptation of the full pipeline (round-robin).
+    g.check(
+        "fig11",
+        [10.0, 3.0]
+            .iter()
+            .map(|&t| {
+                (
+                    format!("t{t:.0}"),
+                    PipelineConfig::default()
+                        .with_redistribution(Redistribution::RoundRobin)
+                        .with_target(t),
+                )
+            })
+            .collect(),
+        &g.adapt_iters.clone(),
+    );
+
+    assert!(
+        g.mismatches.is_empty(),
+        "golden report mismatches:\n{}\n(if the change is intentional, regenerate with \
+         APC_UPDATE_GOLDEN=1 and review the fixture diff)",
+        g.mismatches.join("\n")
+    );
+}

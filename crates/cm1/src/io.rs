@@ -1,5 +1,8 @@
 //! Block-oriented dataset files — the stand-in for the Block I/O Library
-//! (BIL, Kendall et al. 2011).
+//! (BIL, Kendall et al. 2011). This is the legacy *flat* format (one
+//! uncompressed file per iteration); new code should prefer the chunked,
+//! compressed [`crate::store`] layer, which the experiment drivers load
+//! through `APC_DATASET`.
 //!
 //! The paper avoids re-running CM1 by storing 572 iterations of
 //! reflectivity and reloading them "using the Block I/O Library (BIL) into

@@ -17,7 +17,11 @@
 //! * [`solver`] — a small semi-Lagrangian advection–diffusion solver that
 //!   stands in for the simulation's compute phase;
 //! * [`dataset`] — the replayable iteration sequence the experiments feed
-//!   to the pipeline, at the paper's two scales (64 and 400 ranks).
+//!   to the pipeline, at the paper's two scales (64 and 400 ranks);
+//! * [`store`] — persistence through the `apc-store` chunked dataset
+//!   ([`write_dataset`] / [`open_dataset`]): write a time series once,
+//!   replay it forever, byte-identically under a lossless codec. The
+//!   older flat per-iteration file format lives on in [`io`].
 //!
 //! The property the experiments depend on — and which [`storm`]'s tests
 //! pin — is *spatial locality*: the storm covers a small fraction of the
@@ -30,11 +34,13 @@ pub mod io;
 pub mod noise;
 pub mod solver;
 pub mod storm;
+pub mod store;
 
 pub use dataset::ReflectivityDataset;
 pub use hydro::{reflectivity_from_hydrometeors, reflectivity_from_hydrometeors_at, Hydrometeors};
-pub use io::{write_dataset, StoredDataset};
+pub use io::StoredDataset;
 pub use noise::{fbm3, value_noise3};
+pub use store::{open_dataset, write_dataset, write_dataset_to, StoredTimeSeries};
 pub use solver::AdvectionSolver;
 pub use storm::StormModel;
 

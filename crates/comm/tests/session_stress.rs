@@ -1,0 +1,140 @@
+//! Session stress test: many sequential runs with randomized rank panic
+//! injection. The contract under test is the session's failure story —
+//! every run either **completes** or **panics and poisons the session**;
+//! nothing is allowed to deadlock past the configured receive timeout,
+//! no matter where in the SPMD workload the panic lands (before a
+//! collective, between a collective and the p2p ring, or after a
+//! receive).
+//!
+//! All randomness comes from the in-tree seeded PRNG, so a failure here
+//! replays deterministically.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use apc_comm::{NetModel, Runtime, Tag};
+use apc_par::SplitMix64;
+
+const ROUNDS: usize = 10;
+/// Short so stranded-peer rounds resolve quickly; the workload itself
+/// needs microseconds.
+const TIMEOUT: Duration = Duration::from_millis(400);
+
+/// One SPMD job: an allreduce, a ring exchange, a barrier — with an
+/// optional panic injected at one of three sites on one victim rank.
+fn job(rank: &mut apc_comm::Rank, inject_site: Option<(usize, usize)>) -> (u64, u64) {
+    let r = rank.rank();
+    let n = rank.nranks();
+    let boom = |site: usize| {
+        if inject_site == Some((r, site)) {
+            panic!("injected panic on rank {r} at site {site}");
+        }
+    };
+    boom(0); // before the collective: peers strand in the barrier
+    let sum = rank.allreduce(r as u64 + 1, |a, b| a + b);
+    boom(1); // between collective and ring: peers strand in recv
+    rank.send((r + 1) % n, Tag(7), r as u64);
+    let left = rank.recv::<u64>((r + n - 1) % n, Tag(7));
+    boom(2); // after the exchange: peers strand in the closing barrier
+    rank.barrier();
+    (sum, left)
+}
+
+#[test]
+fn randomized_rank_panics_complete_or_poison_never_deadlock() {
+    let mut rng = SplitMix64::new(0x5E55_1011);
+    let overall = Instant::now();
+    let mut injected_total = 0;
+    let mut clean_total = 0;
+
+    for round in 0..ROUNDS {
+        let nranks = 2 + rng.below(4); // 2..=5 ranks
+        let mut session =
+            Runtime::new(nranks, NetModel::free()).deadlock_timeout(TIMEOUT).session();
+        let runs = 1 + rng.below(8);
+        for run_idx in 0..runs {
+            // ~1/3 of runs sabotage one rank at a random site.
+            let inject_site = (rng.below(3) == 0)
+                .then(|| (rng.below(nranks), rng.below(3)));
+            let t0 = Instant::now();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                session.run(|rank| job(rank, inject_site))
+            }));
+            let elapsed = t0.elapsed();
+            // The hard bound: no run may block past the deadlock timeout
+            // (plus generous slack for an oversubscribed CI box). A hang
+            // here would previously have been "wait for APC_RECV_TIMEOUT
+            // or forever"; the timeout barrier turns it into a panic.
+            assert!(
+                elapsed < Duration::from_secs(30),
+                "round {round} run {run_idx} blocked for {elapsed:?}"
+            );
+            match inject_site {
+                Some(_) => {
+                    injected_total += 1;
+                    assert!(
+                        result.is_err(),
+                        "round {round} run {run_idx}: injected panic did not propagate"
+                    );
+                    assert!(session.is_poisoned(), "panic must poison the session");
+                    break; // poisoned sessions take no further runs
+                }
+                None => {
+                    clean_total += 1;
+                    let out = result.unwrap_or_else(|_| {
+                        panic!("round {round} run {run_idx}: clean run failed")
+                    });
+                    let expect_sum = (nranks as u64 * (nranks as u64 + 1)) / 2;
+                    for (r, &(sum, left)) in out.iter().enumerate() {
+                        assert_eq!(sum, expect_sum, "allreduce wrong on rank {r}");
+                        assert_eq!(
+                            left,
+                            ((r + nranks - 1) % nranks) as u64,
+                            "ring value wrong on rank {r}"
+                        );
+                    }
+                }
+            }
+        }
+        if session.is_poisoned() {
+            // A poisoned session refuses instantly — it must not hang or
+            // limp along with a broken barrier.
+            let t0 = Instant::now();
+            let refused = catch_unwind(AssertUnwindSafe(|| session.run(|_| ())));
+            assert!(refused.is_err(), "poisoned session accepted a run");
+            assert!(t0.elapsed() < Duration::from_secs(1), "refusal must be immediate");
+        }
+    }
+
+    assert!(injected_total > 0, "seed never injected a panic — stress test is vacuous");
+    assert!(clean_total > 0, "seed never ran a clean job — stress test is vacuous");
+    assert!(
+        overall.elapsed() < Duration::from_secs(120),
+        "stress suite exceeded its wall budget: {:?}",
+        overall.elapsed()
+    );
+}
+
+#[test]
+fn fresh_session_recovers_after_a_poisoned_one() {
+    // The recovery story: a poisoned session is dropped (joining its
+    // threads despite the dead rank) and a fresh session over the same
+    // runtime configuration works normally.
+    let runtime = Runtime::new(3, NetModel::free()).deadlock_timeout(TIMEOUT);
+    let mut session = runtime.session();
+    let poisoned = catch_unwind(AssertUnwindSafe(|| {
+        session.run(|rank| {
+            if rank.rank() == 1 {
+                panic!("die");
+            }
+            rank.allreduce(1u64, |a, b| a + b)
+        })
+    }));
+    assert!(poisoned.is_err());
+    assert!(session.is_poisoned());
+    drop(session); // must join cleanly, not hang
+
+    let mut fresh = runtime.session();
+    let sums = fresh.run(|rank| rank.allreduce(1u64, |a, b| a + b));
+    assert_eq!(sums, vec![3; 3]);
+}

@@ -114,7 +114,10 @@ fn decompress_bytes(stream: &[u8], expected_len: usize) -> Result<Vec<u8>, Codec
         }
     }
     if out.len() != expected_len {
-        return Err(CodecError::ShapeMismatch { expected: expected_len, got: out.len() });
+        // A stream that decodes cleanly but to the wrong length is a
+        // corrupt/truncated stream, not a caller shape error — the caller's
+        // shape is what `expected_len` came from.
+        return Err(CodecError::Corrupt("decompressed length mismatch"));
     }
     Ok(out)
 }

@@ -29,6 +29,11 @@ const Q: i32 = 20;
 const TOP_PLANE: i32 = Q + 6;
 
 /// The zfp-like codec with an absolute error tolerance.
+///
+/// Lossy by design; two sanitizations keep adversarial inputs safe
+/// (pinned by `tests/adversarial.rs`): non-finite samples are flushed to
+/// zero at encode time, and blocks whose largest magnitude is subnormal
+/// are stored as empty blocks.
 #[derive(Debug, Clone, Copy)]
 pub struct Zfpx {
     /// Absolute reconstruction tolerance (in data units).
@@ -240,7 +245,10 @@ impl FloatCodec for Zfpx {
         for kb in 0..bz {
             for jb in 0..by {
                 for ib in 0..bx {
-                    // Gather the (edge-replicated) 4×4×4 block.
+                    // Gather the (edge-replicated) 4×4×4 block. Non-finite
+                    // samples are flushed to zero: the codec is lossy and
+                    // block floating point has no exponent for NaN/±inf —
+                    // letting them through would overflow the quantizer.
                     let mut samples = [0.0f32; 64];
                     for dz in 0..4 {
                         for dy in 0..4 {
@@ -248,14 +256,18 @@ impl FloatCodec for Zfpx {
                                 let i = (ib * 4 + dx).min(nx - 1);
                                 let j = (jb * 4 + dy).min(ny - 1);
                                 let k = (kb * 4 + dz).min(nz - 1);
+                                let v = data[i + nx * (j + ny * k)];
                                 samples[dx + 4 * (dy + 4 * dz)] =
-                                    data[i + nx * (j + ny * k)];
+                                    if v.is_finite() { v } else { 0.0 };
                             }
                         }
                     }
-                    // Block floating point.
+                    // Block floating point. An all-subnormal block is
+                    // stored as empty: its emax would underflow the 9-bit
+                    // biased exponent field, and |v| < 2^-126 is far below
+                    // any meaningful tolerance anyway.
                     let amax = samples.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
-                    if amax == 0.0 {
+                    if amax < f32::MIN_POSITIVE {
                         w.write_bit(false); // empty-block flag
                         continue;
                     }

@@ -22,9 +22,13 @@
 //! also offers a **sweep engine** ([`run_sweep_prepared`]): many
 //! [`PipelineConfig`]s replayed over one persistent rank session
 //! ([`apc_comm::Session`]), byte-identical to running each configuration
-//! one-shot, minus the per-configuration thread-spawn cost. The
-//! [`StatsCache`] wall-clock accelerator is keyed by isovalue and block
-//! content fingerprint so sweeps that vary either stay correct.
+//! one-shot, minus the per-configuration thread-spawn cost. [`Prepared`]
+//! packages that pattern — input blocks + persistent session + shared
+//! cache — and [`Prepared::from_store`] binds it to a persisted
+//! `apc-store` dataset instead, with each rank lazily reading only its
+//! own chunks from inside its rank thread. The [`StatsCache`] wall-clock
+//! accelerator is keyed by isovalue and block content fingerprint so
+//! sweeps that vary either stay correct.
 //!
 //! The per-block hot loops (steps 1 and 5) run under an intra-rank
 //! [`ExecPolicy`] from `apc-par`, re-exported here: `Serial` reproduces
@@ -40,6 +44,7 @@ pub mod config;
 pub mod controller;
 pub mod driver;
 pub mod pipeline;
+pub mod prepared;
 pub mod redistribute;
 pub mod report;
 pub mod selection;
@@ -52,5 +57,6 @@ pub use driver::{
     run_sweep_prepared,
 };
 pub use pipeline::{Pipeline, StatsCache};
+pub use prepared::{spaced_subset, Prepared};
 pub use report::IterationReport;
 pub use selection::{reduction_set, ScoredBlock};

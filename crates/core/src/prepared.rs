@@ -1,0 +1,298 @@
+//! [`Prepared`]: pipeline input bound to a persistent rank session — the
+//! substrate every parameter sweep replays through.
+//!
+//! A `Prepared` owns (a) the input blocks for one `(rank count, iteration
+//! set)`, (b) a persistent [`Session`] of rank threads, and (c) a shared
+//! [`StatsCache`], so replaying many [`PipelineConfig`]s costs one thread
+//! spawn and one data pass instead of one per configuration. Two input
+//! sources exist:
+//!
+//! * **Preloaded** ([`Prepared::from_dataset`] and friends) — every
+//!   `(iteration, rank)` block set generated up front and held in memory;
+//! * **Store** ([`Prepared::from_store`]) — blocks live in an `apc-store`
+//!   chunked dataset and each rank reads *only its own chunks, lazily,
+//!   from inside its rank thread* during the run. Peak memory per
+//!   iteration is one rank's working set instead of the whole domain,
+//!   which is what opens larger-than-memory replay; with a lossless chunk
+//!   codec the reports are byte-identical to the preloaded path (pinned
+//!   by the `store_roundtrip` integration test).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use apc_cm1::{ReflectivityDataset, StoredTimeSeries};
+use apc_comm::{NetModel, Runtime, Session};
+use apc_grid::Block;
+use apc_par::ExecPolicy;
+
+use crate::config::PipelineConfig;
+use crate::driver::{run_experiment_prepared, run_sweep_in_session};
+use crate::pipeline::StatsCache;
+use crate::report::IterationReport;
+
+/// Where a [`Prepared`]'s blocks come from.
+enum BlockSource {
+    /// Everything generated up front, keyed by `(iteration, rank)`.
+    Preloaded(HashMap<(usize, usize), Vec<Block>>),
+    /// Lazy per-rank chunk reads from a stored dataset.
+    Store(StoredTimeSeries),
+}
+
+/// Pre-arranged pipeline input for one `(rank count, iteration set)`:
+/// blocks (in memory or behind a chunked store), a shared
+/// isosurface-stats cache, and a persistent rank [`Session`] so every
+/// configuration replayed through this input reuses the same rank
+/// threads. Preparing once and replaying across configurations is exactly
+/// what the paper does by reloading its stored dataset with BIL (§V-A).
+pub struct Prepared {
+    /// The dataset's geometry (decomposition + coordinate axes). For a
+    /// store-backed `Prepared` this is the deterministic geometry twin —
+    /// block data still comes from the store.
+    pub dataset: ReflectivityDataset,
+    pub iterations: Vec<usize>,
+    /// Execution policy injected into every config run through this input
+    /// (figure experiments never set one themselves).
+    pub exec: ExecPolicy,
+    /// Network model the session was built with; [`Prepared::run_on`] with
+    /// a different model falls back to a one-shot runtime.
+    net: NetModel,
+    cache: Arc<StatsCache>,
+    source: BlockSource,
+    session: Mutex<Session>,
+}
+
+impl Prepared {
+    pub fn new(nranks: usize, seed: u64, iterations: Vec<usize>) -> Self {
+        Self::with_exec(nranks, seed, iterations, ExecPolicy::Serial)
+    }
+
+    /// [`Prepared::new`] with an intra-rank execution policy applied to
+    /// every run (the bench harness passes `Scale::exec` / `APC_THREADS`
+    /// here).
+    pub fn with_exec(nranks: usize, seed: u64, iterations: Vec<usize>, exec: ExecPolicy) -> Self {
+        let dataset = ReflectivityDataset::paper_scaled(nranks, seed)
+            .expect("paper-scaled decomposition");
+        Self::from_dataset(dataset, iterations, exec, NetModel::blue_waters().for_paper_scale())
+    }
+
+    /// Prepare an arbitrary dataset (integration tests use the `tiny`
+    /// geometry) with an explicit network model for the session. All
+    /// blocks are generated up front and held in memory.
+    pub fn from_dataset(
+        dataset: ReflectivityDataset,
+        mut iterations: Vec<usize>,
+        exec: ExecPolicy,
+        net: NetModel,
+    ) -> Self {
+        let nranks = dataset.decomp().nranks();
+        // The subset/averaging logic assumes a strictly increasing,
+        // duplicate-free timeline; enforce it here once.
+        iterations.sort_unstable();
+        iterations.dedup();
+        let mut blocks = HashMap::new();
+        for &it in &iterations {
+            for rank in 0..nranks {
+                blocks.insert((it, rank), dataset.rank_blocks(it, rank));
+            }
+        }
+        Self::assemble(dataset, iterations, exec, net, BlockSource::Preloaded(blocks))
+    }
+
+    /// Prepare a **stored** dataset (reopened via
+    /// [`apc_cm1::open_dataset`]): nothing is loaded up front — each rank
+    /// thread reads its own chunks from the store as the session replays,
+    /// so datasets larger than memory stream through. The prepared
+    /// iteration set is exactly the stored one.
+    ///
+    /// A failed chunk read panics inside the owning rank, which fails the
+    /// run loudly and poisons the session — the same contract as any rank
+    /// panic.
+    pub fn from_store(stored: StoredTimeSeries, exec: ExecPolicy, net: NetModel) -> Self {
+        let dataset = stored.geometry().clone();
+        let iterations = stored.iterations().to_vec();
+        Self::assemble(dataset, iterations, exec, net, BlockSource::Store(stored))
+    }
+
+    fn assemble(
+        dataset: ReflectivityDataset,
+        iterations: Vec<usize>,
+        exec: ExecPolicy,
+        net: NetModel,
+        source: BlockSource,
+    ) -> Self {
+        let session = Mutex::new(Runtime::new(dataset.decomp().nranks(), net).session());
+        Self {
+            dataset,
+            iterations,
+            exec,
+            net,
+            cache: Arc::new(StatsCache::new()),
+            source,
+            session,
+        }
+    }
+
+    /// The component-experiment iteration subset: `n` strictly increasing,
+    /// duplicate-free iterations equally spaced through the prepared set.
+    pub fn subset(&self, n: usize) -> Vec<usize> {
+        spaced_subset(&self.iterations, n)
+    }
+
+    /// Run a pipeline configuration over `iterations` (must be prepared)
+    /// through the persistent rank session.
+    pub fn run(&self, config: PipelineConfig, iterations: &[usize]) -> Vec<IterationReport> {
+        self.run_sweep(std::slice::from_ref(&config), iterations).swap_remove(0)
+    }
+
+    /// The sweep engine entry point: replay every configuration over the
+    /// same prepared blocks, one rank session, one stats cache. Returns one
+    /// report series per configuration, in order — byte-identical to
+    /// running each configuration through a fresh spawn-per-run runtime
+    /// (guarded by the `sweep_engine` integration tests).
+    pub fn run_sweep(
+        &self,
+        configs: &[PipelineConfig],
+        iterations: &[usize],
+    ) -> Vec<Vec<IterationReport>> {
+        let configs: Vec<PipelineConfig> =
+            configs.iter().map(|c| self.instrument(c.clone())).collect();
+        let mut session = self.session.lock().expect("an earlier sweep panicked");
+        run_sweep_in_session(
+            &mut session,
+            self.dataset.decomp(),
+            self.dataset.coords(),
+            &configs,
+            iterations,
+            &|it, rank| self.prepared_blocks(it, rank),
+        )
+    }
+
+    /// Like [`Prepared::run`] with an explicit network model. A model equal
+    /// to the prepared one reuses the session; a different model needs its
+    /// own runtime (the network is baked into the session's shared state),
+    /// so those runs fall back to spawn-per-run.
+    pub fn run_on(
+        &self,
+        config: PipelineConfig,
+        iterations: &[usize],
+        net: NetModel,
+    ) -> Vec<IterationReport> {
+        if net == self.net {
+            return self.run(config, iterations);
+        }
+        run_experiment_prepared(
+            self.dataset.decomp(),
+            self.dataset.coords(),
+            self.instrument(config),
+            iterations,
+            net,
+            |it, rank| self.prepared_blocks(it, rank),
+        )
+    }
+
+    /// Inject the shared cache and execution policy into a configuration.
+    fn instrument(&self, mut config: PipelineConfig) -> PipelineConfig {
+        config.stats_cache = Some(Arc::clone(&self.cache));
+        config.exec = self.exec;
+        config
+    }
+
+    fn prepared_blocks(&self, it: usize, rank: usize) -> Vec<Block> {
+        match &self.source {
+            BlockSource::Preloaded(blocks) => blocks
+                .get(&(it, rank))
+                .unwrap_or_else(|| panic!("iteration {it} not prepared"))
+                .clone(),
+            BlockSource::Store(stored) => stored.rank_blocks(it, rank).unwrap_or_else(|e| {
+                panic!("store read failed for iteration {it} rank {rank}: {e}")
+            }),
+        }
+    }
+}
+
+/// `n` entries equally spaced through `items`, always strictly increasing
+/// and duplicate-free (for `n >= 2` the first and last entries are always
+/// included; `n >= items.len()` returns everything). `items` must be
+/// strictly increasing. Figure averages double-count nothing because of
+/// this guarantee.
+pub fn spaced_subset(items: &[usize], n: usize) -> Vec<usize> {
+    if n >= items.len() {
+        return items.to_vec();
+    }
+    debug_assert!(items.windows(2).all(|w| w[1] > w[0]), "items must be strictly increasing");
+    let mut out = Vec::with_capacity(n);
+    let mut prev: Option<usize> = None;
+    for i in 0..n {
+        let mut idx = i * (items.len() - 1) / (n - 1).max(1);
+        // Integer spacing can only repeat an index when n approaches
+        // items.len(); bump forward to keep the selection unique.
+        if let Some(p) = prev {
+            if idx <= p {
+                idx = p + 1;
+            }
+        }
+        prev = Some(idx);
+        out.push(items[idx]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spaced_subset_boundaries() {
+        let items: Vec<usize> = vec![10, 20, 30, 40, 50, 60];
+        assert!(spaced_subset(&items, 0).is_empty());
+        assert_eq!(spaced_subset(&items, 1), vec![10]);
+        // n = len - 1 is the regime where naive integer spacing repeats an
+        // index and a figure average double-counts an iteration.
+        assert_eq!(spaced_subset(&items, items.len() - 1).len(), items.len() - 1);
+        assert_eq!(spaced_subset(&items, items.len()), items);
+        assert_eq!(spaced_subset(&items, items.len() + 5), items);
+    }
+
+    #[test]
+    fn spaced_subset_is_strictly_increasing_and_unique_for_every_n() {
+        let items: Vec<usize> = (0..17).map(|i| 57 + i * 3).collect();
+        for n in 0..=items.len() + 2 {
+            let sub = spaced_subset(&items, n);
+            assert_eq!(sub.len(), n.min(items.len()), "n = {n}");
+            assert!(
+                sub.windows(2).all(|w| w[1] > w[0]),
+                "subset for n = {n} is not strictly increasing: {sub:?}"
+            );
+            if n >= 2 {
+                assert_eq!(sub[0], items[0], "first element always included");
+                assert_eq!(*sub.last().unwrap(), *items.last().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn store_backed_prepared_matches_preloaded() {
+        use apc_cm1::StoredTimeSeries;
+        use apc_store::{CodecKind, MemStore, StoreBackend};
+
+        let dataset = ReflectivityDataset::tiny(4, 11).unwrap();
+        let iters = dataset.sample_iterations(2);
+        let backend: Box<dyn StoreBackend> = Box::new(MemStore::new());
+        apc_cm1::write_dataset_to(&dataset, &iters, &backend, CodecKind::Fpz).unwrap();
+        let stored = StoredTimeSeries::from_backend(backend).unwrap();
+
+        let from_store =
+            Prepared::from_store(stored, ExecPolicy::Serial, NetModel::blue_waters());
+        let preloaded = Prepared::from_dataset(
+            dataset,
+            iters.clone(),
+            ExecPolicy::Serial,
+            NetModel::blue_waters(),
+        );
+        assert_eq!(from_store.iterations, preloaded.iterations);
+        let config = PipelineConfig::default().with_fixed_percent(60.0);
+        let a = from_store.run(config.clone(), &iters);
+        let b = preloaded.run(config, &iters);
+        assert_eq!(a, b, "store-backed replay must be byte-identical");
+    }
+}

@@ -1,0 +1,221 @@
+//! Key/value chunk backends: a directory on disk, or memory for tests.
+//!
+//! Keys are `/`-separated UTF-8 paths (`meta.json`, `c/000100/000042`);
+//! the directory backend maps them straight onto the filesystem. All
+//! methods take `&self` and every backend is `Sync`, because chunk reads
+//! happen concurrently from the rank threads of a session run.
+
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+use std::sync::RwLock;
+
+use crate::StoreError;
+
+/// A flat key → bytes store. `get` on a missing key is
+/// [`StoreError::NotFound`]; use [`StoreBackend::contains`] to probe.
+pub trait StoreBackend: Send + Sync {
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<(), StoreError>;
+    fn get(&self, key: &str) -> Result<Vec<u8>, StoreError>;
+    fn contains(&self, key: &str) -> Result<bool, StoreError>;
+}
+
+impl<B: StoreBackend + ?Sized> StoreBackend for Box<B> {
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        (**self).put(key, bytes)
+    }
+    fn get(&self, key: &str) -> Result<Vec<u8>, StoreError> {
+        (**self).get(key)
+    }
+    fn contains(&self, key: &str) -> Result<bool, StoreError> {
+        (**self).contains(key)
+    }
+}
+
+impl<B: StoreBackend + ?Sized> StoreBackend for &B {
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        (**self).put(key, bytes)
+    }
+    fn get(&self, key: &str) -> Result<Vec<u8>, StoreError> {
+        (**self).get(key)
+    }
+    fn contains(&self, key: &str) -> Result<bool, StoreError> {
+        (**self).contains(key)
+    }
+}
+
+/// On-disk backend: one file per key under a root directory.
+///
+/// Writes create parent directories on demand. Reads open the file per
+/// call, so concurrent rank threads never contend on shared handles.
+#[derive(Debug, Clone)]
+pub struct DirStore {
+    root: PathBuf,
+}
+
+impl DirStore {
+    /// Bind to `root` (created, along with parents, if missing).
+    pub fn create(root: &Path) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(root)?;
+        Ok(Self { root: root.to_path_buf() })
+    }
+
+    /// Bind to an existing `root`.
+    pub fn open(root: &Path) -> Result<Self, StoreError> {
+        if !root.is_dir() {
+            return Err(StoreError::NotFound(root.display().to_string()));
+        }
+        Ok(Self { root: root.to_path_buf() })
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_of(&self, key: &str) -> PathBuf {
+        let mut p = self.root.clone();
+        for part in key.split('/') {
+            p.push(part);
+        }
+        p
+    }
+}
+
+impl StoreBackend for DirStore {
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let path = self.path_of(key);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        // Write-then-rename so a key is either absent or complete: an
+        // interrupted writer (kill, ENOSPC) must not leave a truncated
+        // chunk that `contains` would report as present.
+        let file_name = path.file_name().expect("keys have a final segment").to_owned();
+        let mut tmp_name = std::ffi::OsString::from(".");
+        tmp_name.push(&file_name);
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        std::fs::write(&tmp, bytes)?;
+        match std::fs::rename(&tmp, &path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e.into())
+            }
+        }
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>, StoreError> {
+        match std::fs::read(self.path_of(key)) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == ErrorKind::NotFound => {
+                Err(StoreError::NotFound(key.to_owned()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn contains(&self, key: &str) -> Result<bool, StoreError> {
+        Ok(self.path_of(key).is_file())
+    }
+}
+
+/// In-memory backend for tests and benchmarks: a `HashMap` behind an
+/// `RwLock` (many concurrent readers, exclusive writers).
+#[derive(Debug, Default)]
+pub struct MemStore {
+    map: RwLock<HashMap<String, Vec<u8>>>,
+}
+
+impl MemStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored keys (diagnostics).
+    pub fn len(&self) -> usize {
+        self.map.read().expect("mem store lock").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total stored bytes over all keys (compression diagnostics).
+    pub fn nbytes(&self) -> usize {
+        self.map.read().expect("mem store lock").values().map(Vec::len).sum()
+    }
+}
+
+impl StoreBackend for MemStore {
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        self.map.write().expect("mem store lock").insert(key.to_owned(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>, StoreError> {
+        self.map
+            .read()
+            .expect("mem store lock")
+            .get(key)
+            .cloned()
+            .ok_or_else(|| StoreError::NotFound(key.to_owned()))
+    }
+
+    fn contains(&self, key: &str) -> Result<bool, StoreError> {
+        Ok(self.map.read().expect("mem store lock").contains_key(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(backend: &dyn StoreBackend) {
+        assert!(!backend.contains("a/b").unwrap());
+        assert!(matches!(backend.get("a/b"), Err(StoreError::NotFound(_))));
+        backend.put("a/b", b"hello").unwrap();
+        assert!(backend.contains("a/b").unwrap());
+        assert_eq!(backend.get("a/b").unwrap(), b"hello");
+        backend.put("a/b", b"rewritten").unwrap();
+        assert_eq!(backend.get("a/b").unwrap(), b"rewritten");
+        backend.put("top", b"").unwrap();
+        assert_eq!(backend.get("top").unwrap(), b"");
+    }
+
+    #[test]
+    fn mem_store_basics() {
+        let store = MemStore::new();
+        exercise(&store);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.nbytes(), b"rewritten".len());
+    }
+
+    #[test]
+    fn dir_store_basics() {
+        let root = std::env::temp_dir().join("apc_store_backend_tests").join("basics");
+        let _ = std::fs::remove_dir_all(&root);
+        let store = DirStore::create(&root).unwrap();
+        exercise(&store);
+        // Keys map to real nested files.
+        assert!(root.join("a").join("b").is_file());
+        // Reopen sees the same content.
+        let again = DirStore::open(&root).unwrap();
+        assert_eq!(again.get("a/b").unwrap(), b"rewritten");
+    }
+
+    #[test]
+    fn dir_store_open_missing_root_is_error() {
+        let root = std::env::temp_dir().join("apc_store_backend_tests").join("missing");
+        let _ = std::fs::remove_dir_all(&root);
+        assert!(matches!(DirStore::open(&root), Err(StoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn boxed_backend_delegates() {
+        let boxed: Box<dyn StoreBackend> = Box::new(MemStore::new());
+        boxed.put("k", b"v").unwrap();
+        assert_eq!(boxed.get("k").unwrap(), b"v");
+        assert!(boxed.contains("k").unwrap());
+    }
+}

@@ -1,0 +1,365 @@
+//! The dataset metadata document and its JSON encoding.
+//!
+//! Stored at key `meta.json` as a flat, human-readable JSON object (the
+//! zarr convention of keeping array geometry out-of-band in plain text).
+//! The parser below covers exactly the subset the document uses — string
+//! values, integers, floats, and integer arrays — with no external JSON
+//! dependency.
+
+use apc_grid::{Dims3, DomainDecomp, ProcGrid};
+
+use crate::codec::CodecKind;
+use crate::StoreError;
+
+/// Key under which the metadata document is stored.
+pub const META_KEY: &str = "meta.json";
+
+const FORMAT: &str = "apc-store";
+const VERSION: i64 = 1;
+
+/// Everything needed to interpret a stored dataset: the full domain
+/// geometry (domain, chunk and process grids — chunks coincide with the
+/// `apc-grid` block decomposition), the chunk codec, the stored iteration
+/// indices, and the storm seed for provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetMeta {
+    pub domain: Dims3,
+    /// Chunk dims ≡ block dims of the decomposition.
+    pub chunk: Dims3,
+    pub procs: ProcGrid,
+    pub codec: CodecKind,
+    /// Storm seed the dataset was generated from (provenance; also lets a
+    /// reader rebuild the deterministic coordinate axes).
+    pub seed: u64,
+    /// Simulation iterations stored, strictly increasing.
+    pub iterations: Vec<usize>,
+}
+
+impl DatasetMeta {
+    /// Validate the geometry as a decomposition (exact divisibility).
+    pub fn decomp(&self) -> Result<DomainDecomp, StoreError> {
+        Ok(DomainDecomp::new(self.domain, self.procs, self.chunk)?)
+    }
+
+    /// Serialize to the JSON document stored at [`META_KEY`].
+    pub fn to_json(&self) -> String {
+        let dims = |d: Dims3| format!("[{}, {}, {}]", d.nx, d.ny, d.nz);
+        let iters: Vec<String> = self.iterations.iter().map(|i| i.to_string()).collect();
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"format\": \"{FORMAT}\",\n"));
+        s.push_str(&format!("  \"version\": {VERSION},\n"));
+        s.push_str(&format!("  \"domain\": {},\n", dims(self.domain)));
+        s.push_str(&format!("  \"chunk\": {},\n", dims(self.chunk)));
+        s.push_str(&format!(
+            "  \"procs\": [{}, {}, {}],\n",
+            self.procs.px, self.procs.py, self.procs.pz
+        ));
+        s.push_str(&format!("  \"codec\": \"{}\",\n", self.codec.name()));
+        if let Some(tol) = self.codec.tolerance() {
+            s.push_str(&format!("  \"tolerance\": {tol},\n"));
+        }
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"iterations\": [{}]\n", iters.join(", ")));
+        s.push('}');
+        s
+    }
+
+    /// Parse a document produced by [`DatasetMeta::to_json`] (or written by
+    /// hand in the same subset of JSON).
+    pub fn from_json(text: &str) -> Result<Self, StoreError> {
+        let fields = parse_object(text).map_err(StoreError::BadMeta)?;
+        let get = |key: &str| -> Result<&Value, StoreError> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| StoreError::BadMeta(format!("missing field {key:?}")))
+        };
+        match get("format")? {
+            Value::Str(s) if s == FORMAT => {}
+            other => return Err(StoreError::BadMeta(format!("bad format field {other:?}"))),
+        }
+        match get("version")? {
+            Value::Int(v) if *v == VERSION as i128 => {}
+            other => return Err(StoreError::BadMeta(format!("unsupported version {other:?}"))),
+        }
+        let dims = |key: &str| -> Result<Dims3, StoreError> {
+            match get(key)? {
+                Value::Arr(v) if v.len() == 3 && v.iter().all(|x| *x >= 0) => {
+                    Ok(Dims3::new(v[0] as usize, v[1] as usize, v[2] as usize))
+                }
+                other => Err(StoreError::BadMeta(format!("bad {key} field {other:?}"))),
+            }
+        };
+        let domain = dims("domain")?;
+        let chunk = dims("chunk")?;
+        let p = dims("procs")?;
+        let codec_name = match get("codec")? {
+            Value::Str(s) => s.clone(),
+            other => return Err(StoreError::BadMeta(format!("bad codec field {other:?}"))),
+        };
+        let tolerance = match fields.iter().find(|(k, _)| k == "tolerance") {
+            Some((_, Value::Float(f))) => Some(*f as f32),
+            Some((_, Value::Int(i))) => Some(*i as f32),
+            Some((_, other)) => {
+                return Err(StoreError::BadMeta(format!("bad tolerance field {other:?}")))
+            }
+            None => None,
+        };
+        let codec = CodecKind::from_name(&codec_name, tolerance)?;
+        let seed = match get("seed")? {
+            Value::Int(v) if (0..=u64::MAX as i128).contains(v) => *v as u64,
+            other => return Err(StoreError::BadMeta(format!("bad seed field {other:?}"))),
+        };
+        let iterations = match get("iterations")? {
+            Value::Arr(v) if v.iter().all(|x| *x >= 0) => {
+                v.iter().map(|&x| x as usize).collect::<Vec<usize>>()
+            }
+            other => {
+                return Err(StoreError::BadMeta(format!("bad iterations field {other:?}")))
+            }
+        };
+        if !iterations.windows(2).all(|w| w[1] > w[0]) {
+            return Err(StoreError::BadMeta(
+                "iterations must be strictly increasing".to_owned(),
+            ));
+        }
+        Ok(Self {
+            domain,
+            chunk,
+            procs: ProcGrid::new(p.nx, p.ny, p.nz),
+            codec,
+            seed,
+            iterations,
+        })
+    }
+}
+
+/// A parsed JSON value of the subset the metadata uses. Integers are
+/// `i128` so the full `u64` seed range survives the round trip.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(i128),
+    Float(f64),
+    /// Integer array (the only array shape the document contains).
+    Arr(Vec<i128>),
+}
+
+/// Parse `{"key": value, ...}` with string / integer / float / int-array
+/// values. Returns fields in document order.
+fn parse_object(text: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing bytes after document".to_owned());
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    /// A string literal (no escape sequences — keys and codec names never
+    /// need them; a backslash is rejected loudly).
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        loop {
+            match self.next() {
+                Some(b'"') => break,
+                Some(b'\\') => return Err("escape sequences unsupported".to_owned()),
+                Some(_) => {}
+                None => return Err("unterminated string".to_owned()),
+            }
+        }
+        String::from_utf8(self.bytes[start..self.pos - 1].to_vec())
+            .map_err(|_| "invalid utf-8 in string".to_owned())
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number".to_owned())?;
+        if tok.contains(['.', 'e', 'E']) {
+            tok.parse::<f64>().map(Value::Float).map_err(|e| format!("bad float {tok:?}: {e}"))
+        } else {
+            tok.parse::<i128>().map(Value::Int).map_err(|e| format!("bad integer {tok:?}: {e}"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    match self.number()? {
+                        Value::Int(v) => items.push(v),
+                        other => return Err(format!("array holds non-integer {other:?}")),
+                    }
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b']') => break,
+                        other => return Err(format!("expected ',' or ']', got {other:?}")),
+                    }
+                }
+                Ok(Value::Arr(items))
+            }
+            _ => self.number(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DatasetMeta {
+        DatasetMeta {
+            domain: Dims3::new(80, 80, 16),
+            chunk: Dims3::new(10, 10, 8),
+            procs: ProcGrid::new(2, 2, 1),
+            codec: CodecKind::Fpz,
+            seed: 42,
+            iterations: vec![100, 250, 400],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let meta = sample();
+        let back = DatasetMeta::from_json(&meta.to_json()).unwrap();
+        assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn json_roundtrip_with_tolerance() {
+        let meta = DatasetMeta { codec: CodecKind::Zfpx { tolerance: 0.25 }, ..sample() };
+        let back = DatasetMeta::from_json(&meta.to_json()).unwrap();
+        assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn full_u64_seed_range_roundtrips() {
+        // Seeds above i64::MAX must survive the JSON round trip — a store
+        // that writes successfully must always reopen.
+        for seed in [u64::MAX, i64::MAX as u64 + 1, 0] {
+            let meta = DatasetMeta { seed, ..sample() };
+            assert_eq!(DatasetMeta::from_json(&meta.to_json()).unwrap().seed, seed);
+        }
+    }
+
+    #[test]
+    fn whitespace_and_field_order_are_flexible() {
+        let text = "{\"iterations\":[1,2],\"seed\":7,\"codec\":\"raw\",
+            \"procs\":[1,1,1],\"chunk\":[2,2,2],\"domain\":[4,4,4],
+            \"version\":1,\"format\":\"apc-store\"}";
+        let meta = DatasetMeta::from_json(text).unwrap();
+        assert_eq!(meta.seed, 7);
+        assert_eq!(meta.codec, CodecKind::Raw);
+        assert_eq!(meta.iterations, vec![1, 2]);
+    }
+
+    #[test]
+    fn geometry_validates_as_decomp() {
+        let meta = sample();
+        let d = meta.decomp().unwrap();
+        assert_eq!(d.nranks(), 4);
+        assert_eq!(d.n_blocks(), 128);
+        let bad = DatasetMeta { chunk: Dims3::new(7, 10, 8), ..sample() };
+        assert!(matches!(bad.decomp(), Err(StoreError::Geometry(_))));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for text in [
+            "",
+            "{",
+            "{}",
+            "not json at all",
+            "{\"format\": \"zarr\", \"version\": 1}",
+            "{\"format\": \"apc-store\", \"version\": 99}",
+            // Unsorted iterations.
+            "{\"format\":\"apc-store\",\"version\":1,\"domain\":[4,4,4],
+              \"chunk\":[2,2,2],\"procs\":[1,1,1],\"codec\":\"raw\",
+              \"seed\":1,\"iterations\":[5,2]}",
+        ] {
+            assert!(
+                matches!(DatasetMeta::from_json(text), Err(StoreError::BadMeta(_))),
+                "accepted malformed document: {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut text = sample().to_json();
+        text.push_str("garbage");
+        assert!(DatasetMeta::from_json(&text).is_err());
+    }
+}

@@ -9,7 +9,8 @@
 
 use std::path::PathBuf;
 
-use insitu::cm1::{ReflectivityDataset, StoredDataset, DBZ_ISOVALUE};
+use insitu::cm1::{open_dataset, write_dataset, ReflectivityDataset, DBZ_ISOVALUE};
+use insitu::store::CodecKind;
 use insitu::render::math::Vec3;
 use insitu::render::{
     block_isosurface, seed_grid, trace_streamline, Camera, Framebuffer, StreamlineOptions,
@@ -20,13 +21,13 @@ fn main() {
     let out = PathBuf::from("target/streamlines");
     std::fs::create_dir_all(&out).expect("create output dir");
 
-    // Store a couple of iterations to disk (the paper's 3-day-run dataset),
-    // then reload through the block I/O path.
+    // Store a couple of iterations to disk (the paper's 3-day-run dataset)
+    // as a chunked, fpz-compressed store, then reload block by block.
     let dataset = ReflectivityDataset::tiny(16, 42).expect("tiny decomposition");
     let it = dataset.sample_iterations(3)[1];
     let store_dir = out.join("dataset");
-    insitu::cm1::write_dataset(&dataset, &[it], &store_dir).expect("store dataset");
-    let stored = StoredDataset::open(&store_dir).expect("reload dataset");
+    write_dataset(&dataset, &[it], &store_dir, CodecKind::Fpz).expect("store dataset");
+    let stored = open_dataset(&store_dir).expect("reload dataset");
     println!("stored iterations: {:?}", stored.iterations());
 
     // Rebuild the isosurface from the *stored* blocks.
