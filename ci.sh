@@ -4,6 +4,12 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 

@@ -32,9 +32,13 @@ fn main() {
     experiments::fig09::run(&ctx, &scale);
     experiments::fig10::run(&ctx, &scale);
     experiments::fig11::run(&ctx, &scale);
+    experiments::fig12::run(&ctx, &scale);
     experiments::ablations::sort_strategy(&ctx, &scale);
     experiments::ablations::slow_network(&ctx, &scale);
     experiments::ablations::controller_variants(&ctx, &scale);
 
-    println!("\nfigure suite completed in {:.0} s", t0.elapsed().as_secs_f64());
+    println!(
+        "\nfigure suite completed in {:.0} s",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -21,13 +21,23 @@
 //!    `apc-store` chunked dataset under each codec (memory- and
 //!    disk-backed), with stored sizes and a bit-exactness check for the
 //!    lossless codecs.
-//! 4. **Serial micro-timings** — metrics, codecs, marching tetrahedra,
+//! 4. **Staged vs synchronous pipeline** — the dedicated-core staging mode
+//!    on a tiny dataset, with both wall seconds and the headline virtual
+//!    quantities (sync pipeline time vs staged sim-visible time).
+//! 5. **Serial micro-timings** — metrics, codecs, marching tetrahedra,
 //!    storm generation and the distributed sort, as throughput numbers.
+//!
+//! Besides the stdout tables, every timed row lands in
+//! `target/experiments/bench_kernels.json` — the machine-readable
+//! performance trajectory future changes diff against (schema documented
+//! in README §Developing).
 
 use std::time::Instant;
 
 use apc_bench::harness::print_table;
-use apc_cm1::{open_dataset, write_dataset, write_dataset_to, ReflectivityDataset, StormModel, DBZ_ISOVALUE};
+use apc_cm1::{
+    open_dataset, write_dataset, write_dataset_to, ReflectivityDataset, StormModel, DBZ_ISOVALUE,
+};
 use apc_comm::{sort, NetModel, Runtime};
 use apc_compress::{probe_ratios, FloatCodec, Fpz, Lz77, Zfpx};
 use apc_core::{ExecPolicy, IterationReport, Pipeline, PipelineConfig};
@@ -47,6 +57,45 @@ fn time_median<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     samples[samples.len() / 2]
+}
+
+/// Collects every timed row and serializes the machine-readable
+/// performance trajectory (`target/experiments/bench_kernels.json`).
+/// Names are stable slugs; `wall_s` is median wall seconds; `virtual_s`
+/// carries the modeled virtual seconds where the row has one (pipeline
+/// rows), else `null`.
+#[derive(Default)]
+struct Recorder {
+    entries: Vec<(String, f64, Option<f64>)>,
+}
+
+impl Recorder {
+    fn wall(&mut self, name: &str, wall_s: f64) {
+        self.entries.push((name.to_string(), wall_s, None));
+    }
+
+    fn wall_and_virtual(&mut self, name: &str, wall_s: f64, virtual_s: f64) {
+        self.entries
+            .push((name.to_string(), wall_s, Some(virtual_s)));
+    }
+
+    fn write_json(&self) -> std::path::PathBuf {
+        let path = apc_bench::harness::out_dir().join("bench_kernels.json");
+        let mut body = String::from("{\n  \"schema\": 1,\n  \"entries\": [\n");
+        for (i, (name, wall, virt)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            let virt = match virt {
+                Some(v) => format!("{v:.9}"),
+                None => "null".to_string(),
+            };
+            body.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"wall_s\": {wall:.9}, \"virtual_s\": {virt}}}{comma}\n"
+            ));
+        }
+        body.push_str("  ]\n}\n");
+        std::fs::write(&path, body).expect("write bench_kernels.json");
+        path
+    }
 }
 
 /// 64 paper-scaled blocks of real storm data, mixing storm-core and
@@ -81,7 +130,7 @@ fn storm_block() -> (Vec<f32>, Dims3) {
     (block.samples().into_owned(), dims)
 }
 
-fn bench_exec_policies() {
+fn bench_exec_policies(rec: &mut Recorder) {
     let (blocks, coords) = block_set();
     let par = ExecPolicy::Threads(8);
     let runs = 5;
@@ -94,8 +143,12 @@ fn bench_exec_policies() {
     let mut rows = Vec::new();
     for name in ["VAR", "LEA", "ITL", "FPZIP", "TRILIN"] {
         let scorer = apc_metrics::by_name(name).unwrap();
-        let t_ser = time_median(runs, || score_blocks(scorer.as_ref(), &blocks, ExecPolicy::Serial));
+        let t_ser = time_median(runs, || {
+            score_blocks(scorer.as_ref(), &blocks, ExecPolicy::Serial)
+        });
         let t_par = time_median(runs, || score_blocks(scorer.as_ref(), &blocks, par));
+        rec.wall(&format!("score/{name}/serial"), t_ser);
+        rec.wall(&format!("score/{name}/threads8"), t_par);
         rows.push(vec![
             format!("score/{name}"),
             format!("{:.3}", t_ser * 1e3),
@@ -107,8 +160,11 @@ fn bench_exec_policies() {
     let t_ser = time_median(runs, || {
         batch_isosurface_stats(&blocks, &coords, DBZ_ISOVALUE, ExecPolicy::Serial)
     });
-    let t_par =
-        time_median(runs, || batch_isosurface_stats(&blocks, &coords, DBZ_ISOVALUE, par));
+    let t_par = time_median(runs, || {
+        batch_isosurface_stats(&blocks, &coords, DBZ_ISOVALUE, par)
+    });
+    rec.wall("isosurface/serial", t_ser);
+    rec.wall("isosurface/threads8", t_par);
     rows.push(vec![
         "isosurface".into(),
         format!("{:.3}", t_ser * 1e3),
@@ -125,6 +181,8 @@ fn bench_exec_policies() {
         .collect();
     let t_ser = time_median(runs, || probe_ratios(&Fpz, &arrays, ExecPolicy::Serial));
     let t_par = time_median(runs, || probe_ratios(&Fpz, &arrays, par));
+    rec.wall("probe/FPZIP/serial", t_ser);
+    rec.wall("probe/FPZIP/threads8", t_par);
     rows.push(vec![
         "probe/FPZIP".into(),
         format!("{:.3}", t_ser * 1e3),
@@ -143,26 +201,103 @@ fn bench_exec_policies() {
 /// `Threads(8)` must produce byte-identical reports (virtual time is
 /// counted, not measured). Uses the pipeline directly — no driver clamp —
 /// so the threaded path really executes even on small machines.
-fn check_policy_determinism() {
+fn check_policy_determinism(rec: &mut Recorder) {
+    // Dataset construction stays outside the timed body so the recorded
+    // trajectory row measures the pipeline alone, like every other row.
+    let dataset = ReflectivityDataset::tiny(4, 42).unwrap();
+    let iters = dataset.sample_iterations(3);
     let run = |exec: ExecPolicy| -> Vec<IterationReport> {
-        let dataset = ReflectivityDataset::tiny(4, 42).unwrap();
-        let iters = dataset.sample_iterations(3);
-        let config = PipelineConfig::default().deterministic().with_fixed_percent(40.0).with_exec(exec);
+        let config = PipelineConfig::default()
+            .deterministic()
+            .with_fixed_percent(40.0)
+            .with_exec(exec);
         let mut all = Runtime::new(4, NetModel::blue_waters()).run(|rank| {
             let mut p = Pipeline::new(config.clone(), *dataset.decomp(), dataset.coords().clone());
             iters
                 .iter()
-                .map(|&it| p.run_iteration(rank, dataset.rank_blocks(it, rank.rank()), it).0)
+                .map(|&it| {
+                    p.run_iteration(rank, dataset.rank_blocks(it, rank.rank()), it)
+                        .0
+                })
                 .collect::<Vec<_>>()
         });
         all.swap_remove(0)
     };
-    let serial = run(ExecPolicy::Serial);
+    let mut serial = Vec::new();
+    let wall = time_median(3, || serial = run(ExecPolicy::Serial));
     let threads = run(ExecPolicy::Threads(8));
-    assert_eq!(serial, threads, "IterationReports must be byte-identical across policies");
+    assert_eq!(
+        serial, threads,
+        "IterationReports must be byte-identical across policies"
+    );
+    rec.wall_and_virtual(
+        "pipeline/sync/tiny4x3iters",
+        wall,
+        serial.iter().map(|r| r.t_total).sum(),
+    );
     println!(
         "determinism: Serial and Threads(8) reports identical over {} iterations ✓",
         serial.len()
+    );
+}
+
+/// Staged vs synchronous on the tiny dataset: wall seconds for each mode
+/// plus the headline virtual quantities — the synchronous pipeline time
+/// the simulation would eat inline, and what the staged simulation
+/// actually sees.
+fn bench_staged_vs_sync(rec: &mut Recorder) {
+    use apc_core::{BackpressurePolicy, StagedParams};
+
+    let dataset = ReflectivityDataset::tiny(4, 42).unwrap();
+    let iters = dataset.sample_iterations(3);
+    let sync_cfg = PipelineConfig::default()
+        .deterministic()
+        .with_fixed_percent(40.0);
+    let mut sync = Vec::new();
+    let t_sync = time_median(3, || {
+        sync = apc_core::run_experiment(&dataset, sync_cfg.clone(), &iters);
+    });
+    let sync_virtual: f64 = sync.iter().map(|r| r.t_total).sum::<f64>() / sync.len() as f64;
+
+    let params = StagedParams::new(1, 2, BackpressurePolicy::Block).with_sim_compute(sync_virtual);
+    let staged_cfg = sync_cfg.with_staged(params);
+    let mut staged_visible = 0.0;
+    let t_staged = time_median(3, || {
+        let run = apc_core::run_staged_prepared(
+            dataset.decomp(),
+            dataset.coords(),
+            &staged_cfg,
+            &iters,
+            NetModel::blue_waters(),
+            |it, rank| dataset.rank_blocks(it, rank),
+        );
+        staged_visible = run.mean_sim_visible();
+    });
+    rec.wall_and_virtual("pipeline/sync/tiny4x3iters/mean", t_sync, sync_virtual);
+    rec.wall_and_virtual(
+        "pipeline/staged/tiny4x3iters/sim_visible",
+        t_staged,
+        staged_visible,
+    );
+    print_table(
+        "staged vs synchronous (tiny dataset, 3 iterations, virtual s/iter)",
+        &["mode", "wall ms", "sim-visible virtual s"],
+        &[
+            vec![
+                "sync".into(),
+                format!("{:.1}", t_sync * 1e3),
+                format!("{sync_virtual:.3}"),
+            ],
+            vec![
+                "staged 3:1".into(),
+                format!("{:.1}", t_staged * 1e3),
+                format!("{staged_visible:.3}"),
+            ],
+        ],
+    );
+    assert!(
+        staged_visible < sync_virtual,
+        "staging must beat inline visualization on the sim's critical path"
     );
 }
 
@@ -171,21 +306,28 @@ fn check_policy_determinism() {
 /// once with a fresh `Runtime::run` per configuration — tearing 16 threads
 /// up and down 8 times — and once through a single persistent session.
 /// Virtual-time reports must be byte-identical; only wall-clock differs.
-fn bench_session_vs_respawn() {
+fn bench_session_vs_respawn(rec: &mut Recorder) {
     let nranks = 16;
     let dataset = ReflectivityDataset::tiny(nranks, 42).unwrap();
     let iters = dataset.sample_iterations(2);
     let percents = [0.0, 20.0, 40.0, 60.0, 70.0, 80.0, 90.0, 100.0];
     let configs: Vec<PipelineConfig> = percents
         .iter()
-        .map(|&p| PipelineConfig::default().deterministic().with_fixed_percent(p))
+        .map(|&p| {
+            PipelineConfig::default()
+                .deterministic()
+                .with_fixed_percent(p)
+        })
         .collect();
     let runtime = Runtime::new(nranks, NetModel::blue_waters());
     let run_config = |rank: &mut apc_comm::Rank, config: &PipelineConfig| {
         let mut p = Pipeline::new(config.clone(), *dataset.decomp(), dataset.coords().clone());
         iters
             .iter()
-            .map(|&it| p.run_iteration(rank, dataset.rank_blocks(it, rank.rank()), it).0)
+            .map(|&it| {
+                p.run_iteration(rank, dataset.rank_blocks(it, rank.rank()), it)
+                    .0
+            })
             .collect::<Vec<_>>()
     };
 
@@ -236,6 +378,10 @@ fn bench_session_vs_respawn() {
         }
     });
 
+    rec.wall("sweep/spawn_per_run", t_respawn);
+    rec.wall("sweep/session", t_session);
+    rec.wall("sweep/spawn_per_run/noop", t_respawn_noop);
+    rec.wall("sweep/session/noop", t_session_noop);
     print_table(
         &format!(
             "sweep wall-clock: {} configs × {} ranks, spawn-per-run vs one session",
@@ -272,16 +418,16 @@ fn bench_session_vs_respawn() {
 /// decoded from a memory-backed chunked store (per codec), and decoded
 /// from a disk-backed store. Lossless codecs must reproduce the generated
 /// blocks bit-exactly; sizes show what each codec buys.
-fn bench_store_read() {
+fn bench_store_read(rec: &mut Recorder) {
     let dataset = ReflectivityDataset::tiny(4, 42).expect("tiny dataset");
     let it = dataset.sample_iterations(3)[1];
-    let raw_bytes =
-        dataset.decomp().subdomain_dims().len() * dataset.decomp().nranks() * 4;
+    let raw_bytes = dataset.decomp().subdomain_dims().len() * dataset.decomp().nranks() * 4;
     let runs = 5;
     let generated = dataset.rank_blocks(it, 0);
 
     let mut rows = Vec::new();
     let t_gen = time_median(runs, || dataset.rank_blocks(it, 0));
+    rec.wall("store/generate_in_memory", t_gen);
     rows.push(vec![
         "generate (in-memory)".into(),
         format!("{:.3}", t_gen * 1e3),
@@ -290,12 +436,18 @@ fn bench_store_read() {
     ]);
 
     for codec in [CodecKind::Raw, CodecKind::Fpz, CodecKind::Lz] {
-        let store = write_dataset_to(&dataset, &[it], MemStore::new(), codec)
-            .expect("write mem store");
+        let store =
+            write_dataset_to(&dataset, &[it], MemStore::new(), codec).expect("write mem store");
         let from_store = store.read_rank_blocks(it, 0).expect("read rank blocks");
-        assert_eq!(from_store, generated, "{} store read must be bit-exact", codec.name());
+        assert_eq!(
+            from_store,
+            generated,
+            "{} store read must be bit-exact",
+            codec.name()
+        );
         let stored = store.backend().nbytes();
         let t = time_median(runs, || store.read_rank_blocks(it, 0).expect("read"));
+        rec.wall(&format!("store/mem_read/{}", codec.name()), t);
         rows.push(vec![
             format!("mem store / {}", codec.name()),
             format!("{:.3}", t * 1e3),
@@ -310,6 +462,7 @@ fn bench_store_read() {
     let stored = open_dataset(&dir).expect("reopen dir store");
     assert_eq!(stored.rank_blocks(it, 0).expect("read"), generated);
     let t_disk = time_median(runs, || stored.rank_blocks(it, 0).expect("read"));
+    rec.wall("store/dir_read/fpz", t_disk);
     rows.push(vec![
         "dir store / fpz".into(),
         format!("{:.3}", t_disk * 1e3),
@@ -326,37 +479,57 @@ fn bench_store_read() {
     println!("store reads bit-exact vs generation for every lossless codec ✓");
 }
 
-fn bench_metrics() {
+fn bench_metrics(rec: &mut Recorder) {
     let (data, dims) = storm_block();
     let mut rows = Vec::new();
     for metric in standard_six() {
         let t = time_median(9, || metric.score(&data, dims));
+        rec.wall(&format!("metric/{}", metric.name()), t);
         rows.push(vec![
             metric.name().to_string(),
             format!("{:.2}", t * 1e6),
             format!("{:.1}", data.len() as f64 / t / 1e6),
         ]);
     }
-    print_table("metrics (one 11x11x19 storm block)", &["metric", "us/block", "Mpts/s"], &rows);
+    print_table(
+        "metrics (one 11x11x19 storm block)",
+        &["metric", "us/block", "Mpts/s"],
+        &rows,
+    );
 }
 
-fn bench_codecs() {
+fn bench_codecs(rec: &mut Recorder) {
     let (data, dims) = storm_block();
     let shape = (dims.nx, dims.ny, dims.nz);
     let bytes = (data.len() * 4) as f64;
     let mut rows = Vec::new();
     let mut row = |name: &str, t: f64| {
-        rows.push(vec![name.to_string(), format!("{:.2}", t * 1e6), format!("{:.1}", bytes / t / 1e6)]);
+        rec.wall(&format!("codec/{name}"), t);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}", t * 1e6),
+            format!("{:.1}", bytes / t / 1e6),
+        ]);
     };
     row("fpz_encode", time_median(9, || Fpz.encode(&data, shape)));
-    row("zfpx_encode", time_median(9, || Zfpx::default().encode(&data, shape)));
+    row(
+        "zfpx_encode",
+        time_median(9, || Zfpx::default().encode(&data, shape)),
+    );
     row("lz77_encode", time_median(9, || Lz77.encode(&data, shape)));
     let enc = Fpz.encode(&data, shape);
-    row("fpz_decode", time_median(9, || Fpz.decode(&enc, shape).unwrap()));
-    print_table("codecs (one storm block)", &["codec", "us/block", "MB/s"], &rows);
+    row(
+        "fpz_decode",
+        time_median(9, || Fpz.decode(&enc, shape).unwrap()),
+    );
+    print_table(
+        "codecs (one storm block)",
+        &["codec", "us/block", "MB/s"],
+        &rows,
+    );
 }
 
-fn bench_isosurface_and_storm() {
+fn bench_isosurface_and_storm(rec: &mut Recorder) {
     let dims = Dims3::new(48, 48, 24);
     let coords = RectilinearCoords::uniform(dims, 1.0);
     let storm = StormModel::new(7);
@@ -370,6 +543,8 @@ fn bench_isosurface_and_storm() {
     let gen_dims = Dims3::new(44, 44, 19);
     let gen_coords = RectilinearCoords::stretched(gen_dims, 1.0, 4, 1.12);
     let t_gen = time_median(9, || storm.reflectivity(&gen_coords, 300));
+    rec.wall("field/marching_tetrahedra_48x48x24", t_iso);
+    rec.wall("field/storm_reflectivity_44x44x19", t_gen);
     print_table(
         "field kernels",
         &["kernel", "ms", "Mitems/s"],
@@ -388,7 +563,7 @@ fn bench_isosurface_and_storm() {
     );
 }
 
-fn bench_distributed_sort() {
+fn bench_distributed_sort(rec: &mut Recorder) {
     // 6400 scored blocks over 8 ranks, like one pipeline iteration.
     let make_input = |rank: usize| -> Vec<(u32, f64)> {
         (0..800u32)
@@ -398,9 +573,7 @@ fn bench_distributed_sort() {
             })
             .collect()
     };
-    let cmp = |a: &(u32, f64), b: &(u32, f64)| {
-        a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0))
-    };
+    let cmp = |a: &(u32, f64), b: &(u32, f64)| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0));
     let t_gsb = time_median(5, || {
         Runtime::new(8, NetModel::blue_waters())
             .run(|rank| sort::gather_sort_broadcast(rank, make_input(rank.rank()), cmp).len())
@@ -409,11 +582,16 @@ fn bench_distributed_sort() {
         Runtime::new(8, NetModel::blue_waters())
             .run(|rank| sort::sample_sort(rank, make_input(rank.rank()), cmp).len())
     });
+    rec.wall("sort/gather_sort_broadcast", t_gsb);
+    rec.wall("sort/sample_sort", t_ss);
     print_table(
         "distributed sort (6400 blocks, 8 ranks)",
         &["strategy", "ms"],
         &[
-            vec!["gather_sort_broadcast".into(), format!("{:.2}", t_gsb * 1e3)],
+            vec![
+                "gather_sort_broadcast".into(),
+                format!("{:.2}", t_gsb * 1e3),
+            ],
             vec!["sample_sort".into(), format!("{:.2}", t_ss * 1e3)],
         ],
     );
@@ -421,13 +599,20 @@ fn bench_distributed_sort() {
 
 fn main() {
     let t0 = Instant::now();
-    bench_exec_policies();
-    check_policy_determinism();
-    bench_session_vs_respawn();
-    bench_store_read();
-    bench_metrics();
-    bench_codecs();
-    bench_isosurface_and_storm();
-    bench_distributed_sort();
-    println!("\nkernels bench completed in {:.1} s", t0.elapsed().as_secs_f64());
+    let mut rec = Recorder::default();
+    bench_exec_policies(&mut rec);
+    check_policy_determinism(&mut rec);
+    bench_session_vs_respawn(&mut rec);
+    bench_store_read(&mut rec);
+    bench_staged_vs_sync(&mut rec);
+    bench_metrics(&mut rec);
+    bench_codecs(&mut rec);
+    bench_isosurface_and_storm(&mut rec);
+    bench_distributed_sort(&mut rec);
+    let json = rec.write_json();
+    println!("\nperf trajectory: {}", json.display());
+    println!(
+        "kernels bench completed in {:.1} s",
+        t0.elapsed().as_secs_f64()
+    );
 }

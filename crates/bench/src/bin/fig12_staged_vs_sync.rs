@@ -1,0 +1,10 @@
+//! Standalone harness for fig12 (staged vs synchronous in situ).
+
+use apc_bench::experiments::{self, Ctx};
+use apc_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ctx = Ctx::new(&scale);
+    experiments::fig12::run(&ctx, &scale);
+}

@@ -37,7 +37,9 @@ fn env_usize(name: &str, default: usize) -> usize {
 }
 
 fn env_codec() -> CodecKind {
-    let Ok(raw) = std::env::var("APC_CODEC") else { return CodecKind::Fpz };
+    let Ok(raw) = std::env::var("APC_CODEC") else {
+        return CodecKind::Fpz;
+    };
     let s = raw.trim();
     if let Some(tol) = s.strip_prefix("zfpx") {
         let tolerance = match tol.strip_prefix(':') {
@@ -115,5 +117,8 @@ fn main() {
         raw_bytes as f64 / 1e6,
         stored_bytes as f64 / raw_bytes as f64,
     );
-    println!("replay with: APC_DATASET={} cargo run --release -p apc-bench --bin <figure>", dir.display());
+    println!(
+        "replay with: APC_DATASET={} cargo run --release -p apc-bench --bin <figure>",
+        dir.display()
+    );
 }

@@ -23,7 +23,10 @@ pub fn entropy_bins(scale: &Scale) {
 
     let reference: Vec<f64> = {
         let e = Entropy::with_bins(256);
-        blocks.iter().map(|b| e.score(&b.samples(), b.dims())).collect()
+        blocks
+            .iter()
+            .map(|b| e.score(&b.samples(), b.dims()))
+            .collect()
     };
 
     let mut rows = Vec::new();
@@ -31,8 +34,10 @@ pub fn entropy_bins(scale: &Scale) {
     for bins in [32usize, 256, 1024] {
         let e = Entropy::with_bins(bins);
         let t0 = Instant::now();
-        let scores: Vec<f64> =
-            blocks.iter().map(|b| e.score(&b.samples(), b.dims())).collect();
+        let scores: Vec<f64> = blocks
+            .iter()
+            .map(|b| e.score(&b.samples(), b.dims()))
+            .collect();
         let wall = t0.elapsed().as_secs_f64();
         let mut distinct = scores.clone();
         distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -72,10 +77,17 @@ pub fn sort_strategy(ctx: &Ctx, scale: &Scale) {
             ("gather-sort-bcast", SortStrategy::GatherSortBroadcast),
             ("sample-sort", SortStrategy::SampleSort),
         ] {
-            let config = PipelineConfig { sort: strat, ..Default::default() };
+            let config = PipelineConfig {
+                sort: strat,
+                ..Default::default()
+            };
             let reports = prepared.run(config, &iters);
             let (avg, _, _) = stats(reports.iter().map(|r| r.t_sort));
-            rows.push(vec![nranks.to_string(), label.to_string(), format!("{avg:.4}")]);
+            rows.push(vec![
+                nranks.to_string(),
+                label.to_string(),
+                format!("{avg:.4}"),
+            ]);
             csv.push(format!("{nranks},{label},{avg:.6}"));
         }
     }
@@ -100,8 +112,7 @@ pub fn slow_network(ctx: &Ctx, scale: &Scale) {
             ("gemini", NetModel::blue_waters().for_paper_scale()),
             ("gige", NetModel::gigabit_ethernet().for_paper_scale()),
         ] {
-            let config = PipelineConfig::default()
-                .with_redistribution(Redistribution::RoundRobin);
+            let config = PipelineConfig::default().with_redistribution(Redistribution::RoundRobin);
             let reports = prepared.run_on(config, &iters, net);
             let (comm, _, _) = stats(reports.iter().map(|r| r.t_redistribute));
             let (render, _, _) = stats(reports.iter().map(|r| r.t_render));
@@ -117,10 +128,20 @@ pub fn slow_network(ctx: &Ctx, scale: &Scale) {
     }
     print_table(
         "Ablation — network sensitivity of redistribution (s)",
-        &["ranks", "network", "t_redistribute", "t_render", "comm share"],
+        &[
+            "ranks",
+            "network",
+            "t_redistribute",
+            "t_render",
+            "comm share",
+        ],
         &rows,
     );
-    let path = write_csv("ablation_network.csv", "nranks,network,t_comm,t_render", &csv);
+    let path = write_csv(
+        "ablation_network.csv",
+        "nranks,network,t_comm,t_render",
+        &csv,
+    );
     println!("csv: {}", path.display());
 }
 
@@ -172,7 +193,12 @@ pub fn downsample_size(ctx: &Ctx, scale: &Scale) {
     }
     print_table(
         "Ablation — reduction lattice size (95% reduced, 64 ranks)",
-        &["lattice", "t_render (s)", "reconstruction MSE (dBZ^2)", "bytes/block"],
+        &[
+            "lattice",
+            "t_render (s)",
+            "reconstruction MSE (dBZ^2)",
+            "bytes/block",
+        ],
         &rows,
     );
     let path = write_csv(

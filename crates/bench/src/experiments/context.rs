@@ -31,7 +31,9 @@ impl Ctx {
                 scale.exec,
                 NetModel::blue_waters().for_paper_scale(),
             );
-            return Self { prepared: vec![prepared] };
+            return Self {
+                prepared: vec![prepared],
+            };
         }
         let prepared = scale
             .rank_counts

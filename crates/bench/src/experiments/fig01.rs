@@ -26,12 +26,10 @@ pub fn run(scale: &Scale) {
     let field = dataset.field(it);
 
     // (a) original isosurface over the whole domain.
-    let (orig_mesh, orig_stats) = marching_tetrahedra(
-        field.as_slice(),
-        field.dims(),
-        DBZ_ISOVALUE,
-        |i, j, k| coords.position(i, j, k),
-    );
+    let (orig_mesh, orig_stats) =
+        marching_tetrahedra(field.as_slice(), field.dims(), DBZ_ISOVALUE, |i, j, k| {
+            coords.position(i, j, k)
+        });
 
     // (b) filtered: every block reduced to its 8 corners, then rendered.
     let mut filt_mesh = TriangleMesh::new();
@@ -46,7 +44,9 @@ pub fn run(scale: &Scale) {
         filt_stats.merge(stats);
         // Rebuild the reduced field for the colormap comparison (what a
         // visualization algorithm reconstructs, §IV-C).
-        filtered_field.insert(ext, &reduced.samples()).expect("insert reconstruction");
+        filtered_field
+            .insert(ext, &reduced.samples())
+            .expect("insert reconstruction");
     }
 
     // Render both meshes with the same camera.
@@ -71,10 +71,18 @@ pub fn run(scale: &Scale) {
     let img_d = cmap.render_slice(&filtered_field, k_plane);
 
     let dir = out_dir();
-    img_a.write_ppm(&dir.join("fig01a_original_iso.ppm")).expect("write a");
-    img_b.write_ppm(&dir.join("fig01b_filtered_iso.ppm")).expect("write b");
-    img_c.write_ppm(&dir.join("fig01c_original_cmap.ppm")).expect("write c");
-    img_d.write_ppm(&dir.join("fig01d_filtered_cmap.ppm")).expect("write d");
+    img_a
+        .write_ppm(&dir.join("fig01a_original_iso.ppm"))
+        .expect("write a");
+    img_b
+        .write_ppm(&dir.join("fig01b_filtered_iso.ppm"))
+        .expect("write b");
+    img_c
+        .write_ppm(&dir.join("fig01c_original_cmap.ppm"))
+        .expect("write c");
+    img_d
+        .write_ppm(&dir.join("fig01d_filtered_cmap.ppm"))
+        .expect("write d");
 
     // The paper's headline for this figure: 50 s (original, 400 cores)
     // vs 1 s (filtered). Model the max-rank render time at 400 ranks.

@@ -52,7 +52,11 @@ pub fn run(scale: &Scale) {
     }
     let mut headers: Vec<&str> = vec![""];
     headers.extend(metrics.iter().map(|m| m.name()));
-    print_table("Fig 3 — Spearman rank correlation between metrics", &headers, &table);
+    print_table(
+        "Fig 3 — Spearman rank correlation between metrics",
+        &headers,
+        &table,
+    );
     println!(
         "paper observations to check: all pairs agree on the flat blocks \
          (strong positive rho everywhere), VAR~TRILIN is among the highest pairs."

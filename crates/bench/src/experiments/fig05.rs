@@ -26,7 +26,9 @@ pub fn run(ctx: &Ctx, scale: &Scale) {
                 format!("{max:.1}"),
                 format!("{comm:.2}"),
             ]);
-            csv.push(format!("{nranks},{label},{avg:.4},{min:.4},{max:.4},{comm:.4}"));
+            csv.push(format!(
+                "{nranks},{label},{avg:.4},{min:.4},{max:.4},{comm:.4}"
+            ));
             avg
         };
 

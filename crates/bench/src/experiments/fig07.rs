@@ -46,7 +46,10 @@ pub fn run(ctx: &Ctx, scale: &Scale) {
             series
                 .iter()
                 .min_by(|a, b| {
-                    (a.0 - p).abs().partial_cmp(&(b.0 - p).abs()).expect("finite")
+                    (a.0 - p)
+                        .abs()
+                        .partial_cmp(&(b.0 - p).abs())
+                        .expect("finite")
                 })
                 .expect("non-empty sweep")
                 .1

@@ -20,7 +20,10 @@ pub fn run(ctx: &Ctx, scale: &Scale) {
             let mut pair = (0.0, 0.0);
             for (idx, (label, strat)) in [
                 ("RR", Redistribution::RoundRobin),
-                ("SHUFFLE", Redistribution::RandomShuffle { seed: scale.seed }),
+                (
+                    "SHUFFLE",
+                    Redistribution::RandomShuffle { seed: scale.seed },
+                ),
             ]
             .into_iter()
             .enumerate()

@@ -19,7 +19,10 @@ pub fn run(ctx: &Ctx, scale: &Scale) {
         let strategies = [
             ("NONE", Redistribution::None),
             ("RR", Redistribution::RoundRobin),
-            ("SHUFFLE", Redistribution::RandomShuffle { seed: scale.seed }),
+            (
+                "SHUFFLE",
+                Redistribution::RandomShuffle { seed: scale.seed },
+            ),
         ];
         // The whole percent × strategy grid goes through one rank session,
         // flattened row-major (strategy fastest).
@@ -28,7 +31,9 @@ pub fn run(ctx: &Ctx, scale: &Scale) {
             .iter()
             .flat_map(|&p| {
                 strategies.iter().map(move |&(_, strat)| {
-                    PipelineConfig::default().with_redistribution(strat).with_fixed_percent(p)
+                    PipelineConfig::default()
+                        .with_redistribution(strat)
+                        .with_fixed_percent(p)
                 })
             })
             .collect();

@@ -28,12 +28,14 @@ pub(crate) fn run_adaptation(
     let mut csv = Vec::new();
     for &nranks in &scale.rank_counts {
         let prepared = ctx.at(nranks);
-        let iters = prepared.iterations[..scale.adapt_iters.min(prepared.iterations.len())]
-            .to_vec();
+        let iters =
+            prepared.iterations[..scale.adapt_iters.min(prepared.iterations.len())].to_vec();
         println!("\n== {title}, {nranks} ranks ==");
         // All targets replay through one rank session.
-        let configs: Vec<PipelineConfig> =
-            targets_for(nranks).iter().map(|&t| config_for_target(t)).collect();
+        let configs: Vec<PipelineConfig> = targets_for(nranks)
+            .iter()
+            .map(|&t| config_for_target(t))
+            .collect();
         let swept = prepared.run_sweep(&configs, &iters);
         for (&target, reports) in targets_for(nranks).iter().zip(&swept) {
             let times: Vec<f64> = reports.iter().map(|r| r.t_total).collect();

@@ -58,7 +58,12 @@ impl Scale {
     }
 
     pub fn full() -> Self {
-        Self { sweep: (0..=20).map(|i| i as f64 * 5.0).collect(), component_iters: 10, adapt_iters: 30, ..Self::quick() }
+        Self {
+            sweep: (0..=20).map(|i| i as f64 * 5.0).collect(),
+            component_iters: 10,
+            adapt_iters: 30,
+            ..Self::quick()
+        }
     }
 
     /// Reads `APC_SCALE` (`full` or anything else ⇒ quick), `APC_THREADS`
@@ -109,7 +114,9 @@ pub fn exec_from_env() -> ExecPolicy {
 
 /// [`exec_from_env`]'s parser, split out for testing.
 pub fn exec_from_str(var: Option<&str>) -> ExecPolicy {
-    let Some(raw) = var else { return ExecPolicy::Serial };
+    let Some(raw) = var else {
+        return ExecPolicy::Serial;
+    };
     let s = raw.trim();
     if s == "auto" {
         return ExecPolicy::auto();
@@ -126,8 +133,7 @@ pub fn exec_from_str(var: Option<&str>) -> ExecPolicy {
 
 /// Output directory for CSVs and images: `target/experiments/`.
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     std::fs::create_dir_all(&dir).expect("create experiment output dir");
     dir
 }
@@ -191,7 +197,10 @@ mod tests {
         assert_eq!(exec_from_str(Some("1")), ExecPolicy::Serial);
         assert_eq!(exec_from_str(Some("8")), ExecPolicy::Threads(8));
         assert_eq!(exec_from_str(Some(" 4 ")), ExecPolicy::Threads(4));
-        assert!(matches!(exec_from_str(Some("auto")), ExecPolicy::Serial | ExecPolicy::Threads(_)));
+        assert!(matches!(
+            exec_from_str(Some("auto")),
+            ExecPolicy::Serial | ExecPolicy::Threads(_)
+        ));
     }
 
     #[test]

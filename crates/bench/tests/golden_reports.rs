@@ -29,13 +29,19 @@ use apc_core::{ExecPolicy, IterationReport, PipelineConfig, Prepared, Redistribu
 const SEED: u64 = 42;
 
 fn golden_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
 }
 
 fn render_csv(rows: &[(String, Vec<IterationReport>)]) -> String {
     let mut out = String::new();
-    writeln!(out, "config,{}", IterationReport::csv_header().replace(char::is_whitespace, ""))
-        .unwrap();
+    writeln!(
+        out,
+        "config,{}",
+        IterationReport::csv_header().replace(char::is_whitespace, "")
+    )
+    .unwrap();
     for (label, reports) in rows {
         for r in reports {
             writeln!(out, "{label},{}", r.to_csv_row()).unwrap();
@@ -62,16 +68,16 @@ impl Golden {
             NetModel::blue_waters(),
         );
         let component_iters = prepared.subset(3);
-        Self { prepared, component_iters, adapt_iters: iterations, mismatches: Vec::new() }
+        Self {
+            prepared,
+            component_iters,
+            adapt_iters: iterations,
+            mismatches: Vec::new(),
+        }
     }
 
     /// Sweep `configs` over `iters` and compare (or rewrite) the fixture.
-    fn check(
-        &mut self,
-        name: &str,
-        labeled: Vec<(String, PipelineConfig)>,
-        iters: &[usize],
-    ) {
+    fn check(&mut self, name: &str, labeled: Vec<(String, PipelineConfig)>, iters: &[usize]) {
         let configs: Vec<PipelineConfig> = labeled.iter().map(|(_, c)| c.clone()).collect();
         let swept = self.prepared.run_sweep(&configs, iters);
         let rows: Vec<(String, Vec<IterationReport>)> = labeled
@@ -106,9 +112,14 @@ impl Golden {
                 .find(|(_, (a, b))| a != b)
                 .map(|(i, (a, b))| format!("first diff at line {}:\n  -{a}\n  +{b}", i + 1))
                 .unwrap_or_else(|| {
-                    format!("line count {} -> {}", want.lines().count(), got.lines().count())
+                    format!(
+                        "line count {} -> {}",
+                        want.lines().count(),
+                        got.lines().count()
+                    )
                 });
-            self.mismatches.push(format!("{name}: report bytes changed; {diff}"));
+            self.mismatches
+                .push(format!("{name}: report bytes changed; {diff}"));
         }
     }
 }
@@ -123,7 +134,10 @@ fn fig06_to_fig11_reports_match_golden_fixtures() {
         [0.0, 80.0, 90.0, 98.0, 100.0]
             .iter()
             .map(|&p| {
-                (format!("p{p:.0}"), PipelineConfig::default().with_fixed_percent(p))
+                (
+                    format!("p{p:.0}"),
+                    PipelineConfig::default().with_fixed_percent(p),
+                )
             })
             .collect(),
         &g.component_iters.clone(),
@@ -135,7 +149,10 @@ fn fig06_to_fig11_reports_match_golden_fixtures() {
         [0.0, 20.0, 40.0, 70.0, 90.0, 100.0]
             .iter()
             .map(|&p| {
-                (format!("p{p:.0}"), PipelineConfig::default().with_fixed_percent(p))
+                (
+                    format!("p{p:.0}"),
+                    PipelineConfig::default().with_fixed_percent(p),
+                )
             })
             .collect(),
         &g.component_iters.clone(),

@@ -26,7 +26,11 @@ fn tiny_prepared(nranks: usize, seed: u64, n_iters: usize) -> Prepared {
 fn assert_bitwise_equal(a: &[IterationReport], b: &[IterationReport], what: &str) {
     assert_eq!(a.len(), b.len(), "{what}: length mismatch");
     for (x, y) in a.iter().zip(b) {
-        assert_eq!(x, y, "{what}: reports diverged at iteration {}", x.iteration);
+        assert_eq!(
+            x, y,
+            "{what}: reports diverged at iteration {}",
+            x.iteration
+        );
         for (fx, fy) in [
             (x.t_score, y.t_score),
             (x.t_sort, y.t_sort),
@@ -54,7 +58,11 @@ fn fig07_style_sweep_is_byte_identical_to_spawn_per_run() {
     let percents = [0.0, 40.0, 80.0, 100.0];
     let configs: Vec<PipelineConfig> = percents
         .iter()
-        .map(|&p| PipelineConfig::default().deterministic().with_fixed_percent(p))
+        .map(|&p| {
+            PipelineConfig::default()
+                .deterministic()
+                .with_fixed_percent(p)
+        })
         .collect();
 
     // One session, one shared stats cache, four configurations.
@@ -92,7 +100,9 @@ fn sweeping_two_isovalues_produces_different_triangle_counts() {
     let iters = prepared.subset(1);
     let configs = [
         PipelineConfig::default().deterministic(), // the paper's 45 dBZ
-        PipelineConfig::default().deterministic().with_isovalue(20.0),
+        PipelineConfig::default()
+            .deterministic()
+            .with_isovalue(20.0),
     ];
     let swept = prepared.run_sweep(&configs, &iters);
     let (hot, cool) = (&swept[0], &swept[1]);
@@ -122,7 +132,9 @@ fn sweeping_two_isovalues_produces_different_triangle_counts() {
 fn heterogeneous_sweep_matches_spawn_per_run() {
     let prepared = tiny_prepared(4, 7, 2);
     let iters = prepared.iterations.clone();
-    let mut sample_sort_cfg = PipelineConfig::default().deterministic().with_fixed_percent(60.0);
+    let mut sample_sort_cfg = PipelineConfig::default()
+        .deterministic()
+        .with_fixed_percent(60.0);
     sample_sort_cfg.sort = apc_core::SortStrategy::SampleSort;
     let configs = [
         PipelineConfig::default()
@@ -154,8 +166,12 @@ fn warm_cache_rerun_is_exact() {
     let prepared = tiny_prepared(4, 42, 2);
     let iters = prepared.subset(2);
     let configs = [
-        PipelineConfig::default().deterministic().with_fixed_percent(30.0),
-        PipelineConfig::default().deterministic().with_isovalue(20.0),
+        PipelineConfig::default()
+            .deterministic()
+            .with_fixed_percent(30.0),
+        PipelineConfig::default()
+            .deterministic()
+            .with_isovalue(20.0),
     ];
     let cold = prepared.run_sweep(&configs, &iters);
     let warm = prepared.run_sweep(&configs, &iters);

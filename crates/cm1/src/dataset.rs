@@ -8,7 +8,9 @@
 //! documented in DESIGN.md §2; the full-size decomposition is available for
 //! anyone with the memory budget.
 
-use apc_grid::{Block, BlockId, Dims3, DomainDecomp, Field3, GridError, ProcGrid, RectilinearCoords};
+use apc_grid::{
+    Block, BlockId, Dims3, DomainDecomp, Field3, GridError, ProcGrid, RectilinearCoords,
+};
 
 use crate::storm::StormModel;
 
@@ -26,7 +28,11 @@ impl ReflectivityDataset {
     /// axes get the CM1-style stretched border (§II-A).
     pub fn new(decomp: DomainDecomp, storm: StormModel) -> Self {
         let coords = RectilinearCoords::stretched(decomp.domain(), 1.0, 8, 1.12);
-        Self { decomp, coords, storm }
+        Self {
+            decomp,
+            coords,
+            storm,
+        }
     }
 
     /// The paper's experiment geometry at 1:5 scale: 440×440×76 domain,
@@ -88,7 +94,9 @@ impl ReflectivityDataset {
         if n == 1 {
             return vec![start];
         }
-        (0..n).map(|i| start + i * (total - 1 - start) / (n - 1)).collect()
+        (0..n)
+            .map(|i| start + i * (total - 1 - start) / (n - 1))
+            .collect()
     }
 
     /// The whole-domain field at `iteration` (examples / image rendering).
@@ -100,7 +108,8 @@ impl ReflectivityDataset {
     /// extent (what a real CM1 rank would hand the in situ library).
     pub fn rank_field(&self, iteration: usize, rank: usize) -> Field3 {
         let ext = self.decomp.subdomain_extent(rank);
-        self.storm.reflectivity_on(&self.coords, ext.lo, ext.dims(), iteration)
+        self.storm
+            .reflectivity_on(&self.coords, ext.lo, ext.dims(), iteration)
     }
 
     /// One rank's blocks at `iteration`, in the decomposition's block
@@ -115,11 +124,23 @@ impl ReflectivityDataset {
                 let ext = self.decomp.block_extent(id);
                 // Re-base the block extent into subdomain-local indices.
                 let local = apc_grid::Extent3::new(
-                    (ext.lo.0 - sub.lo.0, ext.lo.1 - sub.lo.1, ext.lo.2 - sub.lo.2),
-                    (ext.hi.0 - sub.lo.0, ext.hi.1 - sub.lo.1, ext.hi.2 - sub.lo.2),
+                    (
+                        ext.lo.0 - sub.lo.0,
+                        ext.lo.1 - sub.lo.1,
+                        ext.lo.2 - sub.lo.2,
+                    ),
+                    (
+                        ext.hi.0 - sub.lo.0,
+                        ext.hi.1 - sub.lo.1,
+                        ext.hi.2 - sub.lo.2,
+                    ),
                 );
                 let data = field.extract(local).expect("block inside subdomain");
-                Block { id, extent: ext, data: apc_grid::BlockData::Full(data) }
+                Block {
+                    id,
+                    extent: ext,
+                    data: apc_grid::BlockData::Full(data),
+                }
             })
             .collect()
     }
@@ -128,8 +149,14 @@ impl ReflectivityDataset {
     /// whole subdomain).
     pub fn block(&self, iteration: usize, id: BlockId) -> Block {
         let ext = self.decomp.block_extent(id);
-        let field = self.storm.reflectivity_on(&self.coords, ext.lo, ext.dims(), iteration);
-        Block { id, extent: ext, data: apc_grid::BlockData::Full(field.into_vec()) }
+        let field = self
+            .storm
+            .reflectivity_on(&self.coords, ext.lo, ext.dims(), iteration);
+        Block {
+            id,
+            extent: ext,
+            data: apc_grid::BlockData::Full(field.into_vec()),
+        }
     }
 }
 
@@ -173,11 +200,11 @@ mod tests {
             let sub = ds.rank_field(200, rank);
             let ext = ds.decomp().subdomain_extent(rank);
             // Spot-check a few points.
-            for &(i, j, k) in &[(0, 0, 0), (3, 5, 7), (9, 9, 9).min((
-                ext.dims().nx - 1,
-                ext.dims().ny - 1,
-                ext.dims().nz - 1,
-            ))] {
+            for &(i, j, k) in &[
+                (0, 0, 0),
+                (3, 5, 7),
+                (9, 9, 9).min((ext.dims().nx - 1, ext.dims().ny - 1, ext.dims().nz - 1)),
+            ] {
                 assert_eq!(
                     sub.get(i, j, k),
                     full.get(ext.lo.0 + i, ext.lo.1 + j, ext.lo.2 + k),
@@ -219,7 +246,11 @@ mod tests {
         let mut per_rank = Vec::new();
         for rank in 0..16 {
             let f = ds.rank_field(iter, rank);
-            let hot = f.as_slice().iter().filter(|&&v| v > crate::DBZ_ISOVALUE).count();
+            let hot = f
+                .as_slice()
+                .iter()
+                .filter(|&&v| v > crate::DBZ_ISOVALUE)
+                .count();
             per_rank.push(hot);
         }
         let max = *per_rank.iter().max().unwrap() as f64;

@@ -81,7 +81,11 @@ fn read_u32(r: &mut impl Read) -> io::Result<u32> {
 }
 
 fn read_dims(r: &mut impl Read) -> io::Result<Dims3> {
-    Ok(Dims3::new(read_u32(r)? as usize, read_u32(r)? as usize, read_u32(r)? as usize))
+    Ok(Dims3::new(
+        read_u32(r)? as usize,
+        read_u32(r)? as usize,
+        read_u32(r)? as usize,
+    ))
 }
 
 /// File name used for iteration `it` under a dataset directory.
@@ -161,10 +165,14 @@ impl IterationFile {
         let iteration = read_u32(&mut file)? as usize;
         let mut seed_b = [0u8; 8];
         file.read_exact(&mut seed_b)?;
-        let decomp =
-            DomainDecomp::new(domain, ProcGrid::new(procs.nx, procs.ny, procs.nz), block)
-                .map_err(IoError::BadGeometry)?;
-        Ok(Self { file, decomp, iteration, seed: u64::from_le_bytes(seed_b) })
+        let decomp = DomainDecomp::new(domain, ProcGrid::new(procs.nx, procs.ny, procs.nz), block)
+            .map_err(IoError::BadGeometry)?;
+        Ok(Self {
+            file,
+            decomp,
+            iteration,
+            seed: u64::from_le_bytes(seed_b),
+        })
     }
 
     pub fn decomp(&self) -> &DomainDecomp {
@@ -223,7 +231,9 @@ impl StoredDataset {
         for entry in std::fs::read_dir(dir)? {
             let name = entry?.file_name();
             let name = name.to_string_lossy();
-            if let Some(num) = name.strip_prefix("iter_").and_then(|s| s.strip_suffix(".apcd"))
+            if let Some(num) = name
+                .strip_prefix("iter_")
+                .and_then(|s| s.strip_suffix(".apcd"))
             {
                 if let Ok(it) = num.parse::<usize>() {
                     iterations.push(it);
@@ -234,7 +244,10 @@ impl StoredDataset {
             return Err(IoError::BadHeader("no iteration files found"));
         }
         iterations.sort_unstable();
-        Ok(Self { dir: dir.to_path_buf(), iterations })
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            iterations,
+        })
     }
 
     pub fn iterations(&self) -> &[usize] {
@@ -311,7 +324,10 @@ mod tests {
     #[test]
     fn empty_dir_is_error() {
         let dir = tmp_dir("empty");
-        assert!(matches!(StoredDataset::open(&dir), Err(IoError::BadHeader(_))));
+        assert!(matches!(
+            StoredDataset::open(&dir),
+            Err(IoError::BadHeader(_))
+        ));
     }
 
     #[test]

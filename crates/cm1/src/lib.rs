@@ -33,15 +33,15 @@ pub mod hydro;
 pub mod io;
 pub mod noise;
 pub mod solver;
-pub mod storm;
 pub mod store;
+pub mod storm;
 
 pub use dataset::ReflectivityDataset;
 pub use hydro::{reflectivity_from_hydrometeors, reflectivity_from_hydrometeors_at, Hydrometeors};
 pub use io::StoredDataset;
 pub use noise::{fbm3, value_noise3};
-pub use store::{open_dataset, write_dataset, write_dataset_to, StoredTimeSeries};
 pub use solver::AdvectionSolver;
+pub use store::{open_dataset, write_dataset, write_dataset_to, StoredTimeSeries};
 pub use storm::StormModel;
 
 /// Reflectivity bounds in dBZ — the known range the ITL metric relies on

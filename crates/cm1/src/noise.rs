@@ -107,8 +107,9 @@ mod tests {
 
     #[test]
     fn has_variation() {
-        let vals: Vec<f32> =
-            (0..100).map(|i| value_noise3(i as f32 * 0.37, 0.0, 0.0, 3)).collect();
+        let vals: Vec<f32> = (0..100)
+            .map(|i| value_noise3(i as f32 * 0.37, 0.0, 0.0, 3))
+            .collect();
         let min = vals.iter().cloned().fold(f32::MAX, f32::min);
         let max = vals.iter().cloned().fold(f32::MIN, f32::max);
         assert!(max - min > 0.5, "noise too flat: [{min}, {max}]");

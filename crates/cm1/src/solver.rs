@@ -26,7 +26,13 @@ pub struct AdvectionSolver {
 
 impl AdvectionSolver {
     pub fn new(initial: Field3, storm: StormModel) -> Self {
-        Self { field: initial, storm, dt: 1.0, kappa: 0.05, step_count: 0 }
+        Self {
+            field: initial,
+            storm,
+            dt: 1.0,
+            kappa: 0.05,
+            step_count: 0,
+        }
     }
 
     pub fn field(&self) -> &Field3 {
@@ -54,9 +60,16 @@ impl AdvectionSolver {
         let cx = x.clamp(0.0, (d.nx - 1) as f32);
         let cy = y.clamp(0.0, (d.ny - 1) as f32);
         let cz = z.clamp(0.0, (d.nz - 1) as f32);
-        let (i0, j0, k0) = (cx.floor() as usize, cy.floor() as usize, cz.floor() as usize);
-        let (i1, j1, k1) =
-            ((i0 + 1).min(d.nx - 1), (j0 + 1).min(d.ny - 1), (k0 + 1).min(d.nz - 1));
+        let (i0, j0, k0) = (
+            cx.floor() as usize,
+            cy.floor() as usize,
+            cz.floor() as usize,
+        );
+        let (i1, j1, k1) = (
+            (i0 + 1).min(d.nx - 1),
+            (j0 + 1).min(d.ny - 1),
+            (k0 + 1).min(d.nz - 1),
+        );
         let (u, v, w) = (cx - i0 as f32, cy - j0 as f32, cz - k0 as f32);
         let c000 = field.get(i0, j0, k0);
         let c100 = field.get(i1, j0, k0);
@@ -151,7 +164,10 @@ mod tests {
             solver.step(it * 50);
         }
         let (lo, hi) = solver.field().min_max().unwrap();
-        assert!(lo >= lo0 - 1e-5 && hi <= hi0 + 1e-5, "[{lo}, {hi}] vs [{lo0}, {hi0}]");
+        assert!(
+            lo >= lo0 - 1e-5 && hi <= hi0 + 1e-5,
+            "[{lo}, {hi}] vs [{lo0}, {hi0}]"
+        );
     }
 
     #[test]

@@ -20,8 +20,7 @@ use std::path::Path;
 
 use apc_grid::{Block, BlockData, BlockId, DomainDecomp, RectilinearCoords};
 use apc_store::{
-    ChunkedDataset, CodecKind, DatasetMeta, DirStore, DynChunkedDataset, StoreBackend,
-    StoreError,
+    ChunkedDataset, CodecKind, DatasetMeta, DirStore, DynChunkedDataset, StoreBackend, StoreError,
 };
 
 use crate::dataset::ReflectivityDataset;
@@ -231,11 +230,21 @@ mod tests {
         let (BlockData::Full(a), BlockData::Full(b)) = (&exact.data, &lossy.data) else {
             panic!("full blocks expected")
         };
-        let max_err = a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
+        let max_err = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
         // Reflectivity spans ~[-60, 80]; the lifting can amplify the cut
         // by a small factor, so allow the conservative 8x envelope.
-        assert!(max_err <= 8.0 * tol * 80.0f32.log2().ceil(), "err {max_err}");
-        assert!(max_err > 0.0, "zfpx at tol {tol} should not be bit-exact here");
+        assert!(
+            max_err <= 8.0 * tol * 80.0f32.log2().ceil(),
+            "err {max_err}"
+        );
+        assert!(
+            max_err > 0.0,
+            "zfpx at tol {tol} should not be bit-exact here"
+        );
     }
 
     #[test]

@@ -34,13 +34,19 @@ pub struct StormModel {
 
 impl Default for StormModel {
     fn default() -> Self {
-        Self { seed: 0xC1_5EED, n_iterations: 572 }
+        Self {
+            seed: 0xC1_5EED,
+            n_iterations: 572,
+        }
     }
 }
 
 impl StormModel {
     pub fn new(seed: u64) -> Self {
-        Self { seed, ..Self::default() }
+        Self {
+            seed,
+            ..Self::default()
+        }
     }
 
     /// Normalized time `τ ∈ [0, 1]` of an iteration.
@@ -161,8 +167,7 @@ impl StormModel {
         }
 
         // Saturation floor: evaporate the faint tail, renormalize the rest.
-        ((env - Self::CONDENSATE_FLOOR).max(0.0) / (1.0 - Self::CONDENSATE_FLOOR))
-            .clamp(0.0, 1.0)
+        ((env - Self::CONDENSATE_FLOOR).max(0.0) / (1.0 - Self::CONDENSATE_FLOOR)).clamp(0.0, 1.0)
     }
 
     /// Wind field (normalized units/iteration) at `p`, time `τ`: steering
@@ -257,8 +262,9 @@ impl StormModel {
         let norm = Self::normalizer(coords);
         let tau = self.tau(iteration);
         // Global normalized height of each z-plane of this sub-box.
-        let heights: Vec<f32> =
-            (0..dims.nz).map(|k| norm(offset.0, offset.1, offset.2 + k)[2]).collect();
+        let heights: Vec<f32> = (0..dims.nz)
+            .map(|k| norm(offset.0, offset.1, offset.2 + k)[2])
+            .collect();
         let mut dbz = crate::hydro::reflectivity_from_hydrometeors_at(&hydro, &heights);
         // Clear-air background: weak, *flat* noise near the sensitivity
         // floor. Real clear air returns essentially nothing to the radar;
@@ -310,7 +316,11 @@ mod tests {
     fn condensate_is_bounded_and_deterministic() {
         let m = StormModel::default();
         for i in 0..200 {
-            let p = [(i % 20) as f32 / 20.0, (i / 20) as f32 / 10.0, (i % 7) as f32 / 7.0];
+            let p = [
+                (i % 20) as f32 / 20.0,
+                (i / 20) as f32 / 10.0,
+                (i % 7) as f32 / 7.0,
+            ];
             let c = m.condensate(p, 0.5);
             assert!((0.0..=1.0).contains(&c), "condensate {c} at {p:?}");
             assert_eq!(c, m.condensate(p, 0.5));
@@ -330,7 +340,10 @@ mod tests {
 
     #[test]
     fn weak_echo_region_carves_the_low_levels() {
-        let m = StormModel { seed: 1, ..Default::default() };
+        let m = StormModel {
+            seed: 1,
+            ..Default::default()
+        };
         let tau = 0.5;
         let c = m.center(tau);
         // At the WER position, low-level condensate is depressed relative
@@ -350,7 +363,10 @@ mod tests {
         let f = m.reflectivity(&coords, 300);
         let (lo, hi) = f.min_max().unwrap();
         assert!(lo >= DBZ_MIN && hi <= DBZ_MAX, "range [{lo}, {hi}]");
-        assert!(hi > DBZ_ISOVALUE, "storm must pierce the 45 dBZ isovalue, max {hi}");
+        assert!(
+            hi > DBZ_ISOVALUE,
+            "storm must pierce the 45 dBZ isovalue, max {hi}"
+        );
         assert!(lo < -40.0, "clear air must stay near the floor, min {lo}");
     }
 
@@ -389,7 +405,10 @@ mod tests {
         let c1 = m.center(m.tau(571));
         let d = ((c1[0] - c0[0]).powi(2) + (c1[1] - c0[1]).powi(2)).sqrt();
         assert!(d > 0.2, "storm should traverse the domain, moved {d}");
-        assert!(c1[0] < 0.85 && c1[1] < 0.85, "storm must stay inside the domain");
+        assert!(
+            c1[0] < 0.85 && c1[1] < 0.85,
+            "storm must stay inside the domain"
+        );
     }
 
     #[test]

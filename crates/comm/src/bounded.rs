@@ -1,0 +1,348 @@
+//! Bounded stage queues: the flow-controlled point-to-point channels that
+//! dedicated-core staging is built on (`apc-stage`).
+//!
+//! A queue connects one producer rank (a simulation rank) to one consumer
+//! rank (a staging rank). Data rides the ordinary epoch-stamped envelope
+//! layer — non-overtaking per `(src, tag)`, isolated per session run — on a
+//! pair of reserved internal tags, so *what* moves is exactly a normal
+//! message; what the queue adds is **capacity semantics in virtual time**:
+//!
+//! * **Credit flow** ([`FlowControl::Credit`]): the producer may have at
+//!   most `depth` messages enqueued beyond the one the consumer is
+//!   servicing. Before enqueueing message `k ≥ depth` it receives the
+//!   consumer's credit for message `k − depth`; the ordinary clock-merge
+//!   semantics of [`Rank::recv`] turn that receive into exactly the right
+//!   virtual-time behavior — if the credit's arrival predates the
+//!   producer's clock the wait costs nothing (the queue had room), and if
+//!   it postdates it the merge *is* the producer's stall. Backpressure
+//!   policies that block or degrade are built on this flow.
+//! * **Lossy flow** ([`FlowControl::Lossy`]): no credits — the producer
+//!   never stalls, and the consumer decides (in virtual time, from the
+//!   recorded arrival timestamps) which messages overflowed the queue and
+//!   were dropped. [`QueueReceiver::dequeue_deferred`] supports this by
+//!   receiving *without* touching the consumer clock; the caller settles
+//!   the clock via [`Rank::merge_clock_to`] plus the ingest charge when a
+//!   surviving message actually enters service.
+//!
+//! Every blocking wait here goes through the runtime's receive path, so
+//! the `APC_RECV_TIMEOUT` deadlock machinery applies unchanged: a producer
+//! stranded on a credit because its consumer panicked fails loudly within
+//! the timeout and poisons the session, exactly like any other stranded
+//! receive (guarded by the stager-panic case in `tests/session_stress.rs`).
+
+use crate::meter::Meter;
+use crate::p2p::Tag;
+use crate::runtime::Rank;
+
+/// How a queue bounds its capacity. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowControl {
+    /// Credit-based: the producer stalls (in virtual time) when the queue
+    /// is full.
+    Credit,
+    /// No flow control: the producer never stalls; the consumer accounts
+    /// overflow drops itself from the deferred arrival timestamps.
+    Lossy,
+}
+
+/// Highest channel id; keeps the reserved stage-tag range well clear of
+/// the other internal tags and of any realistic user tag.
+const MAX_CHANNEL: u32 = 1 << 16;
+
+fn data_tag(channel: u32) -> Tag {
+    assert!(
+        channel < MAX_CHANNEL,
+        "stage channel {channel} out of range"
+    );
+    Tag(Tag::STAGE_BASE - 2 * channel)
+}
+
+fn credit_tag(channel: u32) -> Tag {
+    assert!(
+        channel < MAX_CHANNEL,
+        "stage channel {channel} out of range"
+    );
+    Tag(Tag::STAGE_BASE - 2 * channel - 1)
+}
+
+/// Producer half of a bounded queue to `dst`.
+#[derive(Debug)]
+pub struct QueueSender {
+    dst: usize,
+    channel: u32,
+    depth: usize,
+    flow: FlowControl,
+    seq: u64,
+}
+
+impl QueueSender {
+    /// A queue of `depth` waiting slots toward `dst` on `channel` (both
+    /// halves must agree on the channel; one logical queue per
+    /// `(producer, consumer, channel)` triple).
+    pub fn new(dst: usize, channel: u32, depth: usize, flow: FlowControl) -> Self {
+        assert!(depth >= 1, "queue depth must be at least one");
+        Self {
+            dst,
+            channel,
+            depth,
+            flow,
+            seq: 0,
+        }
+    }
+
+    /// Messages enqueued so far.
+    pub fn enqueued(&self) -> u64 {
+        self.seq
+    }
+
+    /// Enqueue `msg`, returning the virtual stall this enqueue cost the
+    /// producer (always `0.0` under [`FlowControl::Lossy`]; under credit
+    /// flow it is the queue-full wait — the time the producer spent ahead
+    /// of the credit's arrival — exactly zero whenever the queue had
+    /// room). The fixed software cost of receiving the credit (its ingest
+    /// charge) is still paid on the clock, but counts as enqueue overhead,
+    /// not stall.
+    pub fn enqueue<M: Meter + Send + 'static>(&mut self, rank: &mut Rank, msg: M) -> f64 {
+        let mut stall = 0.0;
+        if self.flow == FlowControl::Credit && self.seq >= self.depth as u64 {
+            let expect = self.seq - self.depth as u64;
+            let before = rank.clock();
+            let (ack, arrival, bytes) =
+                rank.recv_with_arrival::<u64>(self.dst, credit_tag(self.channel));
+            debug_assert_eq!(ack, expect, "stage credit out of sequence");
+            stall = (arrival - before).max(0.0);
+            rank.merge_clock_to(arrival);
+            let ingest = rank.net().ingest(bytes);
+            rank.advance(ingest);
+        }
+        rank.send(self.dst, data_tag(self.channel), msg);
+        self.seq += 1;
+        stall
+    }
+}
+
+/// One dequeued message plus its virtual-time coordinates.
+#[derive(Debug)]
+pub struct Dequeued<M> {
+    pub msg: M,
+    /// Virtual time at which the message finished arriving (producer
+    /// timestamp + modeled wire time).
+    pub arrival: f64,
+    /// Metered payload size (what the ingest charge is based on).
+    pub bytes: usize,
+}
+
+/// Consumer half of a bounded queue from `src`.
+#[derive(Debug)]
+pub struct QueueReceiver {
+    src: usize,
+    channel: u32,
+    flow: FlowControl,
+    seq: u64,
+}
+
+impl QueueReceiver {
+    pub fn new(src: usize, channel: u32, flow: FlowControl) -> Self {
+        Self {
+            src,
+            channel,
+            flow,
+            seq: 0,
+        }
+    }
+
+    /// Messages dequeued so far.
+    pub fn dequeued(&self) -> u64 {
+        self.seq
+    }
+
+    /// Blocking dequeue: merges the arrival into the consumer's clock,
+    /// charges the ingest cost, and — under credit flow — releases the
+    /// slot by sending the credit back (stamped with the consumer's clock,
+    /// which is what makes a stalled producer resume at the right virtual
+    /// time).
+    pub fn dequeue<M: Send + 'static>(&mut self, rank: &mut Rank) -> Dequeued<M> {
+        let d = self.dequeue_deferred(rank);
+        rank.merge_clock_to(d.arrival);
+        let ingest = rank.net().ingest(d.bytes);
+        rank.advance(ingest);
+        if self.flow == FlowControl::Credit {
+            rank.send(self.src, credit_tag(self.channel), self.seq - 1);
+        }
+        d
+    }
+
+    /// Dequeue without touching the consumer's clock and without releasing
+    /// a credit — the lossy drain primitive. The caller settles virtual
+    /// time itself ([`Rank::merge_clock_to`] to the service start, then
+    /// [`Rank::advance`] by `rank.net().ingest(bytes)` for the messages it
+    /// actually consumes).
+    pub fn dequeue_deferred<M: Send + 'static>(&mut self, rank: &mut Rank) -> Dequeued<M> {
+        let (msg, arrival, bytes) = rank.recv_with_arrival(self.src, data_tag(self.channel));
+        self.seq += 1;
+        Dequeued {
+            msg,
+            arrival,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netmodel::NetModel;
+    use crate::runtime::Runtime;
+
+    /// A producer that is faster than its consumer must stall once the
+    /// queue fills, and the steady-state stall equals the service surplus.
+    #[test]
+    fn credit_flow_stalls_fast_producer() {
+        let depth = 2;
+        let frames = 12;
+        let out = Runtime::new(2, NetModel::free()).run(|rank| {
+            if rank.rank() == 0 {
+                let mut tx = QueueSender::new(1, 0, depth, FlowControl::Credit);
+                let mut stalls = Vec::new();
+                for k in 0..frames {
+                    rank.advance(1.0); // produce: 1 s/frame
+                    stalls.push(tx.enqueue(rank, k as u64));
+                }
+                (stalls, rank.clock())
+            } else {
+                let mut rx = QueueReceiver::new(0, 0, FlowControl::Credit);
+                for _ in 0..frames {
+                    let _ = rx.dequeue::<u64>(rank);
+                    rank.advance(3.0); // service: 3 s/frame
+                }
+                (Vec::new(), rank.clock())
+            }
+        });
+        let (stalls, _) = &out[0];
+        // First `depth + 1` frames ride free (depth waiting + one in
+        // service); after that the producer pays the 2 s/frame surplus.
+        assert_eq!(stalls[0], 0.0);
+        assert_eq!(stalls[1], 0.0);
+        for s in &stalls[4..] {
+            assert!((s - 2.0).abs() < 1e-9, "steady-state stall 2 s, got {s}");
+        }
+        let total: f64 = stalls.iter().sum();
+        assert!(total > 0.0);
+    }
+
+    /// A consumer faster than its producer never induces a stall.
+    #[test]
+    fn credit_flow_free_when_consumer_keeps_up() {
+        let out = Runtime::new(2, NetModel::free()).run(|rank| {
+            if rank.rank() == 0 {
+                let mut tx = QueueSender::new(1, 0, 1, FlowControl::Credit);
+                let mut total = 0.0;
+                for k in 0..10u64 {
+                    rank.advance(1.0);
+                    total += tx.enqueue(rank, k);
+                }
+                total
+            } else {
+                let mut rx = QueueReceiver::new(0, 0, FlowControl::Credit);
+                for _ in 0..10 {
+                    let _ = rx.dequeue::<u64>(rank);
+                    rank.advance(0.25);
+                }
+                0.0
+            }
+        });
+        assert_eq!(out[0], 0.0, "no stall when the consumer keeps up");
+    }
+
+    /// Lossy flow never stalls the producer, and deferred dequeues leave
+    /// the consumer clock untouched until it settles them itself.
+    #[test]
+    fn lossy_flow_never_stalls_and_defers_clock() {
+        let out = Runtime::new(2, NetModel::free()).run(|rank| {
+            if rank.rank() == 0 {
+                let mut tx = QueueSender::new(1, 0, 1, FlowControl::Lossy);
+                let mut total = 0.0;
+                for k in 0..20u64 {
+                    rank.advance(0.01);
+                    total += tx.enqueue(rank, k);
+                }
+                total
+            } else {
+                let mut rx = QueueReceiver::new(0, 0, FlowControl::Lossy);
+                let mut arrivals = Vec::new();
+                for _ in 0..20 {
+                    let d = rx.dequeue_deferred::<u64>(rank);
+                    arrivals.push(d.arrival);
+                    assert_eq!(
+                        rank.clock(),
+                        0.0,
+                        "deferred dequeue must not move the clock"
+                    );
+                }
+                assert!(
+                    arrivals.windows(2).all(|w| w[1] >= w[0]),
+                    "arrivals are monotone"
+                );
+                rank.merge_clock_to(*arrivals.last().unwrap());
+                rank.clock()
+            }
+        });
+        assert_eq!(out[0], 0.0, "lossy producers never stall");
+    }
+
+    /// Messages keep their payloads and order through the queue, and the
+    /// wire/ingest charges follow the ordinary NetModel accounting.
+    #[test]
+    fn queue_charges_netmodel_costs() {
+        let net = NetModel {
+            latency: 1e-3,
+            bandwidth: 1e6,
+            ..NetModel::free()
+        };
+        let out = Runtime::new(2, net).run(|rank| {
+            if rank.rank() == 0 {
+                let mut tx = QueueSender::new(1, 0, 4, FlowControl::Credit);
+                for k in 0..3 {
+                    tx.enqueue(rank, vec![k as f32; 1000]); // 4000 B each
+                }
+                Vec::new()
+            } else {
+                let mut rx = QueueReceiver::new(0, 0, FlowControl::Credit);
+                (0..3)
+                    .map(|_| rx.dequeue::<Vec<f32>>(rank).msg[0])
+                    .collect::<Vec<f32>>()
+            }
+        });
+        assert_eq!(out[1], vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth must be at least one")]
+    fn zero_depth_rejected() {
+        let _ = QueueSender::new(0, 0, 0, FlowControl::Credit);
+    }
+
+    /// Two channels between the same pair of ranks stay independent.
+    #[test]
+    fn channels_are_independent() {
+        let out = Runtime::new(2, NetModel::free()).run(|rank| {
+            if rank.rank() == 0 {
+                let mut a = QueueSender::new(1, 0, 2, FlowControl::Credit);
+                let mut b = QueueSender::new(1, 1, 2, FlowControl::Credit);
+                a.enqueue(rank, 10u64);
+                b.enqueue(rank, 20u64);
+                a.enqueue(rank, 11u64);
+                0
+            } else {
+                let mut a = QueueReceiver::new(0, 0, FlowControl::Credit);
+                let mut b = QueueReceiver::new(0, 1, FlowControl::Credit);
+                let b0 = b.dequeue::<u64>(rank).msg;
+                let a0 = a.dequeue::<u64>(rank).msg;
+                let a1 = a.dequeue::<u64>(rank).msg;
+                assert_eq!((a0, a1, b0), (10, 11, 20));
+                1
+            }
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+}

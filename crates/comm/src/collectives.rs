@@ -30,8 +30,7 @@ impl Rank {
             let mut max_clock = f64::MIN;
             let mut vals = Vec::with_capacity(slots.len());
             for slot in slots.iter() {
-                let (epoch, t, payload) =
-                    slot.as_ref().expect("missing collective contribution");
+                let (epoch, t, payload) = slot.as_ref().expect("missing collective contribution");
                 assert_eq!(
                     *epoch, self.epoch,
                     "collective contribution from another session run"
@@ -66,10 +65,18 @@ impl Rank {
         value: Option<M>,
     ) -> M {
         assert!(root < self.nranks(), "invalid root rank {root}");
-        assert_eq!(value.is_some(), self.id == root, "exactly the root must supply a value");
+        assert_eq!(
+            value.is_some(),
+            self.id == root,
+            "exactly the root must supply a value"
+        );
         let n = self.nranks();
         let (vals, max_clock) = self.rendezvous(value);
-        let out = vals.into_iter().nth(root).flatten().expect("root supplied no value");
+        let out = vals
+            .into_iter()
+            .nth(root)
+            .flatten()
+            .expect("root supplied no value");
         self.clock = max_clock + self.net().broadcast(n, out.nbytes());
         out
     }
@@ -108,10 +115,18 @@ impl Rank {
         values: Option<Vec<M>>,
     ) -> M {
         assert!(root < self.nranks(), "invalid root rank {root}");
-        assert_eq!(values.is_some(), self.id == root, "exactly the root must supply values");
+        assert_eq!(
+            values.is_some(),
+            self.id == root,
+            "exactly the root must supply values"
+        );
         let n = self.nranks();
         let (vals, max_clock) = self.rendezvous(values);
-        let all = vals.into_iter().nth(root).flatten().expect("root supplied values");
+        let all = vals
+            .into_iter()
+            .nth(root)
+            .flatten()
+            .expect("root supplied values");
         // Validate *after* the rendezvous so a bad argument panics on every
         // rank together instead of deadlocking the barrier.
         assert_eq!(all.len(), n, "scatter needs one value per rank");
@@ -200,7 +215,11 @@ impl Rank {
         mut outgoing: Vec<Vec<M>>,
     ) -> Vec<Vec<M>> {
         let n = self.nranks();
-        assert_eq!(outgoing.len(), n, "alltoallv needs one outgoing batch per rank");
+        assert_eq!(
+            outgoing.len(),
+            n,
+            "alltoallv needs one outgoing batch per rank"
+        );
         let mut incoming: Vec<Vec<M>> = (0..n).map(|_| Vec::new()).collect();
         incoming[self.id] = std::mem::take(&mut outgoing[self.id]);
         // Post all sends first (non-blocking), then drain receives.
@@ -241,7 +260,11 @@ mod tests {
     #[test]
     fn broadcast_delivers_root_value() {
         let out = Runtime::new(4, NetModel::free()).run(|rank| {
-            let v = if rank.rank() == 2 { Some(vec![9u32, 8, 7]) } else { None };
+            let v = if rank.rank() == 2 {
+                Some(vec![9u32, 8, 7])
+            } else {
+                None
+            };
             rank.broadcast(2, v)
         });
         for v in out {
@@ -305,8 +328,8 @@ mod tests {
 
     #[test]
     fn exclusive_scan_prefixes() {
-        let out = Runtime::new(4, NetModel::free())
-            .run(|rank| rank.exclusive_scan(1u32, |a, b| a + b));
+        let out =
+            Runtime::new(4, NetModel::free()).run(|rank| rank.exclusive_scan(1u32, |a, b| a + b));
         assert_eq!(out, vec![None, Some(1), Some(2), Some(3)]);
     }
 
@@ -366,7 +389,11 @@ mod tests {
 
     #[test]
     fn collective_charges_network_time() {
-        let net = NetModel { latency: 1e-3, bandwidth: 1e6, ..NetModel::free() };
+        let net = NetModel {
+            latency: 1e-3,
+            bandwidth: 1e6,
+            ..NetModel::free()
+        };
         let clocks = Runtime::new(4, net).run(|rank| {
             let _ = rank.allgather(vec![0.0f32; 250]); // 1000 bytes each
             rank.clock()

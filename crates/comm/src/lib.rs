@@ -26,6 +26,10 @@
 //!   execution stays laptop-scale and deterministic.
 //! * **Distributed sorting** ([`sort`]): the paper's gather-sort-broadcast
 //!   (§IV-C) plus a real parallel sample sort used as an ablation.
+//! * **Bounded stage queues** ([`bounded`]): flow-controlled producer →
+//!   consumer channels (credit-based or lossy) whose capacity semantics
+//!   live in virtual time — the substrate of `apc-stage`'s dedicated-core
+//!   asynchronous in situ mode.
 //!
 //! ```
 //! use apc_comm::{NetModel, Runtime};
@@ -37,6 +41,7 @@
 //! assert_eq!(sums, vec![10, 10, 10, 10]);
 //! ```
 
+pub mod bounded;
 pub mod collectives;
 pub mod meter;
 pub mod netmodel;
@@ -44,6 +49,7 @@ pub mod p2p;
 pub mod runtime;
 pub mod sort;
 
+pub use bounded::{Dequeued, FlowControl, QueueReceiver, QueueSender};
 pub use meter::Meter;
 pub use netmodel::NetModel;
 pub use p2p::{Request, Tag};

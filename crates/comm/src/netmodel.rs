@@ -123,8 +123,7 @@ impl NetModel {
             return 0.0;
         }
         let frac = (nranks - 1) as f64 / nranks as f64;
-        Self::tree_depth(nranks) as f64 * self.latency
-            + frac * total_bytes as f64 / self.bandwidth
+        Self::tree_depth(nranks) as f64 * self.latency + frac * total_bytes as f64 / self.bandwidth
     }
 
     /// Reduce/allreduce of `bytes` per rank (Rabenseifner-style model:
@@ -210,6 +209,10 @@ mod tests {
         // accumulates per message.
         let one = n.ingest(9200);
         assert!((one - 9200.0 * 125.0 * 1.05e-8).abs() < 1e-12);
-        assert!(98.0 * one > 1.0 && 98.0 * one < 1.5, "total = {}", 98.0 * one);
+        assert!(
+            98.0 * one > 1.0 && 98.0 * one < 1.5,
+            "total = {}",
+            98.0 * one
+        );
     }
 }

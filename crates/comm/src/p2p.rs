@@ -22,6 +22,10 @@ impl Tag {
     pub(crate) const ALLTOALLV: Tag = Tag(u32::MAX);
     /// Internal tag used by [`crate::sort::sample_sort`].
     pub(crate) const SAMPLE_SORT: Tag = Tag(u32::MAX - 1);
+    /// Base of the internal tag pairs used by [`crate::bounded`] stage
+    /// queues; channel `c` occupies `STAGE_BASE - 2c` (data) and
+    /// `STAGE_BASE - 2c - 1` (credits).
+    pub(crate) const STAGE_BASE: u32 = u32::MAX - 2;
 }
 
 pub(crate) struct Envelope {
@@ -67,7 +71,9 @@ impl Rank {
             bytes,
             payload: Box::new(msg),
         };
-        self.senders[dst].send(env).expect("destination rank hung up");
+        self.senders[dst]
+            .send(env)
+            .expect("destination rank hung up");
     }
 
     /// Non-blocking send. With eager buffering this is identical to
@@ -79,27 +85,49 @@ impl Rank {
     /// Blocking receive of a message from `src` with `tag`. Merges the
     /// sender's clock plus the modeled transfer time into this rank's clock.
     pub fn recv<M: Send + 'static>(&mut self, src: usize, tag: Tag) -> M {
-        assert!(src < self.nranks(), "invalid source rank {src}");
-        let env = self.pop_matching(src, tag);
-        let arrival = env.ts + self.net().p2p(env.bytes);
+        let (msg, arrival, bytes) = self.recv_with_arrival(src, tag);
         self.merge_clock(arrival);
         // Receiver-side software cost (deserialization/ingest). Additive,
         // so a rank receiving many messages pays for each of them.
-        let ingest = self.net().ingest(env.bytes);
+        let ingest = self.net().ingest(bytes);
         self.advance(ingest);
-        *env.payload.downcast::<M>().unwrap_or_else(|_| {
+        msg
+    }
+
+    /// Blocking receive that does **not** touch the consumer's clock:
+    /// returns the payload together with its virtual arrival time
+    /// (sender timestamp plus modeled wire time) and its metered size.
+    /// Callers that defer clock accounting — the lossy stage queues in
+    /// [`crate::bounded`] pull messages ahead of the consumer clock and settle
+    /// when a frame is actually consumed — charge the merge and the ingest
+    /// cost themselves.
+    pub(crate) fn recv_with_arrival<M: Send + 'static>(
+        &mut self,
+        src: usize,
+        tag: Tag,
+    ) -> (M, f64, usize) {
+        assert!(src < self.nranks(), "invalid source rank {src}");
+        let env = self.pop_matching(src, tag);
+        let arrival = env.ts + self.net().p2p(env.bytes);
+        let bytes = env.bytes;
+        let msg = *env.payload.downcast::<M>().unwrap_or_else(|_| {
             panic!(
                 "rank {} received type mismatch from rank {src} tag {tag:?} \
                  (expected {})",
                 self.id,
                 std::any::type_name::<M>()
             )
-        })
+        });
+        (msg, arrival, bytes)
     }
 
     /// Post a non-blocking receive for `(src, tag)`.
     pub fn irecv<M: Send + 'static>(&mut self, src: usize, tag: Tag) -> Request<M> {
-        Request { src, tag, _m: PhantomData }
+        Request {
+            src,
+            tag,
+            _m: PhantomData,
+        }
     }
 
     /// Complete a set of posted receives, in any arrival order.
@@ -157,7 +185,9 @@ mod tests {
                 }
                 vec![]
             } else {
-                (0..10).map(|_| rank.recv::<u32>(0, Tag(5))).collect::<Vec<u32>>()
+                (0..10)
+                    .map(|_| rank.recv::<u32>(0, Tag(5)))
+                    .collect::<Vec<u32>>()
             }
         });
         assert_eq!(out[1], (0..10).collect::<Vec<u32>>());
@@ -165,7 +195,11 @@ mod tests {
 
     #[test]
     fn recv_advances_clock_by_latency_and_bandwidth() {
-        let net = NetModel { latency: 1e-3, bandwidth: 1e6, ..NetModel::free() };
+        let net = NetModel {
+            latency: 1e-3,
+            bandwidth: 1e6,
+            ..NetModel::free()
+        };
         let clocks = Runtime::new(2, net).run(|rank| {
             if rank.rank() == 0 {
                 // 4000-byte message: 1 ms latency + 4 ms transfer.
@@ -180,7 +214,10 @@ mod tests {
 
     #[test]
     fn receiver_later_than_sender_keeps_its_clock() {
-        let net = NetModel { latency: 1e-3, ..NetModel::free() };
+        let net = NetModel {
+            latency: 1e-3,
+            ..NetModel::free()
+        };
         let clocks = Runtime::new(2, net).run(|rank| {
             if rank.rank() == 0 {
                 rank.send(1, Tag(0), 1u8);

@@ -61,9 +61,7 @@ pub fn parse_recv_timeout(var: Option<&str>) -> Duration {
 /// The effective receive timeout (read from the environment once).
 fn recv_timeout() -> Duration {
     static TIMEOUT: OnceLock<Duration> = OnceLock::new();
-    *TIMEOUT.get_or_init(|| {
-        parse_recv_timeout(std::env::var("APC_RECV_TIMEOUT").ok().as_deref())
-    })
+    *TIMEOUT.get_or_init(|| parse_recv_timeout(std::env::var("APC_RECV_TIMEOUT").ok().as_deref()))
 }
 
 /// A deposited collective contribution: `(epoch, virtual clock, payload)`.
@@ -85,7 +83,12 @@ pub(crate) struct TimeoutBarrier {
 
 impl TimeoutBarrier {
     fn new(n: usize, timeout: Duration) -> Self {
-        Self { n, timeout, state: Mutex::new((0, 0)), cvar: Condvar::new() }
+        Self {
+            n,
+            timeout,
+            state: Mutex::new((0, 0)),
+            cvar: Condvar::new(),
+        }
     }
 
     pub fn wait(&self) {
@@ -142,7 +145,12 @@ pub struct Runtime {
 impl Runtime {
     pub fn new(nranks: usize, net: NetModel) -> Self {
         assert!(nranks > 0, "need at least one rank");
-        Self { nranks, net, stack_size: 4 << 20, timeout: None }
+        Self {
+            nranks,
+            net,
+            stack_size: 4 << 20,
+            timeout: None,
+        }
     }
 
     /// Per-rank thread stack size (default 4 MiB).
@@ -243,7 +251,14 @@ impl Runtime {
         // Workers hold the only envelope senders, so a rank that stops
         // (panic) makes sends to it fail loudly instead of queueing forever.
         drop(txs);
-        Session { nranks: n, epoch: 0, poisoned: false, job_txs, status_rxs, handles }
+        Session {
+            nranks: n,
+            epoch: 0,
+            poisoned: false,
+            job_txs,
+            status_rxs,
+            handles,
+        }
     }
 
     /// Run `f` on every rank concurrently; returns the per-rank results in
@@ -354,18 +369,27 @@ impl Session {
         T: Send,
         F: Fn(&mut Rank) -> T + Sync,
     {
-        assert!(!self.poisoned, "session poisoned by a panic in an earlier run");
+        assert!(
+            !self.poisoned,
+            "session poisoned by a panic in an earlier run"
+        );
         self.epoch += 1;
         let n = self.nranks;
         let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        let ctx = RunCtx::<T, F> { f: &f, results: results.as_mut_ptr() };
+        let ctx = RunCtx::<T, F> {
+            f: &f,
+            results: results.as_mut_ptr(),
+        };
         let data = &ctx as *const RunCtx<T, F> as *const ();
 
         let mut dispatch_failed = false;
         let mut dispatched = 0;
         for tx in &self.job_txs {
-            let job =
-                RawJob { epoch: self.epoch, data: SendPtr(data), call: call_spmd::<T, F> };
+            let job = RawJob {
+                epoch: self.epoch,
+                data: SendPtr(data),
+                call: call_spmd::<T, F>,
+            };
             if tx.send(job).is_err() {
                 // Worker thread gone without poisoning us first — should be
                 // unreachable; fail loudly after draining the ranks that did
@@ -497,6 +521,15 @@ impl Rank {
         }
     }
 
+    /// Advance the clock to at least `t` (no-op if the clock is already
+    /// past it). This is the "wait until" primitive for consumers that
+    /// account arrival times themselves — the staging engine settles a
+    /// lossy queue's deferred arrivals with it when a frame enters
+    /// service.
+    pub fn merge_clock_to(&mut self, t: f64) {
+        self.merge_clock(t);
+    }
+
     pub(crate) fn pop_matching(&mut self, src: usize, tag: Tag) -> Envelope {
         if let Some(pos) = self
             .stash
@@ -571,7 +604,10 @@ mod tests {
             let rt = Runtime::new(n, NetModel::free());
             let budget = rt.thread_budget();
             assert!(budget >= 1, "budget is at least one thread");
-            assert!(n * budget <= cores.max(n), "{n} ranks × {budget} threads > {cores} cores");
+            assert!(
+                n * budget <= cores.max(n),
+                "{n} ranks × {budget} threads > {cores} cores"
+            );
         }
         let budgets = Runtime::new(3, NetModel::free()).run(|rank| rank.thread_budget());
         assert_eq!(budgets, vec![thread_budget(3); 3]);
@@ -607,7 +643,11 @@ mod tests {
         });
         let second = session.run(|rank| rank.clock());
         assert_eq!(first, vec![5.0; 3]);
-        assert_eq!(second, vec![0.0; 3], "each run starts from a fresh virtual clock");
+        assert_eq!(
+            second,
+            vec![0.0; 3],
+            "each run starts from a fresh virtual clock"
+        );
     }
 
     #[test]
@@ -712,14 +752,21 @@ mod tests {
         let one_shot = runtime.run(job);
         let mut session = runtime.session();
         for _ in 0..3 {
-            assert_eq!(session.run(job), one_shot, "session runs mirror one-shot runs");
+            assert_eq!(
+                session.run(job),
+                one_shot,
+                "session runs mirror one-shot runs"
+            );
         }
     }
 
     #[test]
     fn recv_timeout_parsing() {
         assert_eq!(parse_recv_timeout(None), RECV_TIMEOUT_DEFAULT);
-        assert_eq!(parse_recv_timeout(Some("2.5")), Duration::from_secs_f64(2.5));
+        assert_eq!(
+            parse_recv_timeout(Some("2.5")),
+            Duration::from_secs_f64(2.5)
+        );
         assert_eq!(parse_recv_timeout(Some(" 30 ")), Duration::from_secs(30));
     }
 

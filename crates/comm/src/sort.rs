@@ -84,7 +84,9 @@ where
     let splitters: Vec<K> = if all_samples.is_empty() {
         Vec::new()
     } else {
-        (1..n).map(|i| all_samples[i * all_samples.len() / n].clone()).collect()
+        (1..n)
+            .map(|i| all_samples[i * all_samples.len() / n].clone())
+            .collect()
     };
 
     // Partition the sorted local run into n buckets.
@@ -150,7 +152,9 @@ mod tests {
     }
 
     fn assert_sorted(v: &[(u32, f64)]) {
-        assert!(v.windows(2).all(|w| cmp_pairs(&w[0], &w[1]) != Ordering::Greater));
+        assert!(v
+            .windows(2)
+            .all(|w| cmp_pairs(&w[0], &w[1]) != Ordering::Greater));
     }
 
     #[test]
@@ -169,12 +173,10 @@ mod tests {
     #[test]
     fn sample_sort_matches_gsb() {
         let (a, b) = {
-            let gsb = Runtime::new(4, NetModel::blue_waters()).run(|rank| {
-                gather_sort_broadcast(rank, scored_pairs(rank.rank(), 40), cmp_pairs)
-            });
-            let ss = Runtime::new(4, NetModel::blue_waters()).run(|rank| {
-                sample_sort(rank, scored_pairs(rank.rank(), 40), cmp_pairs)
-            });
+            let gsb = Runtime::new(4, NetModel::blue_waters())
+                .run(|rank| gather_sort_broadcast(rank, scored_pairs(rank.rank(), 40), cmp_pairs));
+            let ss = Runtime::new(4, NetModel::blue_waters())
+                .run(|rank| sample_sort(rank, scored_pairs(rank.rank(), 40), cmp_pairs));
             (gsb, ss)
         };
         assert_eq!(a[0], b[0]);
@@ -212,12 +214,11 @@ mod tests {
         // Sweeps re-run the global sort many times over one session; the
         // internal SAMPLE_SORT p2p tags must not leak between runs.
         let mut session = Runtime::new(4, NetModel::blue_waters()).session();
-        let gsb = session.run(|rank| {
-            gather_sort_broadcast(rank, scored_pairs(rank.rank(), 40), cmp_pairs)
-        });
+        let gsb = session
+            .run(|rank| gather_sort_broadcast(rank, scored_pairs(rank.rank(), 40), cmp_pairs));
         for _ in 0..2 {
-            let ss = session
-                .run(|rank| sample_sort(rank, scored_pairs(rank.rank(), 40), cmp_pairs));
+            let ss =
+                session.run(|rank| sample_sort(rank, scored_pairs(rank.rank(), 40), cmp_pairs));
             assert_eq!(gsb[0], ss[0], "session reuse must not perturb the sort");
             assert_sorted(&ss[2]);
         }
@@ -232,6 +233,10 @@ mod tests {
         });
         assert!(clocks[0] > 0.0);
         // Must stay tiny relative to rendering (order of ms for 2k pairs).
-        assert!(clocks[0] < 0.1, "sort cost unexpectedly large: {}", clocks[0]);
+        assert!(
+            clocks[0] < 0.1,
+            "sort cost unexpectedly large: {}",
+            clocks[0]
+        );
     }
 }

@@ -12,7 +12,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use apc_comm::{NetModel, Runtime, Tag};
+use apc_comm::{FlowControl, NetModel, QueueReceiver, QueueSender, Runtime, Tag};
 use apc_par::SplitMix64;
 
 const ROUNDS: usize = 10;
@@ -49,13 +49,13 @@ fn randomized_rank_panics_complete_or_poison_never_deadlock() {
 
     for round in 0..ROUNDS {
         let nranks = 2 + rng.below(4); // 2..=5 ranks
-        let mut session =
-            Runtime::new(nranks, NetModel::free()).deadlock_timeout(TIMEOUT).session();
+        let mut session = Runtime::new(nranks, NetModel::free())
+            .deadlock_timeout(TIMEOUT)
+            .session();
         let runs = 1 + rng.below(8);
         for run_idx in 0..runs {
             // ~1/3 of runs sabotage one rank at a random site.
-            let inject_site = (rng.below(3) == 0)
-                .then(|| (rng.below(nranks), rng.below(3)));
+            let inject_site = (rng.below(3) == 0).then(|| (rng.below(nranks), rng.below(3)));
             let t0 = Instant::now();
             let result = catch_unwind(AssertUnwindSafe(|| {
                 session.run(|rank| job(rank, inject_site))
@@ -102,17 +102,78 @@ fn randomized_rank_panics_complete_or_poison_never_deadlock() {
             let t0 = Instant::now();
             let refused = catch_unwind(AssertUnwindSafe(|| session.run(|_| ())));
             assert!(refused.is_err(), "poisoned session accepted a run");
-            assert!(t0.elapsed() < Duration::from_secs(1), "refusal must be immediate");
+            assert!(
+                t0.elapsed() < Duration::from_secs(1),
+                "refusal must be immediate"
+            );
         }
     }
 
-    assert!(injected_total > 0, "seed never injected a panic — stress test is vacuous");
-    assert!(clean_total > 0, "seed never ran a clean job — stress test is vacuous");
+    assert!(
+        injected_total > 0,
+        "seed never injected a panic — stress test is vacuous"
+    );
+    assert!(
+        clean_total > 0,
+        "seed never ran a clean job — stress test is vacuous"
+    );
     assert!(
         overall.elapsed() < Duration::from_secs(120),
         "stress suite exceeded its wall budget: {:?}",
         overall.elapsed()
     );
+}
+
+/// The staged-queue failure story: simulation ranks feed a stager through
+/// credit-flow bounded queues; the stager panics after consuming one
+/// frame. The producers are then stranded waiting for credits that will
+/// never come — exactly the shape of a dead helper core. The
+/// `APC_RECV_TIMEOUT` deadlock machinery must turn that into a loud panic
+/// within the timeout (never a hang), the panic must poison the session,
+/// and a fresh session must recover.
+#[test]
+fn stager_panic_fails_blocked_producers_instead_of_stranding_them() {
+    const NRANKS: usize = 4; // ranks 0..3 produce, rank 3 stages
+    const FRAMES: usize = 5;
+    let runtime = Runtime::new(NRANKS, NetModel::free()).deadlock_timeout(TIMEOUT);
+    let mut session = runtime.session();
+
+    let t0 = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        session.run(|rank| {
+            let r = rank.rank();
+            if r < NRANKS - 1 {
+                // Producer: depth-1 credited queue to the stager. Frame 2
+                // needs the credit for frame 1, which the dead stager
+                // never sends — the recv must time out, not hang.
+                let mut tx = QueueSender::new(NRANKS - 1, 0, 1, FlowControl::Credit);
+                for k in 0..FRAMES as u64 {
+                    tx.enqueue(rank, vec![k as f32; 64]);
+                }
+            } else {
+                let mut rxs: Vec<QueueReceiver> = (0..NRANKS - 1)
+                    .map(|src| QueueReceiver::new(src, 0, FlowControl::Credit))
+                    .collect();
+                for rx in &mut rxs {
+                    let _ = rx.dequeue::<Vec<f32>>(rank);
+                }
+                panic!("stager died mid-run");
+            }
+        })
+    }));
+    let elapsed = t0.elapsed();
+    assert!(result.is_err(), "the run must fail, not complete");
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "blocked producers must fail within the deadlock timeout, took {elapsed:?}"
+    );
+    assert!(session.is_poisoned(), "a dead stager poisons the session");
+
+    // Recovery: drop the poisoned session, a fresh one works.
+    drop(session);
+    let mut fresh = runtime.session();
+    let sums = fresh.run(|rank| rank.allreduce(1u64, |a, b| a + b));
+    assert_eq!(sums, vec![NRANKS as u64; NRANKS]);
 }
 
 #[test]

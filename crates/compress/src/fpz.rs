@@ -33,7 +33,11 @@ fn float_to_ordered(v: f32) -> u32 {
 /// Inverse of [`float_to_ordered`].
 #[inline]
 fn ordered_to_float(m: u32) -> f32 {
-    let bits = if m & 0x8000_0000 != 0 { m & 0x7FFF_FFFF } else { !m };
+    let bits = if m & 0x8000_0000 != 0 {
+        m & 0x7FFF_FFFF
+    } else {
+        !m
+    };
     f32::from_bits(bits)
 }
 
@@ -92,7 +96,11 @@ impl FloatCodec for Fpz {
         let (nx, ny, nz) = shape;
         assert_eq!(data.len(), nx * ny * nz, "shape/data mismatch");
         let ordered: Vec<u32> = data.iter().map(|&v| float_to_ordered(v)).collect();
-        let ctx = Lorenzo { data: &ordered, nx, ny };
+        let ctx = Lorenzo {
+            data: &ordered,
+            nx,
+            ny,
+        };
         let mut w = BitWriter::new();
         let mut idx = 0;
         let mut prev_nbits = 0i32;
@@ -140,7 +148,12 @@ impl FloatCodec for Fpz {
                         _ => (r.read_bits(nbits - 1)? as u32) | (1 << (nbits - 1)),
                     };
                     let residual = unzigzag(m);
-                    let pred = Lorenzo { data: &ordered, nx, ny }.predict(i, j, k);
+                    let pred = Lorenzo {
+                        data: &ordered,
+                        nx,
+                        ny,
+                    }
+                    .predict(i, j, k);
                     ordered[idx] = pred.wrapping_add(residual as u32);
                     idx += 1;
                 }
@@ -228,8 +241,9 @@ mod tests {
     fn smooth_beats_noise() {
         let shape = (8, 8, 8);
         let smooth: Vec<f32> = (0..512).map(|i| (i as f32 * 0.01).sin()).collect();
-        let noise: Vec<f32> =
-            (0..512).map(|i| ((i as f32 * 12.9898).sin() * 43758.547).fract() * 100.0).collect();
+        let noise: Vec<f32> = (0..512)
+            .map(|i| ((i as f32 * 12.9898).sin() * 43758.547).fract() * 100.0)
+            .collect();
         let c = Fpz;
         assert!(c.encode(&smooth, shape).len() < c.encode(&noise, shape).len());
     }
@@ -239,14 +253,18 @@ mod tests {
         let shape = (8, 8, 8);
         let data = vec![7.5f32; 512];
         let ratio = Fpz.compressed_ratio(&data, shape);
-        assert!(ratio < 0.1, "constant block ratio should be tiny, got {ratio}");
+        assert!(
+            ratio < 0.1,
+            "constant block ratio should be tiny, got {ratio}"
+        );
     }
 
     #[test]
     fn truncated_stream_is_error() {
         let shape = (4, 4, 4);
-        let data: Vec<f32> =
-            (0..64).map(|i| ((i as f32 * 12.9898).sin() * 43758.547).fract()).collect();
+        let data: Vec<f32> = (0..64)
+            .map(|i| ((i as f32 * 12.9898).sin() * 43758.547).fract())
+            .collect();
         let enc = Fpz.encode(&data, shape);
         assert!(Fpz.decode(&enc[..enc.len() / 2], shape).is_err());
     }

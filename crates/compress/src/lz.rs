@@ -186,12 +186,16 @@ mod tests {
     fn roundtrip_ramp_and_noise() {
         let ramp: Vec<f32> = (0..512).map(|i| i as f32).collect();
         roundtrip(&ramp, (8, 8, 8));
-        let noise: Vec<f32> =
-            (0..512).map(|i| ((i as f32 * 12.9898).sin() * 43758.547).fract()).collect();
+        let noise: Vec<f32> = (0..512)
+            .map(|i| ((i as f32 * 12.9898).sin() * 43758.547).fract())
+            .collect();
         let n = roundtrip(&noise, (8, 8, 8));
         // Incompressible data may expand slightly but never by more than
         // 1/128 (one control byte per 128 literals) plus slack.
-        assert!(n <= 512 * 4 + 512 * 4 / 128 + 8, "noise expanded too much: {n}");
+        assert!(
+            n <= 512 * 4 + 512 * 4 / 128 + 8,
+            "noise expanded too much: {n}"
+        );
     }
 
     #[test]
@@ -217,11 +221,20 @@ mod tests {
 
     #[test]
     fn corrupt_streams_rejected() {
-        assert!(decompress_bytes(&[0x05, 0x01], 6).is_err(), "literal run past end");
+        assert!(
+            decompress_bytes(&[0x05, 0x01], 6).is_err(),
+            "literal run past end"
+        );
         assert!(decompress_bytes(&[0x80], 4).is_err(), "truncated match");
-        assert!(decompress_bytes(&[0x80, 0x05, 0x00], 4).is_err(), "offset into nothing");
+        assert!(
+            decompress_bytes(&[0x80, 0x05, 0x00], 4).is_err(),
+            "offset into nothing"
+        );
         let ok = decompress_bytes(&[0x00, 0x01], 1).unwrap();
         assert_eq!(ok, vec![0x01]);
-        assert!(decompress_bytes(&[0x00, 0x01], 2).is_err(), "length mismatch");
+        assert!(
+            decompress_bytes(&[0x00, 0x01], 2).is_err(),
+            "length mismatch"
+        );
     }
 }

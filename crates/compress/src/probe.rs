@@ -24,7 +24,9 @@ pub fn probe_ratios<C: FloatCodec + Sync>(
     policy: ExecPolicy,
 ) -> Vec<f64> {
     let policy = policy.for_kernel(recommended_concurrency(arrays.len()));
-    par_map(policy, arrays, |(data, shape)| codec.compressed_ratio(data, *shape))
+    par_map(policy, arrays, |(data, shape)| {
+        codec.compressed_ratio(data, *shape)
+    })
 }
 
 /// Probe one array against several codecs concurrently (the

@@ -380,7 +380,10 @@ mod tests {
     }
 
     fn max_err(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
     }
 
     #[test]
@@ -412,8 +415,9 @@ mod tests {
     #[test]
     fn tighter_tolerance_costs_more_bits() {
         let shape = (8, 8, 8);
-        let data: Vec<f32> =
-            (0..512).map(|i| ((i as f32 * 12.9898).sin() * 43758.547).fract() * 50.0).collect();
+        let data: Vec<f32> = (0..512)
+            .map(|i| ((i as f32 * 12.9898).sin() * 43758.547).fract() * 50.0)
+            .collect();
         let loose = Zfpx { tolerance: 1.0 }.encode(&data, shape).len();
         let tight = Zfpx { tolerance: 1e-3 }.encode(&data, shape).len();
         assert!(tight > loose, "tight {tight} loose {loose}");
@@ -424,6 +428,8 @@ mod tests {
         let shape = (8, 8, 8);
         let data: Vec<f32> = (0..512).map(|i| (i as f32 * 0.37).sin() * 30.0).collect();
         let enc = Zfpx::default().encode(&data, shape);
-        assert!(Zfpx::default().decode(&enc[..enc.len() / 3], shape).is_err());
+        assert!(Zfpx::default()
+            .decode(&enc[..enc.len() / 3], shape)
+            .is_err());
     }
 }

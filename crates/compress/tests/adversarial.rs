@@ -79,7 +79,12 @@ fn lossless_codecs_roundtrip_nan_inf_negzero_bit_exact() {
         let shape = arb_shape(&mut rng);
         let data = special_payload(&mut rng, shape.0 * shape.1 * shape.2);
         for codec in lossless_codecs() {
-            assert_bit_exact(codec, &data, shape, &format!("special case {case} {shape:?}"));
+            assert_bit_exact(
+                codec,
+                &data,
+                shape,
+                &format!("special case {case} {shape:?}"),
+            );
         }
     }
 }
@@ -122,7 +127,9 @@ fn zfpx_bound_survives_nonfinite_neighbors() {
                 _ => rng.range_f32(-1e3, 1e3),
             })
             .collect();
-        let dec = codec.decode(&codec.encode(&data, shape), shape).expect("zfpx decode");
+        let dec = codec
+            .decode(&codec.encode(&data, shape), shape)
+            .expect("zfpx decode");
         for (a, b) in data.iter().zip(&dec) {
             if a.is_finite() {
                 assert!(
@@ -157,10 +164,15 @@ fn constant_blocks_roundtrip_across_all_codecs() {
             }
             // zfpx: must decode cleanly; exact only for ordinary constants.
             let z = Zfpx::default();
-            let dec = z.decode(&z.encode(&data, shape), shape).expect("zfpx constant");
+            let dec = z
+                .decode(&z.encode(&data, shape), shape)
+                .expect("zfpx constant");
             if c.is_finite() && c.abs() < 1e3 && c.abs() >= 1e-3 || c == 0.0 {
                 for v in &dec {
-                    assert!((v - c).abs() <= 8.0 * z.tolerance, "zfpx constant {c}: got {v}");
+                    assert!(
+                        (v - c).abs() <= 8.0 * z.tolerance,
+                        "zfpx constant {c}: got {v}"
+                    );
                 }
             }
         }
@@ -183,7 +195,9 @@ fn degenerate_shapes_roundtrip() {
                 assert_bit_exact(codec, data, shape, &format!("degenerate {shape:?}"));
             }
             let z = Zfpx { tolerance: 1e-3 };
-            let dec = z.decode(&z.encode(data, shape), shape).expect("zfpx degenerate");
+            let dec = z
+                .decode(&z.encode(data, shape), shape)
+                .expect("zfpx degenerate");
             for (a, b) in data.iter().zip(&dec) {
                 assert!((a - b).abs() <= 8.0 * z.tolerance, "{shape:?}: {a} vs {b}");
             }

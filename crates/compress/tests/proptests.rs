@@ -70,7 +70,10 @@ fn zfpx_error_bounded() {
         for (a, b) in data.iter().zip(&dec) {
             // Separable lifting amplifies the per-plane cut by a small
             // constant factor; 8x is a conservative envelope.
-            assert!((a - b).abs() <= 8.0 * tol, "case {case}: a={a} b={b} tol={tol}");
+            assert!(
+                (a - b).abs() <= 8.0 * tol,
+                "case {case}: a={a} b={b} tol={tol}"
+            );
         }
     }
 }

@@ -2,6 +2,86 @@
 
 use apc_par::ExecPolicy;
 use apc_render::RenderCostModel;
+use apc_stage::BackpressurePolicy;
+
+/// How the in situ pipeline is coupled to the simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InSituMode {
+    /// Time-partitioned (the paper's setup): every rank runs the full
+    /// score→sort→reduce→redistribute→render pipeline inline, so the whole
+    /// visualization cost lands on the simulation's critical path.
+    Synchronous,
+    /// Space-partitioned: a subset of ranks is dedicated to visualization
+    /// and the simulation ranks post their blocks into bounded queues and
+    /// continue — the Damaris-style staging mode implemented by
+    /// `apc-stage` and `crate::staged`.
+    Staged(StagedParams),
+}
+
+/// Parameters of [`InSituMode::Staged`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StagedParams {
+    /// Ranks dedicated to staging, out of the run's total rank count (the
+    /// last `viz_ranks` ranks). The remaining ranks simulate.
+    pub viz_ranks: usize,
+    /// Waiting-slot capacity of each (simulation rank → stager) queue.
+    pub queue_depth: usize,
+    /// What happens when the stagers fall behind.
+    pub policy: BackpressurePolicy,
+    /// Virtual seconds the simulated solver spends computing one
+    /// iteration — the work the staged visualization overlaps with. Zero
+    /// models a solver that produces frames back to back.
+    pub sim_compute: f64,
+    /// Percentage of each simulation rank's lowest-scored blocks reduced
+    /// *before* posting (trades sim-side reduce time for queue bytes);
+    /// zero disables pre-reduction.
+    pub pre_reduce_percent: f64,
+}
+
+impl StagedParams {
+    pub fn new(viz_ranks: usize, queue_depth: usize, policy: BackpressurePolicy) -> Self {
+        assert!(viz_ranks >= 1, "need at least one staging rank");
+        assert!(queue_depth >= 1, "queue depth must be at least one");
+        Self {
+            viz_ranks,
+            queue_depth,
+            policy,
+            sim_compute: 0.0,
+            pre_reduce_percent: 0.0,
+        }
+    }
+
+    /// Set the virtual per-iteration solver compute time.
+    pub fn with_sim_compute(mut self, seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "sim compute time must be finite and non-negative"
+        );
+        self.sim_compute = seconds;
+        self
+    }
+
+    /// Enable sim-side pre-reduction of the `percent` lowest-scored blocks.
+    pub fn with_pre_reduce(mut self, percent: f64) -> Self {
+        assert!(
+            (0.0..=100.0).contains(&percent),
+            "percent must be in [0, 100]"
+        );
+        self.pre_reduce_percent = percent;
+        self
+    }
+
+    /// Check the partition fits a concrete rank count (run-entry guard —
+    /// the rank count is not known when the config is built).
+    pub fn validate(&self, nranks: usize) {
+        assert!(
+            self.viz_ranks < nranks,
+            "staged config dedicates {} of {nranks} ranks to viz; at least one \
+             simulation rank must remain",
+            self.viz_ranks
+        );
+    }
+}
 
 /// Block redistribution strategy (paper §IV-D).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +146,12 @@ pub struct PipelineConfig {
     /// per rank clamp it first so `ranks × threads ≤ cores`
     /// (see [`ExecPolicy::clamp_for_ranks`]).
     pub exec: ExecPolicy,
+    /// How the pipeline couples to the simulation: inline on every rank
+    /// ([`InSituMode::Synchronous`], the default and the paper's setup) or
+    /// asynchronously on dedicated staging ranks ([`InSituMode::Staged`]).
+    /// The experiment drivers dispatch on this; the synchronous
+    /// [`crate::Pipeline`] executor rejects staged configs.
+    pub mode: InSituMode,
 }
 
 impl Default for PipelineConfig {
@@ -82,6 +168,7 @@ impl Default for PipelineConfig {
             cost: RenderCostModel::default(),
             stats_cache: None,
             exec: ExecPolicy::Serial,
+            mode: InSituMode::Synchronous,
         }
     }
 }
@@ -112,13 +199,19 @@ impl PipelineConfig {
     }
 
     pub fn with_fixed_percent(mut self, percent: f64) -> Self {
-        assert!((0.0..=100.0).contains(&percent), "percent must be in [0, 100]");
+        assert!(
+            (0.0..=100.0).contains(&percent),
+            "percent must be in [0, 100]"
+        );
         self.fixed_percent = percent;
         self
     }
 
     pub fn with_max_percent(mut self, max: f64) -> Self {
-        assert!((0.0..=100.0).contains(&max), "max percent must be in [0, 100]");
+        assert!(
+            (0.0..=100.0).contains(&max),
+            "max percent must be in [0, 100]"
+        );
         self.max_percent = max;
         self
     }
@@ -132,6 +225,13 @@ impl PipelineConfig {
     /// Select the intra-rank execution policy for per-block kernels.
     pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Run this configuration in dedicated-core staging mode (see
+    /// [`InSituMode::Staged`] and [`crate::staged`]).
+    pub fn with_staged(mut self, params: StagedParams) -> Self {
+        self.mode = InSituMode::Staged(params);
         self
     }
 
@@ -154,7 +254,11 @@ mod tests {
         assert_eq!(c.redistribution, Redistribution::None);
         assert_eq!(c.fixed_percent, 0.0);
         assert!(c.target_time.is_none());
-        assert_eq!(c.exec, ExecPolicy::Serial, "seed behavior is serial by default");
+        assert_eq!(
+            c.exec,
+            ExecPolicy::Serial,
+            "seed behavior is serial by default"
+        );
     }
 
     #[test]
@@ -180,5 +284,47 @@ mod tests {
     #[should_panic(expected = "percent must be in [0, 100]")]
     fn bad_percent_rejected() {
         let _ = PipelineConfig::default().with_fixed_percent(120.0);
+    }
+
+    #[test]
+    fn default_mode_is_synchronous() {
+        assert_eq!(PipelineConfig::default().mode, InSituMode::Synchronous);
+    }
+
+    #[test]
+    fn staged_builder_carries_params() {
+        let params = StagedParams::new(2, 4, BackpressurePolicy::Block)
+            .with_sim_compute(12.5)
+            .with_pre_reduce(30.0);
+        let c = PipelineConfig::default().with_staged(params);
+        match c.mode {
+            InSituMode::Staged(p) => {
+                assert_eq!(p.viz_ranks, 2);
+                assert_eq!(p.queue_depth, 4);
+                assert_eq!(p.policy, BackpressurePolicy::Block);
+                assert_eq!(p.sim_compute, 12.5);
+                assert_eq!(p.pre_reduce_percent, 30.0);
+            }
+            InSituMode::Synchronous => panic!("builder must switch the mode"),
+        }
+        params.validate(8); // 2 of 8 ranks staged is fine
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one staging rank")]
+    fn staged_zero_viz_rejected() {
+        let _ = StagedParams::new(0, 2, BackpressurePolicy::Block);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one simulation rank")]
+    fn staged_all_viz_rejected() {
+        StagedParams::new(4, 2, BackpressurePolicy::Block).validate(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "sim compute time must be finite")]
+    fn staged_bad_sim_compute_rejected() {
+        let _ = StagedParams::new(1, 1, BackpressurePolicy::Block).with_sim_compute(-1.0);
     }
 }

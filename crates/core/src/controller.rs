@@ -60,7 +60,10 @@ impl BudgetController {
 
     pub fn with_max_percent(target: f64, max_percent: f64) -> Self {
         assert!(target > 0.0, "target time must be positive");
-        assert!((0.0..=100.0).contains(&max_percent), "max percent must be in [0, 100]");
+        assert!(
+            (0.0..=100.0).contains(&max_percent),
+            "max percent must be in [0, 100]"
+        );
         Self {
             target,
             max_percent,
@@ -82,10 +85,20 @@ impl BudgetController {
     /// Record the observed pipeline time for the iteration that just ran at
     /// [`BudgetController::percent`], and compute the next percentage.
     pub fn observe(&mut self, t: f64) -> f64 {
-        let p_cur = self.current_percent;
+        self.observe_at(t, self.current_percent)
+    }
+
+    /// Like [`BudgetController::observe`], but for an iteration that
+    /// actually ran at `p_used` instead of the controller's own output —
+    /// the staged pipeline's `DegradeHarder` policy boosts the percentage
+    /// past the controller under backpressure, and feeding the fit with
+    /// the true `(time, percent)` pair keeps Algorithm 1's linear model
+    /// honest.
+    pub fn observe_at(&mut self, t: f64, p_used: f64) -> f64 {
+        debug_assert!((0.0..=100.0).contains(&p_used));
         let (t_prev, p_prev) = self.prev;
-        let next = adapt_percent(self.target, t_prev, p_prev, t, p_cur).min(self.max_percent);
-        self.prev = (t, p_cur);
+        let next = adapt_percent(self.target, t_prev, p_prev, t, p_used).min(self.max_percent);
+        self.prev = (t, p_used);
         self.current_percent = next;
         self.iterations_seen += 1;
         next
@@ -167,11 +180,17 @@ mod tests {
         for _ in 0..15 {
             p = c.observe(cost(p, 100.0));
         }
-        assert!((cost(p, 100.0) - 30.0).abs() < 5.0, "pre-change convergence");
+        assert!(
+            (cost(p, 100.0) - 30.0).abs() < 5.0,
+            "pre-change convergence"
+        );
         for _ in 0..25 {
             p = c.observe(cost(p, 200.0));
         }
-        assert!((cost(p, 200.0) - 30.0).abs() < 6.0, "post-change re-convergence");
+        assert!(
+            (cost(p, 200.0) - 30.0).abs() < 6.0,
+            "post-change re-convergence"
+        );
     }
 
     #[test]
@@ -191,12 +210,132 @@ mod tests {
             p = c.observe(t(p));
             assert!(p <= 70.0, "p = {p} exceeds the user bound");
         }
-        assert!(p > 60.0, "controller should saturate near the bound, p = {p}");
+        assert!(
+            p > 60.0,
+            "controller should saturate near the bound, p = {p}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "max percent must be in [0, 100]")]
     fn bad_max_percent_rejected() {
         let _ = BudgetController::with_max_percent(10.0, 150.0);
+    }
+
+    #[test]
+    fn observe_at_feeds_the_fit_with_the_percent_actually_used() {
+        // Linear system t(p) = 100 − p. A degrade path runs iteration 2 at
+        // a boosted percentage; observe_at must anchor the fit at the
+        // boosted point, so the solve lands where the *true* line says.
+        let t = |p: f64| 100.0 - p;
+        let mut c = BudgetController::new(40.0);
+        let p1 = c.percent(); // 0
+        c.observe(t(p1)); // history: (0, 100) and (100, 0)
+        let boosted = 80.0; // ran much harder than asked
+        let next = c.observe_at(t(boosted), boosted);
+        // Fit through (100@0, 20@80): t = 100 − p ⇒ target 40 at p = 60.
+        assert!((next - 60.0).abs() < 1e-9, "next = {next}");
+    }
+
+    /// Paper §IV-E bound, saturation low side: a target far below the
+    /// p = 100 floor time drives the controller to the ceiling and keeps
+    /// it pinned — never outside [0, 100] — and when the load later
+    /// collapses it re-converges onto the now-feasible target.
+    #[test]
+    fn infeasible_low_target_saturates_then_recovers() {
+        // t(p) = scale·(1 − p/100) + floor; floor = 4 s even at p = 100.
+        let t = |p: f64, scale: f64| scale * (1.0 - p / 100.0) + 4.0;
+        let mut c = BudgetController::new(1.0); // target below the floor
+        let mut p = c.percent();
+        for i in 0..60 {
+            p = c.observe(t(p, 160.0));
+            assert!(
+                (0.0..=100.0).contains(&p),
+                "iteration {i}: p = {p} escaped [0, 100]"
+            );
+        }
+        assert_eq!(p, 100.0, "infeasible target must saturate at the ceiling");
+        // Stays clamped under continued pressure.
+        for _ in 0..10 {
+            p = c.observe(t(p, 160.0));
+            assert_eq!(p, 100.0);
+        }
+        // The phenomenon collapses: the floor drops to 0.2 s and the slope
+        // to 16 s, so the 1 s target is now reachable at p = 95; the
+        // controller must come down off the ceiling and find it.
+        let t2 = |p: f64| 16.0 * (1.0 - p / 100.0) + 0.2;
+        for _ in 0..60 {
+            p = c.observe(t2(p));
+            assert!(
+                (0.0..=100.0).contains(&p),
+                "recovery kept p in range, p = {p}"
+            );
+        }
+        let err = (t2(p) - 1.0).abs();
+        assert!(p < 100.0, "controller must leave the ceiling once feasible");
+        assert!(err < 0.25, "re-converged time {} vs target 1.0", t2(p));
+    }
+
+    /// Saturation high side: a target far above the unreduced (p = 0)
+    /// time pins the controller at the floor; when the load later grows
+    /// past the target it re-converges from below.
+    #[test]
+    fn overgenerous_target_pins_at_zero_then_recovers() {
+        let t = |p: f64, scale: f64| scale * (1.0 - p / 100.0) + 2.0;
+        let mut c = BudgetController::new(500.0); // far above t(0) = 162
+        let mut p = c.percent();
+        for i in 0..40 {
+            p = c.observe(t(p, 160.0));
+            assert!(
+                (0.0..=100.0).contains(&p),
+                "iteration {i}: p = {p} escaped [0, 100]"
+            );
+        }
+        assert_eq!(p, 0.0, "nothing to reduce when even p = 0 beats the target");
+        // The storm intensifies 10×: t(0) = 1602 now misses the target;
+        // the right percentage is ~69.
+        for _ in 0..80 {
+            p = c.observe(t(p, 1600.0));
+            assert!((0.0..=100.0).contains(&p));
+        }
+        let err = (t(p, 1600.0) - 500.0).abs() / 500.0;
+        assert!(p > 0.0, "controller must leave the floor under new load");
+        assert!(
+            err < 0.2,
+            "re-converged time {} vs target 500",
+            t(p, 1600.0)
+        );
+    }
+
+    /// Oscillating render noise (the paper's "inherent variability of the
+    /// visualization task"): the controller must stay clamped and keep the
+    /// post-warmup median near the target despite ±25% swings.
+    #[test]
+    fn oscillating_noise_stays_clamped_and_tracks_target() {
+        let base = |p: f64| 160.0 * (1.0 - p / 100.0) + 1.0;
+        let mut c = BudgetController::new(30.0);
+        let mut p = c.percent();
+        let mut settled = Vec::new();
+        for i in 0..80 {
+            // Deterministic ±25% oscillation, period 2 (worst case for a
+            // two-point linear fit).
+            let noise = if i % 2 == 0 { 1.25 } else { 0.75 };
+            let t = base(p) * noise;
+            p = c.observe(t);
+            assert!(
+                (0.0..=100.0).contains(&p),
+                "iteration {i}: p = {p} escaped [0, 100]"
+            );
+            if i >= 40 {
+                settled.push(base(p));
+            }
+        }
+        settled.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = settled[settled.len() / 2];
+        let err = (median - 30.0).abs() / 30.0;
+        assert!(
+            err < 0.35,
+            "post-warmup median {median} should track target 30"
+        );
     }
 }

@@ -18,7 +18,7 @@
 use apc_cm1::ReflectivityDataset;
 use apc_comm::{NetModel, Runtime, Session};
 
-use crate::config::PipelineConfig;
+use crate::config::{InSituMode, PipelineConfig};
 use crate::pipeline::Pipeline;
 use crate::report::IterationReport;
 
@@ -71,8 +71,15 @@ pub fn run_experiment_prepared<F>(
 where
     F: Fn(usize, usize) -> Vec<apc_grid::Block> + Sync,
 {
-    run_sweep_prepared(decomp, coords, std::slice::from_ref(&config), iterations, net, blocks)
-        .swap_remove(0)
+    run_sweep_prepared(
+        decomp,
+        coords,
+        std::slice::from_ref(&config),
+        iterations,
+        net,
+        blocks,
+    )
+    .swap_remove(0)
 }
 
 /// The sweep engine: replay every configuration in `configs` over the same
@@ -117,20 +124,34 @@ where
     );
     configs
         .iter()
-        .map(|cfg| {
-            let mut config = cfg.clone();
-            config.exec = config.exec.clamp_for_ranks(decomp.nranks());
-            let mut all: Vec<Vec<IterationReport>> = session.run(|rank| {
-                let mut pipeline = Pipeline::new(config.clone(), *decomp, coords.clone());
-                iterations
-                    .iter()
-                    .map(|&it| {
-                        let input = blocks(it, rank.rank());
-                        pipeline.run_iteration(rank, input, it).0
-                    })
-                    .collect()
-            });
-            all.swap_remove(0)
+        .map(|cfg| match cfg.mode {
+            InSituMode::Synchronous => {
+                let mut config = cfg.clone();
+                config.exec = config.exec.clamp_for_ranks(decomp.nranks());
+                let mut all: Vec<Vec<IterationReport>> = session.run(|rank| {
+                    let mut pipeline = Pipeline::new(config.clone(), *decomp, coords.clone());
+                    iterations
+                        .iter()
+                        .map(|&it| {
+                            let input = blocks(it, rank.rank());
+                            pipeline.run_iteration(rank, input, it).0
+                        })
+                        .collect()
+                });
+                all.swap_remove(0)
+            }
+            // Staged configs run the dedicated-core executor over the same
+            // session and fold into the same report-stream shape (the
+            // staged-only observables are available through
+            // `crate::staged::run_staged_in_session` directly).
+            InSituMode::Staged(_) => {
+                let mut config = cfg.clone();
+                config.exec = config.exec.clamp_for_ranks(decomp.nranks());
+                crate::staged::run_staged_in_session(
+                    session, decomp, coords, &config, iterations, blocks,
+                )
+                .reports()
+            }
         })
         .collect()
 }
@@ -143,8 +164,7 @@ mod tests {
     fn driver_runs_multiple_iterations() {
         let dataset = ReflectivityDataset::tiny(4, 11).unwrap();
         let iters = dataset.sample_iterations(3);
-        let reports =
-            run_experiment(&dataset, PipelineConfig::default().deterministic(), &iters);
+        let reports = run_experiment(&dataset, PipelineConfig::default().deterministic(), &iters);
         assert_eq!(reports.len(), 3);
         for (r, &it) in reports.iter().zip(&iters) {
             assert_eq!(r.iteration, it);
@@ -160,7 +180,11 @@ mod tests {
         let iters = dataset.sample_iterations(2);
         let configs: Vec<PipelineConfig> = [0.0, 50.0, 100.0]
             .iter()
-            .map(|&p| PipelineConfig::default().deterministic().with_fixed_percent(p))
+            .map(|&p| {
+                PipelineConfig::default()
+                    .deterministic()
+                    .with_fixed_percent(p)
+            })
             .collect();
         let swept = run_sweep_prepared(
             dataset.decomp(),

@@ -30,6 +30,19 @@
 //! accelerator is keyed by isovalue and block content fingerprint so
 //! sweeps that vary either stay correct.
 //!
+//! Two **in situ modes** share this machinery ([`InSituMode`] on the
+//! config): the paper's time-partitioned pipeline above
+//! ([`InSituMode::Synchronous`], executed by [`Pipeline`]), and the
+//! space-partitioned dedicated-core mode ([`InSituMode::Staged`],
+//! executed by [`staged`] over the `apc-stage` frame engine): a static
+//! subset of ranks stages asynchronously — simulation ranks score, deal
+//! and post blocks into bounded queues and continue, staging ranks
+//! sort/reduce/render with a per-stager Algorithm 1 controller, and
+//! visualization cost reaches the simulation only as queue backpressure
+//! ([`BackpressurePolicy`]). The experiment drivers dispatch on the mode,
+//! so staged configurations replay through the same sweep engine and
+//! [`Prepared`] sessions as synchronous ones.
+//!
 //! The per-block hot loops (steps 1 and 5) run under an intra-rank
 //! [`ExecPolicy`] from `apc-par`, re-exported here: `Serial` reproduces
 //! the original loops, `Threads(n)` fans them out over scoped worker
@@ -48,9 +61,11 @@ pub mod prepared;
 pub mod redistribute;
 pub mod report;
 pub mod selection;
+pub mod staged;
 
 pub use apc_par::{ExecPolicy, RecommendedConcurrency};
-pub use config::{PipelineConfig, Redistribution, SortStrategy};
+pub use apc_stage::BackpressurePolicy;
+pub use config::{InSituMode, PipelineConfig, Redistribution, SortStrategy, StagedParams};
 pub use controller::{adapt_percent, BudgetController};
 pub use driver::{
     run_experiment, run_experiment_on, run_experiment_prepared, run_sweep_in_session,
@@ -60,3 +75,4 @@ pub use pipeline::{Pipeline, StatsCache};
 pub use prepared::{spaced_subset, Prepared};
 pub use report::IterationReport;
 pub use selection::{reduction_set, ScoredBlock};
+pub use staged::{run_staged_in_session, run_staged_prepared, StagedFrame, StagedRun};

@@ -13,8 +13,9 @@ use crate::report::IterationReport;
 use crate::selection::{reduction_set, score_order, ScoredBlock};
 
 /// Virtual cost of reducing one block (a corner copy — negligible, but the
-/// step is measured like every other).
-const REDUCE_COST_PER_BLOCK: f64 = 2.0e-6;
+/// step is measured like every other). Shared with the staged executor
+/// ([`crate::staged`]) so both modes charge reduction identically.
+pub(crate) const REDUCE_COST_PER_BLOCK: f64 = 2.0e-6;
 
 /// Cache key for one block's isosurface stats. `IsoStats` is a pure
 /// function of `(block content, isovalue)`, so the key carries both: the
@@ -91,6 +92,35 @@ impl StatsCache {
     }
 }
 
+/// Isosurface work counters of one block under `config` — through the
+/// shared [`StatsCache`] when one is attached and the block is full
+/// (reduced blocks are cheap to extract and never cached). The single
+/// implementation both the synchronous render step and the staged
+/// executor use, so the cache stays coherent across modes.
+pub(crate) fn cached_block_stats(
+    config: &PipelineConfig,
+    coords: &RectilinearCoords,
+    iteration: usize,
+    b: &Block,
+) -> IsoStats {
+    match (&config.stats_cache, b.is_reduced()) {
+        (Some(cache), false) => {
+            let key = StatsKey {
+                iteration,
+                block: b.id,
+                isovalue_bits: config.isovalue.to_bits(),
+                content_fp: block_fingerprint(&b.samples(), b),
+            };
+            cache.get(key).unwrap_or_else(|| {
+                let (_mesh, s) = block_isosurface(b, coords, config.isovalue);
+                cache.put(key, s);
+                s
+            })
+        }
+        _ => block_isosurface(b, coords, config.isovalue).1,
+    }
+}
+
 /// A rank-local pipeline instance. Controller state is replicated on every
 /// rank and stays identical because it is fed with the globally-agreed
 /// iteration time (deterministic adaptation without extra communication).
@@ -127,12 +157,23 @@ pub struct Pipeline {
 
 impl Pipeline {
     pub fn new(config: PipelineConfig, decomp: DomainDecomp, coords: RectilinearCoords) -> Self {
+        assert!(
+            matches!(config.mode, crate::config::InSituMode::Synchronous),
+            "Pipeline is the synchronous executor; staged configs run through \
+             crate::staged (the experiment drivers dispatch on config.mode)"
+        );
         let scorer = apc_metrics::by_name(&config.metric)
             .unwrap_or_else(|| panic!("unknown metric {:?}", config.metric));
         let controller = config
             .target_time
             .map(|t| BudgetController::with_max_percent(t, config.max_percent));
-        Self { config, scorer, controller, decomp, coords }
+        Self {
+            config,
+            scorer,
+            controller,
+            decomp,
+            coords,
+        }
     }
 
     pub fn config(&self) -> &PipelineConfig {
@@ -167,8 +208,13 @@ impl Pipeline {
         // summed per-block point counts, so every policy yields the same
         // virtual time.
         let batch = apc_metrics::score_blocks(self.scorer.as_ref(), &blocks, exec);
-        let scored: Vec<ScoredBlock> =
-            batch.iter().map(|r| ScoredBlock { id: r.id, score: r.score }).collect();
+        let scored: Vec<ScoredBlock> = batch
+            .iter()
+            .map(|r| ScoredBlock {
+                id: r.id,
+                score: r.score,
+            })
+            .collect();
         let points: usize = batch.iter().map(|r| r.points).sum();
         rank.advance(points as f64 * self.scorer.cost_per_point());
         rank.barrier();
@@ -222,22 +268,7 @@ impl Pipeline {
         let per_block: Vec<IsoStats> = par_map(
             exec.for_kernel(apc_render::isosurface::recommended_concurrency(held.len())),
             &held,
-            |b| match (&config.stats_cache, b.is_reduced()) {
-                (Some(cache), false) => {
-                    let key = StatsKey {
-                        iteration,
-                        block: b.id,
-                        isovalue_bits: config.isovalue.to_bits(),
-                        content_fp: block_fingerprint(&b.samples(), b),
-                    };
-                    cache.get(key).unwrap_or_else(|| {
-                        let (_mesh, s) = block_isosurface(b, coords, config.isovalue);
-                        cache.put(key, s);
-                        s
-                    })
-                }
-                _ => block_isosurface(b, coords, config.isovalue).1,
-            },
+            |b| cached_block_stats(config, coords, iteration, b),
         );
         let mut stats = IsoStats::default();
         for s in per_block {
@@ -293,8 +324,7 @@ mod tests {
         let runtime = Runtime::new(nranks, NetModel::blue_waters());
         let iters = iters.to_vec();
         let all: Vec<Vec<IterationReport>> = runtime.run(|rank| {
-            let mut p =
-                Pipeline::new(config.clone(), *dataset.decomp(), dataset.coords().clone());
+            let mut p = Pipeline::new(config.clone(), *dataset.decomp(), dataset.coords().clone());
             iters
                 .iter()
                 .map(|&it| {
@@ -329,7 +359,9 @@ mod tests {
     fn full_reduction_collapses_render_time() {
         let base = run_tiny(PipelineConfig::default().deterministic(), &[300]);
         let reduced = run_tiny(
-            PipelineConfig::default().deterministic().with_fixed_percent(100.0),
+            PipelineConfig::default()
+                .deterministic()
+                .with_fixed_percent(100.0),
             &[300],
         );
         assert_eq!(reduced[0].blocks_reduced, 128);
@@ -362,7 +394,10 @@ mod tests {
             none[0].triangles_max_rank
         );
         assert!(rr[0].t_render < none[0].t_render);
-        assert!(rr[0].t_redistribute > 0.0, "redistribution step must cost time");
+        assert!(
+            rr[0].t_redistribute > 0.0,
+            "redistribution step must cost time"
+        );
     }
 
     #[test]
@@ -384,15 +419,24 @@ mod tests {
         // Pick a target between the all-reduced floor and the unreduced time.
         let base = run_tiny(PipelineConfig::default().deterministic(), &[300])[0].t_total;
         let floor = run_tiny(
-            PipelineConfig::default().deterministic().with_fixed_percent(100.0),
+            PipelineConfig::default()
+                .deterministic()
+                .with_fixed_percent(100.0),
             &[300],
         )[0]
         .t_total;
         let target = floor + (base - floor) * 0.5;
         let iters: Vec<usize> = std::iter::repeat_n(300, 16).collect();
-        let reports =
-            run_tiny(PipelineConfig::default().deterministic().with_target(target), &iters);
-        assert_eq!(reports[0].percent_reduced, 0.0, "first iteration is unreduced");
+        let reports = run_tiny(
+            PipelineConfig::default()
+                .deterministic()
+                .with_target(target),
+            &iters,
+        );
+        assert_eq!(
+            reports[0].percent_reduced, 0.0,
+            "first iteration is unreduced"
+        );
         // Algorithm 1 is best-effort: on plateaus of t(p) it can overshoot
         // and recover (the spikes visible in the paper's Fig 11). Judge by
         // the post-warmup *median*, which the paper's "converge toward a
@@ -409,11 +453,15 @@ mod tests {
 
     #[test]
     fn sample_sort_strategy_matches_gsb() {
-        let mut cfg = PipelineConfig::default().deterministic().with_fixed_percent(60.0);
+        let mut cfg = PipelineConfig::default()
+            .deterministic()
+            .with_fixed_percent(60.0);
         cfg.sort = SortStrategy::SampleSort;
         let ss = run_tiny(cfg, &[300]);
         let gsb = run_tiny(
-            PipelineConfig::default().deterministic().with_fixed_percent(60.0),
+            PipelineConfig::default()
+                .deterministic()
+                .with_fixed_percent(60.0),
             &[300],
         );
         // Same blocks reduced ⇒ same geometry and render time.
@@ -428,7 +476,9 @@ mod tests {
         // below the unreduced time.
         let full = run_tiny(PipelineConfig::default().deterministic(), &[400]);
         let k2 = run_tiny(
-            PipelineConfig::default().deterministic().with_fixed_percent(100.0),
+            PipelineConfig::default()
+                .deterministic()
+                .with_fixed_percent(100.0),
             &[400],
         );
         let k4 = run_tiny(
@@ -456,7 +506,12 @@ mod tests {
             &iters,
         );
         for r in &reports {
-            assert!(r.percent_reduced <= 60.0, "iteration {} at {}%", r.iteration, r.percent_reduced);
+            assert!(
+                r.percent_reduced <= 60.0,
+                "iteration {} at {}%",
+                r.iteration,
+                r.percent_reduced
+            );
         }
         assert!(reports.last().unwrap().percent_reduced > 50.0);
     }
@@ -483,8 +538,12 @@ mod tests {
         );
         // Both cached runs match their uncached references exactly, and a
         // warm re-run (pure cache hits) is still exact.
-        let reference =
-            run_tiny(PipelineConfig::default().deterministic().with_isovalue(20.0), &[300]);
+        let reference = run_tiny(
+            PipelineConfig::default()
+                .deterministic()
+                .with_isovalue(20.0),
+            &[300],
+        );
         assert_eq!(cool, reference);
         assert_eq!(cached(45.0), hot);
         assert_eq!(cache.len(), 256, "128 blocks × 2 isovalues");

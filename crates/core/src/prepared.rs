@@ -29,13 +29,15 @@ use crate::config::PipelineConfig;
 use crate::driver::{run_experiment_prepared, run_sweep_in_session};
 use crate::pipeline::StatsCache;
 use crate::report::IterationReport;
+use crate::staged::{run_staged_in_session, StagedRun};
 
 /// Where a [`Prepared`]'s blocks come from.
 enum BlockSource {
     /// Everything generated up front, keyed by `(iteration, rank)`.
     Preloaded(HashMap<(usize, usize), Vec<Block>>),
-    /// Lazy per-rank chunk reads from a stored dataset.
-    Store(StoredTimeSeries),
+    /// Lazy per-rank chunk reads from a stored dataset (boxed: the stored
+    /// handle is much larger than the map header).
+    Store(Box<StoredTimeSeries>),
 }
 
 /// Pre-arranged pipeline input for one `(rank count, iteration set)`:
@@ -70,9 +72,14 @@ impl Prepared {
     /// every run (the bench harness passes `Scale::exec` / `APC_THREADS`
     /// here).
     pub fn with_exec(nranks: usize, seed: u64, iterations: Vec<usize>, exec: ExecPolicy) -> Self {
-        let dataset = ReflectivityDataset::paper_scaled(nranks, seed)
-            .expect("paper-scaled decomposition");
-        Self::from_dataset(dataset, iterations, exec, NetModel::blue_waters().for_paper_scale())
+        let dataset =
+            ReflectivityDataset::paper_scaled(nranks, seed).expect("paper-scaled decomposition");
+        Self::from_dataset(
+            dataset,
+            iterations,
+            exec,
+            NetModel::blue_waters().for_paper_scale(),
+        )
     }
 
     /// Prepare an arbitrary dataset (integration tests use the `tiny`
@@ -95,7 +102,13 @@ impl Prepared {
                 blocks.insert((it, rank), dataset.rank_blocks(it, rank));
             }
         }
-        Self::assemble(dataset, iterations, exec, net, BlockSource::Preloaded(blocks))
+        Self::assemble(
+            dataset,
+            iterations,
+            exec,
+            net,
+            BlockSource::Preloaded(blocks),
+        )
     }
 
     /// Prepare a **stored** dataset (reopened via
@@ -110,7 +123,13 @@ impl Prepared {
     pub fn from_store(stored: StoredTimeSeries, exec: ExecPolicy, net: NetModel) -> Self {
         let dataset = stored.geometry().clone();
         let iterations = stored.iterations().to_vec();
-        Self::assemble(dataset, iterations, exec, net, BlockSource::Store(stored))
+        Self::assemble(
+            dataset,
+            iterations,
+            exec,
+            net,
+            BlockSource::Store(Box::new(stored)),
+        )
     }
 
     fn assemble(
@@ -141,7 +160,8 @@ impl Prepared {
     /// Run a pipeline configuration over `iterations` (must be prepared)
     /// through the persistent rank session.
     pub fn run(&self, config: PipelineConfig, iterations: &[usize]) -> Vec<IterationReport> {
-        self.run_sweep(std::slice::from_ref(&config), iterations).swap_remove(0)
+        self.run_sweep(std::slice::from_ref(&config), iterations)
+            .swap_remove(0)
     }
 
     /// The sweep engine entry point: replay every configuration over the
@@ -162,6 +182,26 @@ impl Prepared {
             self.dataset.decomp(),
             self.dataset.coords(),
             &configs,
+            iterations,
+            &|it, rank| self.prepared_blocks(it, rank),
+        )
+    }
+
+    /// Run a staged ([`crate::InSituMode::Staged`]) configuration over
+    /// `iterations` through the persistent rank session, returning the
+    /// full [`StagedRun`] (reports **plus** the staged-only observables —
+    /// stall, sim-visible time, dropped/degraded counts). Staged configs
+    /// also flow through [`Prepared::run`]/[`Prepared::run_sweep`], which
+    /// return just the report stream.
+    pub fn run_staged(&self, config: PipelineConfig, iterations: &[usize]) -> StagedRun {
+        let mut config = self.instrument(config);
+        config.exec = config.exec.clamp_for_ranks(self.dataset.decomp().nranks());
+        let mut session = self.session.lock().expect("an earlier sweep panicked");
+        run_staged_in_session(
+            &mut session,
+            self.dataset.decomp(),
+            self.dataset.coords(),
+            &config,
             iterations,
             &|it, rank| self.prepared_blocks(it, rank),
         )
@@ -219,7 +259,10 @@ pub fn spaced_subset(items: &[usize], n: usize) -> Vec<usize> {
     if n >= items.len() {
         return items.to_vec();
     }
-    debug_assert!(items.windows(2).all(|w| w[1] > w[0]), "items must be strictly increasing");
+    debug_assert!(
+        items.windows(2).all(|w| w[1] > w[0]),
+        "items must be strictly increasing"
+    );
     let mut out = Vec::with_capacity(n);
     let mut prev: Option<usize> = None;
     for i in 0..n {
@@ -248,7 +291,10 @@ mod tests {
         assert_eq!(spaced_subset(&items, 1), vec![10]);
         // n = len - 1 is the regime where naive integer spacing repeats an
         // index and a figure average double-counts an iteration.
-        assert_eq!(spaced_subset(&items, items.len() - 1).len(), items.len() - 1);
+        assert_eq!(
+            spaced_subset(&items, items.len() - 1).len(),
+            items.len() - 1
+        );
         assert_eq!(spaced_subset(&items, items.len()), items);
         assert_eq!(spaced_subset(&items, items.len() + 5), items);
     }
@@ -281,8 +327,7 @@ mod tests {
         apc_cm1::write_dataset_to(&dataset, &iters, &backend, CodecKind::Fpz).unwrap();
         let stored = StoredTimeSeries::from_backend(backend).unwrap();
 
-        let from_store =
-            Prepared::from_store(stored, ExecPolicy::Serial, NetModel::blue_waters());
+        let from_store = Prepared::from_store(stored, ExecPolicy::Serial, NetModel::blue_waters());
         let preloaded = Prepared::from_dataset(
             dataset,
             iters.clone(),

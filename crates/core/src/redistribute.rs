@@ -6,8 +6,8 @@
 //! [`apc_comm`]'s `alltoallv`.
 
 use apc_comm::Rank;
-use apc_par::SplitMix64;
 use apc_grid::{Block, BlockId};
+use apc_par::SplitMix64;
 
 use crate::config::Redistribution;
 use crate::selection::ScoredBlock;
@@ -87,7 +87,12 @@ mod tests {
 
     fn sorted_fixture(n: usize) -> Vec<ScoredBlock> {
         // Ascending scores; block id i has score i.
-        (0..n).map(|i| ScoredBlock { id: i as BlockId, score: i as f64 }).collect()
+        (0..n)
+            .map(|i| ScoredBlock {
+                id: i as BlockId,
+                score: i as f64,
+            })
+            .collect()
     }
 
     #[test]
@@ -119,7 +124,12 @@ mod tests {
         let a = assignment(Redistribution::RandomShuffle { seed: 9 }, &sorted, 4, |_| 0);
         let b = assignment(Redistribution::RandomShuffle { seed: 9 }, &sorted, 4, |_| 0);
         assert_eq!(a, b, "same seed must agree across ranks");
-        let c = assignment(Redistribution::RandomShuffle { seed: 10 }, &sorted, 4, |_| 0);
+        let c = assignment(
+            Redistribution::RandomShuffle { seed: 10 },
+            &sorted,
+            4,
+            |_| 0,
+        );
         assert_ne!(a, c, "different seeds should differ");
         for r in 0..4 {
             assert_eq!(a.iter().filter(|&&x| x == r).count(), 25);
@@ -151,15 +161,16 @@ mod tests {
         let out = Runtime::new(4, NetModel::blue_waters()).run(|rank| {
             // Each rank produces 2 blocks: ids 2r and 2r+1.
             let r = rank.rank();
-            let held =
-                vec![tiny_block(2 * r as BlockId, r as f32), tiny_block(2 * r as BlockId + 1, r as f32)];
+            let held = vec![
+                tiny_block(2 * r as BlockId, r as f32),
+                tiny_block(2 * r as BlockId + 1, r as f32),
+            ];
             // Reverse assignment: block b goes to rank 3 - b/2.
             let assign: Vec<usize> = (0..8).map(|b| 3 - b / 2).collect();
             exchange(rank, held, &assign)
         });
         for (r, blocks) in out.iter().enumerate() {
-            let expect: Vec<BlockId> =
-                vec![2 * (3 - r) as BlockId, 2 * (3 - r) as BlockId + 1];
+            let expect: Vec<BlockId> = vec![2 * (3 - r) as BlockId, 2 * (3 - r) as BlockId + 1];
             let got: Vec<BlockId> = blocks.iter().map(|b| b.id).collect();
             assert_eq!(got, expect, "rank {r}");
         }

@@ -93,7 +93,10 @@ mod tests {
     #[test]
     fn csv_round_shape() {
         let row = fixture().to_csv_row();
-        assert_eq!(row.split(',').count(), IterationReport::csv_header().split(',').count());
+        assert_eq!(
+            row.split(',').count(),
+            IterationReport::csv_header().split(',').count()
+        );
         assert!(row.starts_with("3,42.5"));
     }
 
@@ -102,9 +105,16 @@ mod tests {
         let r = fixture();
         // mean = 100k/64, max = 40k → imbalance 25.6.
         assert!((r.imbalance(64) - 25.6).abs() < 1e-9);
-        let balanced = IterationReport { triangles_max_rank: 1563, ..r };
+        let balanced = IterationReport {
+            triangles_max_rank: 1563,
+            ..r
+        };
         assert!(balanced.imbalance(64) < 1.01);
-        let empty = IterationReport { triangles_total: 0, triangles_max_rank: 0, ..r };
+        let empty = IterationReport {
+            triangles_total: 0,
+            triangles_max_rank: 0,
+            ..r
+        };
         assert_eq!(empty.imbalance(64), 1.0);
     }
 }

@@ -54,7 +54,10 @@ mod tests {
 
     fn sorted_fixture() -> Vec<ScoredBlock> {
         let mut v: Vec<ScoredBlock> = (0..10)
-            .map(|i| ScoredBlock { id: i, score: (10 - i) as f64 })
+            .map(|i| ScoredBlock {
+                id: i,
+                score: (10 - i) as f64,
+            })
             .collect();
         v.sort_by(score_order);
         v
@@ -62,9 +65,11 @@ mod tests {
 
     #[test]
     fn order_is_ascending_with_id_ties() {
-        let mut v = [ScoredBlock { id: 5, score: 1.0 },
+        let mut v = [
+            ScoredBlock { id: 5, score: 1.0 },
             ScoredBlock { id: 2, score: 1.0 },
-            ScoredBlock { id: 9, score: 0.5 }];
+            ScoredBlock { id: 9, score: 0.5 },
+        ];
         v.sort_by(score_order);
         assert_eq!(v.iter().map(|s| s.id).collect::<Vec<_>>(), vec![9, 2, 5]);
     }
@@ -102,14 +107,26 @@ mod tests {
         // total_cmp gives the IEEE total order: negative NaN below every
         // finite score, positive NaN above, ties by id.
         let mut v = [
-            ScoredBlock { id: 1, score: f64::NAN },
+            ScoredBlock {
+                id: 1,
+                score: f64::NAN,
+            },
             ScoredBlock { id: 3, score: 2.0 },
-            ScoredBlock { id: 0, score: f64::NAN },
-            ScoredBlock { id: 4, score: -f64::NAN },
+            ScoredBlock {
+                id: 0,
+                score: f64::NAN,
+            },
+            ScoredBlock {
+                id: 4,
+                score: -f64::NAN,
+            },
             ScoredBlock { id: 2, score: -1.0 },
         ];
         v.sort_by(score_order);
-        assert_eq!(v.iter().map(|s| s.id).collect::<Vec<_>>(), vec![4, 2, 3, 0, 1]);
+        assert_eq!(
+            v.iter().map(|s| s.id).collect::<Vec<_>>(),
+            vec![4, 2, 3, 0, 1]
+        );
         // Selection still works on the NaN-bracketed list.
         assert_eq!(reduction_set(&v, 40.0).len(), 2);
     }

@@ -1,0 +1,648 @@
+//! The staged (dedicated-core, asynchronous) execution of the in situ
+//! pipeline — [`InSituMode::Staged`]'s implementation over the
+//! `apc-stage` frame engine.
+//!
+//! The synchronous pipeline puts all six steps on every rank's critical
+//! path. Here the rank group is split by a static [`apc_stage::Partition`]:
+//!
+//! * **Simulation ranks** replay the solver (a configurable virtual
+//!   compute charge per iteration), **score** their blocks with the
+//!   config's metric, optionally **pre-reduce** the lowest-scored
+//!   percentage, and deal the scored blocks into bounded per-stager
+//!   queues — score-aware: blocks sorted by descending score are dealt
+//!   round-robin across the stagers, so each stager receives a balanced
+//!   share of the expensive (geometry-rich) blocks, the same idea as the
+//!   paper's round-robin redistribution. Then they move on; the only
+//!   visualization cost they ever see again is queue backpressure.
+//! * **Staging ranks** drain the queues and run the remaining steps with
+//!   the existing `apc-core` machinery: the paper's score order
+//!   ([`score_order`]), reduction-set selection, block downsampling, the
+//!   isosurface render-cost model (through the shared [`crate::StatsCache`] when
+//!   one is attached), and a per-stager Algorithm 1 [`BudgetController`].
+//!   Under [`apc_stage::BackpressurePolicy::DegradeHarder`] a frame that sat in the
+//!   queue is reduced `boost` percentage points harder than the
+//!   controller asked — the controller then observes the percentage
+//!   actually used ([`BudgetController::observe_at`]), so its linear model
+//!   stays fed with true `(time, percent)` pairs.
+//!
+//! Each rank returns a per-frame log; [`StagedRun`] merges the logs into
+//! the same [`IterationReport`] stream the synchronous pipeline emits
+//! (step times are max-over-ranks, triangle counters summed) plus the
+//! staged-only observables: simulation-visible stall/in situ time and
+//! dropped/degraded frame counts. The merge runs on the driver thread
+//! over rank-ordered logs, so staged reports are byte-stable across
+//! repeated runs and execution policies exactly like synchronous ones
+//! (`tests/staged_determinism.rs` pins this).
+
+use std::collections::{HashMap, HashSet};
+
+use apc_comm::{Rank, Session};
+use apc_grid::{Block, BlockId, DomainDecomp, RectilinearCoords};
+use apc_par::par_map;
+use apc_render::{IsoStats, RenderCostModel};
+use apc_stage::{run_staged, Partition, RankLog, SimFrameLog, StageFrameLog, StagedSpec};
+
+use crate::config::{InSituMode, PipelineConfig, StagedParams};
+use crate::controller::BudgetController;
+use crate::pipeline::{cached_block_stats, REDUCE_COST_PER_BLOCK};
+use crate::report::IterationReport;
+use crate::selection::{reduction_set, score_order, ScoredBlock};
+
+/// A block slice on the wire: `(encoded block, score)` pairs. Scores ride
+/// along so stagers never re-score what the simulation already measured.
+type Slice = Vec<(Vec<f32>, f64)>;
+
+/// What a simulation rank logs per frame (beyond the engine's timing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SimAux {
+    t_score: f64,
+    t_prereduce: f64,
+    blocks_prereduced: usize,
+}
+
+/// What a staging rank logs per frame (beyond the engine's timing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct StageOut {
+    percent: f64,
+    degraded: bool,
+    blocks_reduced: usize,
+    triangles: usize,
+    t_reduce: f64,
+    t_render: f64,
+}
+
+/// One staged iteration: the synchronous-compatible report plus the
+/// staged-only observables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StagedFrame {
+    /// The familiar per-iteration report. Staged semantics of the step
+    /// fields: `t_score` is the (max-over-sim-ranks) sim-side scoring
+    /// time, `t_sort` is zero (stagers sort locally, no collective),
+    /// `t_reduce` covers pre-reduction and stager reduction,
+    /// `t_redistribute` is the queue transfer/ingest time visible at the
+    /// stagers, `t_render` the stager render step, and `t_total` the
+    /// end-to-end frame latency from the last simulation rank finishing
+    /// the frame's production to the last stager finishing its render.
+    pub report: IterationReport,
+    /// Queue-full stall this frame cost the simulation (max over sim
+    /// ranks) — the quantity staging exists to minimize.
+    pub t_sim_stall: f64,
+    /// Everything the simulation saw of in situ processing this frame
+    /// (max over sim ranks): scoring + pre-reduction + enqueue overhead +
+    /// stall. The synchronous equivalent is the whole `t_total`.
+    pub t_sim_visible: f64,
+    /// Frame slices evicted by `DropOldest` this frame (over all queues).
+    pub slices_dropped: usize,
+    /// Stagers that rendered this frame at a degraded (boosted) reduction
+    /// percentage.
+    pub stagers_degraded: usize,
+}
+
+/// A completed staged run: one [`StagedFrame`] per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagedRun {
+    pub frames: Vec<StagedFrame>,
+}
+
+impl StagedRun {
+    /// The run's [`IterationReport`] stream (what sweep callers consume).
+    pub fn reports(&self) -> Vec<IterationReport> {
+        self.frames.iter().map(|f| f.report).collect()
+    }
+
+    /// Total frame slices dropped over the run.
+    pub fn total_dropped(&self) -> usize {
+        self.frames.iter().map(|f| f.slices_dropped).sum()
+    }
+
+    /// Total degraded stager-frames over the run.
+    pub fn total_degraded(&self) -> usize {
+        self.frames.iter().map(|f| f.stagers_degraded).sum()
+    }
+
+    /// Mean simulation-visible in situ time per frame.
+    pub fn mean_sim_visible(&self) -> f64 {
+        mean(self.frames.iter().map(|f| f.t_sim_visible))
+    }
+
+    /// Mean simulation stall per frame.
+    pub fn mean_sim_stall(&self) -> f64 {
+        mean(self.frames.iter().map(|f| f.t_sim_stall))
+    }
+
+    /// Mean end-to-end frame latency.
+    pub fn mean_latency(&self) -> f64 {
+        mean(self.frames.iter().map(|f| f.report.t_total))
+    }
+}
+
+fn mean(it: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = it.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Run a staged configuration over a caller-owned [`Session`] — the staged
+/// counterpart of [`crate::run_sweep_in_session`], and what that function
+/// dispatches to when it meets an [`InSituMode::Staged`] config. The
+/// session's rank count is split by the config's [`StagedParams`]; the
+/// dataset decomposition's ranks are folded onto the simulation ranks
+/// (sim slot `i` produces the blocks of every dataset rank `r ≡ i` mod
+/// `n_sim`), so a staged run at N total ranks visualizes exactly the same
+/// domain as a synchronous run at N ranks.
+///
+/// Like [`crate::Pipeline::run_iteration`], this low-level entry uses the
+/// config's [`crate::ExecPolicy`] exactly as given; the experiment drivers
+/// ([`crate::run_sweep_in_session`], [`crate::Prepared`]) clamp it to the
+/// host's per-rank thread budget first.
+pub fn run_staged_in_session<F>(
+    session: &mut Session,
+    decomp: &DomainDecomp,
+    coords: &RectilinearCoords,
+    config: &PipelineConfig,
+    iterations: &[usize],
+    blocks: &F,
+) -> StagedRun
+where
+    F: Fn(usize, usize) -> Vec<Block> + Sync,
+{
+    let params = match config.mode {
+        InSituMode::Staged(p) => p,
+        InSituMode::Synchronous => {
+            panic!("run_staged_in_session needs an InSituMode::Staged config")
+        }
+    };
+    assert_eq!(
+        session.nranks(),
+        decomp.nranks(),
+        "session rank count must match the decomposition"
+    );
+    let nranks = session.nranks();
+    params.validate(nranks);
+    let partition = Partition::new(nranks, params.viz_ranks);
+    let spec = StagedSpec::new(partition, params.queue_depth, params.policy);
+    let iters = iterations.to_vec();
+    let logs: Vec<RankLog<SimAux, StageOut>> = session
+        .run(|rank| rank_program(rank, &spec, &params, config, decomp, coords, &iters, blocks));
+    merge_logs(&spec, iterations, logs)
+}
+
+/// One-shot staged run (spawns its own session) — the staged counterpart
+/// of [`crate::run_experiment_prepared`], minus the driver's exec-policy
+/// clamp (like [`run_staged_in_session`], it runs the policy as given —
+/// which is what lets the policy-determinism guards exercise `Threads(n)`
+/// on small hosts).
+pub fn run_staged_prepared<F>(
+    decomp: &DomainDecomp,
+    coords: &RectilinearCoords,
+    config: &PipelineConfig,
+    iterations: &[usize],
+    net: apc_comm::NetModel,
+    blocks: F,
+) -> StagedRun
+where
+    F: Fn(usize, usize) -> Vec<Block> + Sync,
+{
+    let mut session = apc_comm::Runtime::new(decomp.nranks(), net).session();
+    run_staged_in_session(&mut session, decomp, coords, config, iterations, &blocks)
+}
+
+/// The SPMD program of one staged rank (both roles).
+#[allow(clippy::too_many_arguments)]
+fn rank_program<F>(
+    rank: &mut Rank,
+    spec: &StagedSpec,
+    params: &StagedParams,
+    config: &PipelineConfig,
+    decomp: &DomainDecomp,
+    coords: &RectilinearCoords,
+    iterations: &[usize],
+    blocks: &F,
+) -> RankLog<SimAux, StageOut>
+where
+    F: Fn(usize, usize) -> Vec<Block> + Sync,
+{
+    let scorer = apc_metrics::by_name(&config.metric)
+        .unwrap_or_else(|| panic!("unknown metric {:?}", config.metric));
+    let n_sim = spec.partition.n_sim();
+    let n_stage = spec.partition.n_stage();
+    let mut controller = config
+        .target_time
+        .map(|t| BudgetController::with_max_percent(t, config.max_percent));
+
+    run_staged(
+        rank,
+        spec,
+        iterations.len(),
+        // ---- simulation side -------------------------------------------
+        |rank, k| {
+            let slot = rank.rank(); // sim slots are the low rank ids
+            let it = iterations[k];
+            // The solver step this frame's visualization overlaps with.
+            rank.advance(params.sim_compute);
+            // This sim rank stands in for every dataset rank folded onto
+            // its slot, producing (and paying to score) their blocks.
+            let mut held: Vec<Block> = (slot..decomp.nranks())
+                .step_by(n_sim)
+                .flat_map(|r| blocks(it, r))
+                .collect();
+            let t0 = rank.clock();
+            let scored = apc_metrics::score_blocks(scorer.as_ref(), &held, config.exec);
+            let points: usize = scored.iter().map(|r| r.points).sum();
+            rank.advance(points as f64 * scorer.cost_per_point());
+            let t_score = rank.clock() - t0;
+
+            let mut order: Vec<ScoredBlock> = scored
+                .iter()
+                .map(|r| ScoredBlock {
+                    id: r.id,
+                    score: r.score,
+                })
+                .collect();
+            order.sort_by(score_order);
+
+            let t1 = rank.clock();
+            let mut blocks_prereduced = 0;
+            if params.pre_reduce_percent > 0.0 {
+                let to_reduce: HashSet<BlockId> = reduction_set(&order, params.pre_reduce_percent);
+                for b in &mut held {
+                    if to_reduce.contains(&b.id) && !b.is_reduced() {
+                        b.downsample(config.reduce_keep);
+                        blocks_prereduced += 1;
+                    }
+                }
+                rank.advance(blocks_prereduced as f64 * REDUCE_COST_PER_BLOCK);
+            }
+            let t_prereduce = rank.clock() - t1;
+
+            // Score-aware dealing: highest-scored block to stager 0, next
+            // to stager 1, ... — every stager gets a balanced share of the
+            // expensive blocks.
+            let by_id: HashMap<BlockId, &Block> = held.iter().map(|b| (b.id, b)).collect();
+            let mut batches: Vec<Slice> = (0..n_stage).map(|_| Vec::new()).collect();
+            for (pos, sb) in order.iter().rev().enumerate() {
+                let b = by_id[&sb.id];
+                batches[pos % n_stage].push((b.encode(), sb.score));
+            }
+            (
+                batches,
+                SimAux {
+                    t_score,
+                    t_prereduce,
+                    blocks_prereduced,
+                },
+            )
+        },
+        // ---- staging side ----------------------------------------------
+        |rank, k, parts, ctx| {
+            let it = iterations[k];
+            let mut held: Vec<Block> = Vec::new();
+            let mut entries: Vec<ScoredBlock> = Vec::new();
+            for (_slot, slice) in parts {
+                for (buf, score) in slice {
+                    let b = Block::decode(&buf).expect("simulation rank sent a malformed block");
+                    entries.push(ScoredBlock { id: b.id, score });
+                    held.push(b);
+                }
+            }
+            entries.sort_by(score_order);
+            held.sort_by_key(|b| b.id);
+
+            let base = controller
+                .as_ref()
+                .map_or(config.fixed_percent, BudgetController::percent);
+            let percent = if ctx.degrade_boost > 0.0 {
+                (base + ctx.degrade_boost).min(config.max_percent)
+            } else {
+                base
+            };
+            let degraded = percent > base;
+
+            let t0 = rank.clock();
+            let to_reduce = reduction_set(&entries, percent);
+            let mut blocks_reduced = 0;
+            for b in &mut held {
+                if to_reduce.contains(&b.id) && !b.is_reduced() {
+                    b.downsample(config.reduce_keep);
+                    blocks_reduced += 1;
+                }
+            }
+            rank.advance(blocks_reduced as f64 * REDUCE_COST_PER_BLOCK);
+            let t_reduce = rank.clock() - t0;
+
+            let t1 = rank.clock();
+            let per_block: Vec<IsoStats> = par_map(
+                config
+                    .exec
+                    .for_kernel(apc_render::isosurface::recommended_concurrency(held.len())),
+                &held,
+                |b| cached_block_stats(config, coords, it, b),
+            );
+            let mut stats = IsoStats::default();
+            for s in per_block {
+                stats.merge(s);
+            }
+            let render_t =
+                config
+                    .cost
+                    .render_time(stats, held.len(), RenderCostModel::key(rank.rank(), it));
+            rank.advance(render_t);
+            let t_render = rank.clock() - t1;
+
+            if let Some(ctrl) = &mut controller {
+                // The stager's controllable frame time, against the
+                // percentage actually used (which the degrade path may
+                // have boosted past the controller's own output).
+                ctrl.observe_at(t_reduce + t_render, percent);
+            }
+            StageOut {
+                percent,
+                degraded,
+                blocks_reduced,
+                triangles: stats.triangles,
+                t_reduce,
+                t_render,
+            }
+        },
+    )
+}
+
+/// Fold the per-rank logs into the per-iteration stream. Pure arithmetic
+/// over rank-ordered data — deterministic by construction.
+fn merge_logs(
+    spec: &StagedSpec,
+    iterations: &[usize],
+    logs: Vec<RankLog<SimAux, StageOut>>,
+) -> StagedRun {
+    let mut sims: Vec<Vec<(SimAux, SimFrameLog)>> = Vec::new();
+    let mut stages: Vec<Vec<(StageOut, StageFrameLog)>> = Vec::new();
+    for log in logs {
+        match log {
+            RankLog::Sim(v) => sims.push(v),
+            RankLog::Stage(v) => stages.push(v),
+        }
+    }
+    assert_eq!(sims.len(), spec.partition.n_sim());
+    assert_eq!(stages.len(), spec.partition.n_stage());
+
+    let mut frames = Vec::with_capacity(iterations.len());
+    for (k, &iteration) in iterations.iter().enumerate() {
+        let mut t_score = 0.0f64;
+        let mut t_prereduce = 0.0f64;
+        let mut produced = 0.0f64;
+        let mut t_sim_stall = 0.0f64;
+        let mut t_sim_visible = 0.0f64;
+        let mut blocks_reduced = 0usize;
+        for sim in &sims {
+            let (aux, f) = &sim[k];
+            t_score = t_score.max(aux.t_score);
+            t_prereduce = t_prereduce.max(aux.t_prereduce);
+            produced = produced.max(f.produced);
+            t_sim_stall = t_sim_stall.max(f.stall);
+            t_sim_visible = t_sim_visible
+                .max(f.visible() - (f.produced - f.start) + (aux.t_score + aux.t_prereduce));
+            blocks_reduced += aux.blocks_prereduced;
+        }
+        let mut t_reduce = t_prereduce;
+        let mut t_redistribute = 0.0f64;
+        let mut t_render = 0.0f64;
+        let mut finish = 0.0f64;
+        let mut percent = 0.0f64;
+        let mut triangles_total = 0usize;
+        let mut triangles_max = 0usize;
+        let mut slices_dropped = 0usize;
+        let mut stagers_degraded = 0usize;
+        for stage in &stages {
+            let (out, f) = &stage[k];
+            let prev_finish = if k == 0 { 0.0 } else { stage[k - 1].1.finish };
+            t_reduce = t_reduce.max(out.t_reduce);
+            t_redistribute = t_redistribute.max((f.start - f.arrival.max(prev_finish)).max(0.0));
+            t_render = t_render.max(out.t_render);
+            finish = finish.max(f.finish);
+            percent = percent.max(out.percent);
+            triangles_total += out.triangles;
+            triangles_max = triangles_max.max(out.triangles);
+            blocks_reduced += out.blocks_reduced;
+            slices_dropped += f.slices_dropped;
+            stagers_degraded += usize::from(out.degraded);
+        }
+        let report = IterationReport {
+            iteration,
+            percent_reduced: percent,
+            blocks_reduced,
+            t_score,
+            t_sort: 0.0,
+            t_reduce,
+            t_redistribute,
+            t_render,
+            t_total: (finish - produced).max(0.0),
+            triangles_total,
+            triangles_max_rank: triangles_max,
+        };
+        frames.push(StagedFrame {
+            report,
+            t_sim_stall,
+            t_sim_visible,
+            slices_dropped,
+            stagers_degraded,
+        });
+    }
+    StagedRun { frames }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apc_cm1::ReflectivityDataset;
+    use apc_comm::NetModel;
+    use apc_stage::BackpressurePolicy;
+
+    fn staged_config(params: StagedParams) -> PipelineConfig {
+        PipelineConfig::default()
+            .deterministic()
+            .with_fixed_percent(40.0)
+            .with_staged(params)
+    }
+
+    fn run_tiny(params: StagedParams, iters: usize) -> StagedRun {
+        let dataset = ReflectivityDataset::tiny(4, 42).unwrap();
+        let its = dataset.sample_iterations(iters);
+        run_staged_prepared(
+            dataset.decomp(),
+            dataset.coords(),
+            &staged_config(params),
+            &its,
+            NetModel::blue_waters(),
+            |it, rank| dataset.rank_blocks(it, rank),
+        )
+    }
+
+    #[test]
+    fn staged_run_covers_the_whole_domain() {
+        // 3 sim ranks stand in for all 4 dataset ranks; the staged run must
+        // render exactly the geometry a synchronous run renders.
+        let params = StagedParams::new(1, 2, BackpressurePolicy::Block);
+        let staged = run_tiny(params, 2);
+        let dataset = ReflectivityDataset::tiny(4, 42).unwrap();
+        let its = dataset.sample_iterations(2);
+        let sync = crate::run_experiment(
+            &dataset,
+            PipelineConfig::default()
+                .deterministic()
+                .with_fixed_percent(0.0),
+            &its,
+        );
+        assert_eq!(staged.frames.len(), 2);
+        for (f, s) in staged.frames.iter().zip(&sync) {
+            // 40% reduction drops some geometry; an unreduced staged run
+            // must match the sync triangle total exactly.
+            assert!(f.report.triangles_total <= s.triangles_total);
+            assert!(f.report.triangles_total > 0);
+        }
+        let unreduced = run_staged_prepared(
+            dataset.decomp(),
+            dataset.coords(),
+            &PipelineConfig::default()
+                .deterministic()
+                .with_staged(params),
+            &its,
+            NetModel::blue_waters(),
+            |it, rank| dataset.rank_blocks(it, rank),
+        );
+        for (f, s) in unreduced.frames.iter().zip(&sync) {
+            assert_eq!(
+                f.report.triangles_total, s.triangles_total,
+                "same domain, same isovalue, same geometry"
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_hides_viz_when_sim_is_slow() {
+        // Give the solver plenty of virtual work per iteration: the
+        // stager finishes each frame before the next arrives, so the
+        // simulation never stalls and its visible in situ time is just
+        // scoring + enqueue overhead.
+        let params = StagedParams::new(1, 2, BackpressurePolicy::Block).with_sim_compute(500.0);
+        let run = run_tiny(params, 3);
+        for f in &run.frames {
+            assert_eq!(f.t_sim_stall, 0.0, "full overlap expected");
+            assert!(
+                f.t_sim_visible < 10.0,
+                "visible {} should be scoring-scale",
+                f.t_sim_visible
+            );
+            assert_eq!(f.slices_dropped, 0);
+        }
+    }
+
+    #[test]
+    fn backpressure_stalls_a_fast_sim_under_block_policy() {
+        // A solver that produces frames back to back outruns the stager;
+        // with Block the queue fills and stalls appear.
+        let params = StagedParams::new(1, 1, BackpressurePolicy::Block);
+        let run = run_tiny(params, 6);
+        let late_stall: f64 = run.frames[3..].iter().map(|f| f.t_sim_stall).sum();
+        assert!(
+            late_stall > 0.0,
+            "steady-state stall expected with sim_compute = 0"
+        );
+        assert_eq!(run.total_dropped(), 0);
+    }
+
+    #[test]
+    fn drop_policy_sheds_frames_instead_of_stalling() {
+        let params = StagedParams::new(1, 1, BackpressurePolicy::DropOldest);
+        let run = run_tiny(params, 6);
+        assert!(
+            run.frames.iter().all(|f| f.t_sim_stall == 0.0),
+            "lossy sims never stall"
+        );
+        assert!(run.total_dropped() > 0, "pressure must shed frames");
+    }
+
+    #[test]
+    fn degrade_policy_raises_percent_under_pressure() {
+        let dataset = ReflectivityDataset::tiny(4, 42).unwrap();
+        let its = dataset.sample_iterations(6);
+        let params = StagedParams::new(1, 1, BackpressurePolicy::DegradeHarder { boost: 30.0 });
+        // Adaptive config so the controller is live; infeasibly large
+        // target keeps its own percentage low, letting the boost show.
+        let config = PipelineConfig::default()
+            .deterministic()
+            .with_target(1e6)
+            .with_staged(params);
+        let run = run_staged_prepared(
+            dataset.decomp(),
+            dataset.coords(),
+            &config,
+            &its,
+            NetModel::blue_waters(),
+            |it, rank| dataset.rank_blocks(it, rank),
+        );
+        assert!(run.total_degraded() > 0, "backlogged frames must degrade");
+        let boosted = run
+            .frames
+            .iter()
+            .filter(|f| f.stagers_degraded > 0)
+            .map(|f| f.report.percent_reduced);
+        for p in boosted {
+            assert!(
+                p >= 30.0,
+                "boost must show in the effective percent, got {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_reduction_moves_reduction_to_the_sim_side() {
+        let params = StagedParams::new(1, 2, BackpressurePolicy::Block).with_pre_reduce(50.0);
+        let dataset = ReflectivityDataset::tiny(4, 42).unwrap();
+        let its = dataset.sample_iterations(2);
+        let config = PipelineConfig::default()
+            .deterministic()
+            .with_staged(params);
+        let run = run_staged_prepared(
+            dataset.decomp(),
+            dataset.coords(),
+            &config,
+            &its,
+            NetModel::blue_waters(),
+            |it, rank| dataset.rank_blocks(it, rank),
+        );
+        for f in &run.frames {
+            assert_eq!(
+                f.report.blocks_reduced, 64,
+                "half of 128 blocks pre-reduced"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs an InSituMode::Staged config")]
+    fn sync_config_rejected() {
+        let dataset = ReflectivityDataset::tiny(4, 42).unwrap();
+        let _ = run_staged_prepared(
+            dataset.decomp(),
+            dataset.coords(),
+            &PipelineConfig::default(),
+            &[300],
+            NetModel::blue_waters(),
+            |it, rank| dataset.rank_blocks(it, rank),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "synchronous executor")]
+    fn pipeline_rejects_staged_configs() {
+        let dataset = ReflectivityDataset::tiny(4, 42).unwrap();
+        let params = StagedParams::new(1, 1, BackpressurePolicy::Block);
+        let _ = crate::Pipeline::new(
+            staged_config(params),
+            *dataset.decomp(),
+            dataset.coords().clone(),
+        );
+    }
+}

@@ -50,7 +50,11 @@ impl Block {
     /// Extract a full block from a domain-global field.
     pub fn from_field(id: BlockId, extent: Extent3, field: &Field3) -> Result<Self, GridError> {
         let data = field.extract(extent)?;
-        Ok(Self { id, extent, data: BlockData::Full(data) })
+        Ok(Self {
+            id,
+            extent,
+            data: BlockData::Full(data),
+        })
     }
 
     /// Shape of the block's extent (the *logical* shape; a reduced block
@@ -89,15 +93,21 @@ impl Block {
     /// larger lattices trade bytes for fidelity — the reduction-size
     /// ablation of DESIGN.md §4. No-op on already-reduced data.
     pub fn downsample(&mut self, keep: usize) {
-        assert!(keep >= 2, "keep at least two points per axis for continuity");
+        assert!(
+            keep >= 2,
+            "keep at least two points per axis for continuity"
+        );
         if keep == 2 {
             self.reduce();
             return;
         }
         if let BlockData::Full(data) = &self.data {
             let d = self.dims();
-            let (ix, iy, iz) =
-                (sample_indices(d.nx, keep), sample_indices(d.ny, keep), sample_indices(d.nz, keep));
+            let (ix, iy, iz) = (
+                sample_indices(d.nx, keep),
+                sample_indices(d.ny, keep),
+                sample_indices(d.nz, keep),
+            );
             let cd = Dims3::new(ix.len(), iy.len(), iz.len());
             let mut values = Vec::with_capacity(cd.len());
             for &k in &iz {
@@ -173,7 +183,10 @@ impl Block {
     /// Inverse of [`Block::encode`].
     pub fn decode(buf: &[f32]) -> Result<Self, GridError> {
         if buf.len() < 8 {
-            return Err(GridError::LengthMismatch { expected: 8, got: buf.len() });
+            return Err(GridError::LengthMismatch {
+                expected: 8,
+                got: buf.len(),
+            });
         }
         let id = buf[0] as BlockId;
         let kind = buf[1];
@@ -184,17 +197,26 @@ impl Block {
         let payload = &buf[8..];
         let data = if kind == 1.0 {
             if payload.len() != 8 {
-                return Err(GridError::LengthMismatch { expected: 8, got: payload.len() });
+                return Err(GridError::LengthMismatch {
+                    expected: 8,
+                    got: payload.len(),
+                });
             }
             let mut c = [0.0f32; 8];
             c.copy_from_slice(payload);
             BlockData::Reduced(c)
         } else if kind == 2.0 {
             if payload.len() < 3 {
-                return Err(GridError::LengthMismatch { expected: 3, got: payload.len() });
+                return Err(GridError::LengthMismatch {
+                    expected: 3,
+                    got: payload.len(),
+                });
             }
-            let dims =
-                Dims3::new(payload[0] as usize, payload[1] as usize, payload[2] as usize);
+            let dims = Dims3::new(
+                payload[0] as usize,
+                payload[1] as usize,
+                payload[2] as usize,
+            );
             let values = &payload[3..];
             if values.len() != dims.len() {
                 return Err(GridError::LengthMismatch {
@@ -202,7 +224,10 @@ impl Block {
                     got: values.len(),
                 });
             }
-            BlockData::Sampled { dims, values: values.to_vec() }
+            BlockData::Sampled {
+                dims,
+                values: values.to_vec(),
+            }
         } else {
             if payload.len() != extent.len() {
                 return Err(GridError::LengthMismatch {

@@ -19,7 +19,11 @@ impl RectilinearCoords {
     /// Uniform spacing `d` starting at 0 on all axes.
     pub fn uniform(dims: Dims3, d: f32) -> Self {
         let axis = |n: usize| (0..n).map(|i| i as f32 * d).collect();
-        Self { x: axis(dims.nx), y: axis(dims.ny), z: axis(dims.nz) }
+        Self {
+            x: axis(dims.nx),
+            y: axis(dims.ny),
+            z: axis(dims.nz),
+        }
     }
 
     /// CM1-style stretched axes: uniform interior spacing `d_inner`, with the

@@ -38,7 +38,11 @@ impl ProcGrid {
             }
             d += 1;
         }
-        Self { px: best.1, py: best.0, pz: 1 }
+        Self {
+            px: best.1,
+            py: best.0,
+            pz: 1,
+        }
     }
 
     #[inline]
@@ -50,7 +54,11 @@ impl ProcGrid {
     #[inline]
     pub fn coords_of(&self, rank: usize) -> (usize, usize, usize) {
         debug_assert!(rank < self.nranks());
-        (rank % self.px, (rank / self.px) % self.py, rank / (self.px * self.py))
+        (
+            rank % self.px,
+            (rank / self.px) % self.py,
+            rank / (self.px * self.py),
+        )
     }
 }
 
@@ -77,16 +85,27 @@ impl DomainDecomp {
         }
         let sub = domain
             .exact_div(Dims3::new(procs.px, procs.py, procs.pz))
-            .ok_or(GridError::IndivisibleProcs { domain, procs: (procs.px, procs.py, procs.pz) })?;
-        let blocks_per_sub = sub
-            .exact_div(block)
-            .ok_or(GridError::IndivisibleBlocks { subdomain: sub, block })?;
+            .ok_or(GridError::IndivisibleProcs {
+                domain,
+                procs: (procs.px, procs.py, procs.pz),
+            })?;
+        let blocks_per_sub = sub.exact_div(block).ok_or(GridError::IndivisibleBlocks {
+            subdomain: sub,
+            block,
+        })?;
         let global_blocks = Dims3::new(
             blocks_per_sub.nx * procs.px,
             blocks_per_sub.ny * procs.py,
             blocks_per_sub.nz * procs.pz,
         );
-        Ok(Self { domain, procs, block, sub, blocks_per_sub, global_blocks })
+        Ok(Self {
+            domain,
+            procs,
+            block,
+            sub,
+            blocks_per_sub,
+            global_blocks,
+        })
     }
 
     pub fn domain(&self) -> Dims3 {
@@ -128,7 +147,10 @@ impl DomainDecomp {
     pub fn subdomain_extent(&self, rank: usize) -> Extent3 {
         let (cx, cy, cz) = self.procs.coords_of(rank);
         let lo = (cx * self.sub.nx, cy * self.sub.ny, cz * self.sub.nz);
-        Extent3::new(lo, (lo.0 + self.sub.nx, lo.1 + self.sub.ny, lo.2 + self.sub.nz))
+        Extent3::new(
+            lo,
+            (lo.0 + self.sub.nx, lo.1 + self.sub.ny, lo.2 + self.sub.nz),
+        )
     }
 
     /// Global block-grid coordinates of a block.
@@ -147,7 +169,14 @@ impl DomainDecomp {
     pub fn block_extent(&self, id: BlockId) -> Extent3 {
         let (bi, bj, bk) = self.block_coords(id);
         let lo = (bi * self.block.nx, bj * self.block.ny, bk * self.block.nz);
-        Extent3::new(lo, (lo.0 + self.block.nx, lo.1 + self.block.ny, lo.2 + self.block.nz))
+        Extent3::new(
+            lo,
+            (
+                lo.0 + self.block.nx,
+                lo.1 + self.block.ny,
+                lo.2 + self.block.nz,
+            ),
+        )
     }
 
     /// The rank whose subdomain originally contains block `id` (the
@@ -188,8 +217,12 @@ mod tests {
 
     fn paper_scaled() -> DomainDecomp {
         // 1:5 scale of the paper: 440x440x76 domain, 11x11x19 blocks, 64 ranks.
-        DomainDecomp::new(Dims3::new(440, 440, 76), ProcGrid::new(8, 8, 1), Dims3::new(11, 11, 19))
-            .unwrap()
+        DomainDecomp::new(
+            Dims3::new(440, 440, 76),
+            ProcGrid::new(8, 8, 1),
+            Dims3::new(11, 11, 19),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -259,7 +292,10 @@ mod tests {
         let mut covered = 0;
         for id in d.blocks_of_rank(rank) {
             let e = d.block_extent(id);
-            assert!(sub.intersect(&e) == Some(e), "block {id} extent {e} outside subdomain {sub}");
+            assert!(
+                sub.intersect(&e) == Some(e),
+                "block {id} extent {e} outside subdomain {sub}"
+            );
             covered += e.len();
         }
         assert_eq!(covered, sub.len());

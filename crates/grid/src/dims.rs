@@ -49,8 +49,15 @@ impl Dims3 {
         if other.nx == 0 || other.ny == 0 || other.nz == 0 {
             return None;
         }
-        if self.nx.is_multiple_of(other.nx) && self.ny.is_multiple_of(other.ny) && self.nz.is_multiple_of(other.nz) {
-            Some(Dims3::new(self.nx / other.nx, self.ny / other.ny, self.nz / other.nz))
+        if self.nx.is_multiple_of(other.nx)
+            && self.ny.is_multiple_of(other.ny)
+            && self.nz.is_multiple_of(other.nz)
+        {
+            Some(Dims3::new(
+                self.nx / other.nx,
+                self.ny / other.ny,
+                self.nz / other.nz,
+            ))
         } else {
             None
         }
@@ -84,7 +91,11 @@ impl Extent3 {
 
     /// The shape of the box.
     pub fn dims(&self) -> Dims3 {
-        Dims3::new(self.hi.0 - self.lo.0, self.hi.1 - self.lo.1, self.hi.2 - self.lo.2)
+        Dims3::new(
+            self.hi.0 - self.lo.0,
+            self.hi.1 - self.lo.1,
+            self.hi.2 - self.lo.2,
+        )
     }
 
     pub fn len(&self) -> usize {

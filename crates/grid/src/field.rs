@@ -15,7 +15,10 @@ pub struct Field3 {
 impl Field3 {
     /// A field filled with `fill`.
     pub fn filled(dims: Dims3, fill: f32) -> Self {
-        Self { dims, data: vec![fill; dims.len()] }
+        Self {
+            dims,
+            data: vec![fill; dims.len()],
+        }
     }
 
     /// A zero field.
@@ -26,7 +29,10 @@ impl Field3 {
     /// Wrap an existing buffer; its length must match `dims`.
     pub fn from_vec(dims: Dims3, data: Vec<f32>) -> Result<Self, GridError> {
         if data.len() != dims.len() {
-            return Err(GridError::LengthMismatch { expected: dims.len(), got: data.len() });
+            return Err(GridError::LengthMismatch {
+                expected: dims.len(),
+                got: data.len(),
+            });
         }
         Ok(Self { dims, data })
     }
@@ -112,7 +118,10 @@ impl Field3 {
         }
         let ed = extent.dims();
         if values.len() != ed.len() {
-            return Err(GridError::LengthMismatch { expected: ed.len(), got: values.len() });
+            return Err(GridError::LengthMismatch {
+                expected: ed.len(),
+                got: values.len(),
+            });
         }
         let mut src = 0;
         for k in extent.lo.2..extent.hi.2 {
@@ -150,7 +159,10 @@ mod tests {
         assert!(Field3::from_vec(d, vec![0.0; 8]).is_ok());
         assert_eq!(
             Field3::from_vec(d, vec![0.0; 7]),
-            Err(GridError::LengthMismatch { expected: 8, got: 7 })
+            Err(GridError::LengthMismatch {
+                expected: 8,
+                got: 7
+            })
         );
     }
 
@@ -178,7 +190,11 @@ mod tests {
         for k in 0..4 {
             for j in 0..5 {
                 for i in 0..6 {
-                    let expect = if ext.contains((i, j, k)) { f.get(i, j, k) } else { 0.0 };
+                    let expect = if ext.contains((i, j, k)) {
+                        f.get(i, j, k)
+                    } else {
+                        0.0
+                    };
                     assert_eq!(g.get(i, j, k), expect);
                 }
             }

@@ -34,7 +34,10 @@ pub enum GridError {
     /// A dimension was zero.
     ZeroDim,
     /// Domain dimensions are not divisible by the process grid.
-    IndivisibleProcs { domain: Dims3, procs: (usize, usize, usize) },
+    IndivisibleProcs {
+        domain: Dims3,
+        procs: (usize, usize, usize),
+    },
     /// Subdomain dimensions are not divisible by the block dimensions.
     IndivisibleBlocks { subdomain: Dims3, block: Dims3 },
     /// An extent falls outside the field it refers to.
@@ -53,7 +56,10 @@ impl std::fmt::Display for GridError {
                 procs.0, procs.1, procs.2
             ),
             GridError::IndivisibleBlocks { subdomain, block } => {
-                write!(f, "subdomain {subdomain} not divisible by block size {block}")
+                write!(
+                    f,
+                    "subdomain {subdomain} not divisible by block size {block}"
+                )
             }
             GridError::OutOfBounds => write!(f, "extent out of bounds"),
             GridError::LengthMismatch { expected, got } => {

@@ -40,7 +40,11 @@ pub fn score_blocks(
     let policy = policy.for_kernel(recommended_concurrency(blocks.len()));
     par_map(policy, blocks, |b| {
         let samples = b.samples();
-        BlockScore { id: b.id, score: scorer.score(&samples, b.dims()), points: samples.len() }
+        BlockScore {
+            id: b.id,
+            score: scorer.score(&samples, b.dims()),
+            points: samples.len(),
+        }
     })
 }
 
@@ -57,8 +61,7 @@ mod tests {
                     .map(|j| ((i * dims.len() + j) as f32 * 0.37).sin() * 30.0)
                     .collect();
                 let field = Field3::from_vec(dims, data).unwrap();
-                Block::from_field(i as BlockId, Extent3::new((0, 0, 0), (6, 6, 6)), &field)
-                    .unwrap()
+                Block::from_field(i as BlockId, Extent3::new((0, 0, 0), (6, 6, 6)), &field).unwrap()
             })
             .collect()
     }

@@ -27,7 +27,10 @@ pub struct WeightedSum {
 impl WeightedSum {
     pub fn new(name: &'static str, terms: Vec<WeightedTerm>) -> Self {
         assert!(!terms.is_empty(), "combination needs at least one term");
-        assert!(terms.iter().all(|t| t.scale > 0.0), "scales must be positive");
+        assert!(
+            terms.iter().all(|t| t.scale > 0.0),
+            "scales must be positive"
+        );
         Self { name, terms }
     }
 
@@ -82,7 +85,11 @@ mod tests {
     fn single_term_matches_base_up_to_scale() {
         let combo = WeightedSum::new(
             "V",
-            vec![WeightedTerm { scorer: Box::new(Variance), weight: 2.0, scale: 4.0 }],
+            vec![WeightedTerm {
+                scorer: Box::new(Variance),
+                weight: 2.0,
+                scale: 4.0,
+            }],
         );
         let data = noise(DIMS.len(), 5.0, 1);
         let base = Variance.score(&data, DIMS);
@@ -102,8 +109,16 @@ mod tests {
         let combo = WeightedSum::new(
             "RV",
             vec![
-                WeightedTerm { scorer: Box::new(Range), weight: 1.0, scale: 1.0 },
-                WeightedTerm { scorer: Box::new(Variance), weight: 1.0, scale: 1.0 },
+                WeightedTerm {
+                    scorer: Box::new(Range),
+                    weight: 1.0,
+                    scale: 1.0,
+                },
+                WeightedTerm {
+                    scorer: Box::new(Variance),
+                    weight: 1.0,
+                    scale: 1.0,
+                },
             ],
         );
         let expect = Range.cost_per_point() + Variance.cost_per_point();
@@ -121,7 +136,11 @@ mod tests {
     fn zero_scale_rejected() {
         let _ = WeightedSum::new(
             "bad",
-            vec![WeightedTerm { scorer: Box::new(Range), weight: 1.0, scale: 0.0 }],
+            vec![WeightedTerm {
+                scorer: Box::new(Range),
+                weight: 1.0,
+                scale: 0.0,
+            }],
         );
     }
 }

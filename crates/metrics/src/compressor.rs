@@ -17,7 +17,10 @@ pub struct CompressionScore<C: FloatCodec> {
 
 impl<C: FloatCodec> CompressionScore<C> {
     pub fn new(codec: C, cost_per_point: f64) -> Self {
-        Self { codec, cost_per_point }
+        Self {
+            codec,
+            cost_per_point,
+        }
     }
 }
 
@@ -46,7 +49,8 @@ impl<C: FloatCodec + Send + Sync> BlockScorer for CompressionScore<C> {
     }
 
     fn score(&self, data: &[f32], dims: Dims3) -> f64 {
-        self.codec.compressed_ratio(data, (dims.nx, dims.ny, dims.nz))
+        self.codec
+            .compressed_ratio(data, (dims.nx, dims.ny, dims.nz))
     }
 
     fn cost_per_point(&self) -> f64 {
@@ -96,7 +100,11 @@ mod tests {
             &CompressionScore::lz(),
         ] {
             let v = s.score(&noisy, DIMS);
-            assert!(v > 0.0 && v < 2.0, "{}: ratio {v} out of sane range", s.name());
+            assert!(
+                v > 0.0 && v < 2.0,
+                "{}: ratio {v} out of sane range",
+                s.name()
+            );
         }
     }
 }

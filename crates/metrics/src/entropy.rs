@@ -42,11 +42,18 @@ impl Entropy {
     /// The paper's configuration for CM1 reflectivity: [−60, 80] dBZ,
     /// 256 bins.
     pub fn reflectivity() -> Self {
-        Self { min: -60.0, max: 80.0, bins: 256 }
+        Self {
+            min: -60.0,
+            max: 80.0,
+            bins: 256,
+        }
     }
 
     pub fn with_bins(bins: usize) -> Self {
-        Self { bins, ..Self::reflectivity() }
+        Self {
+            bins,
+            ..Self::reflectivity()
+        }
     }
 
     #[inline]
@@ -80,7 +87,10 @@ impl BlockScorer for Entropy {
     }
 
     fn score(&self, data: &[f32], _dims: Dims3) -> f64 {
-        shannon(&self.histogram(data), data.iter().filter(|v| !v.is_nan()).count())
+        shannon(
+            &self.histogram(data),
+            data.iter().filter(|v| !v.is_nan()).count(),
+        )
     }
 
     fn cost_per_point(&self) -> f64 {
@@ -104,7 +114,10 @@ pub struct LocalEntropy {
 
 impl Default for LocalEntropy {
     fn default() -> Self {
-        Self { base: Entropy::reflectivity(), radius: 2 }
+        Self {
+            base: Entropy::reflectivity(),
+            radius: 2,
+        }
     }
 }
 
@@ -170,7 +183,10 @@ mod tests {
     fn shannon_limits() {
         assert_eq!(shannon(&[10, 0, 0, 0], 10), 0.0);
         let uniform = shannon(&[5, 5, 5, 5], 20);
-        assert!((uniform - 2.0).abs() < 1e-12, "uniform over 4 bins = 2 bits, got {uniform}");
+        assert!(
+            (uniform - 2.0).abs() < 1e-12,
+            "uniform over 4 bins = 2 bits, got {uniform}"
+        );
         assert_eq!(shannon(&[], 0), 0.0);
     }
 
@@ -210,18 +226,20 @@ mod tests {
 
     #[test]
     fn local_entropy_flat_vs_noisy() {
-        let le = LocalEntropy { base: Entropy::reflectivity(), radius: 1 };
+        let le = LocalEntropy {
+            base: Entropy::reflectivity(),
+            radius: 1,
+        };
         let flat = le.score(&[10.0; 64], DIMS);
-        let noisy = le.score(
-            &noise(64, 60.0, 2),
-            DIMS,
-        );
+        let noisy = le.score(&noise(64, 60.0, 2), DIMS);
         assert_eq!(flat, 0.0);
         assert!(noisy > 1.0, "noisy local entropy = {noisy}");
     }
 
     #[test]
     fn local_entropy_is_the_expensive_one() {
-        assert!(LocalEntropy::default().cost_per_point() > 10.0 * Entropy::default().cost_per_point());
+        assert!(
+            LocalEntropy::default().cost_per_point() > 10.0 * Entropy::default().cost_per_point()
+        );
     }
 }

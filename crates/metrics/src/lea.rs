@@ -61,10 +61,15 @@ mod tests {
     #[test]
     fn two_values_give_at_most_four_bits() {
         // Each byte position sees at most 2 symbols ⇒ ≤ 1 bit each.
-        let data: Vec<f32> = (0..128).map(|i| if i % 2 == 0 { 1.0 } else { 2.0 }).collect();
+        let data: Vec<f32> = (0..128)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 2.0 })
+            .collect();
         let s = Lea.score(&data, DIMS);
         assert!(s <= 4.0 + 1e-9, "LEA = {s}");
-        assert!(s > 0.9, "differing exponent bytes should register, LEA = {s}");
+        assert!(
+            s > 0.9,
+            "differing exponent bytes should register, LEA = {s}"
+        );
     }
 
     #[test]

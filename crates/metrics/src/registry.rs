@@ -6,7 +6,9 @@
 //! use; [`by_name`] resolves any supported metric, including the extras
 //! (ZFP, LZ, LOCAL_ENT, VAR+TRILIN).
 
-use crate::{BlockScorer, CompressionScore, Entropy, Lea, LocalEntropy, Range, Trilin, Variance, WeightedSum};
+use crate::{
+    BlockScorer, CompressionScore, Entropy, Lea, LocalEntropy, Range, Trilin, Variance, WeightedSum,
+};
 
 /// The metric identifiers understood by [`by_name`].
 pub const METRIC_NAMES: &[&str] = &[

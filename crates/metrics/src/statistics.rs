@@ -101,8 +101,7 @@ mod tests {
     fn variance_matches_two_pass() {
         let data = noise(1000, 10.0, 3);
         let mean: f64 = data.iter().map(|&v| v as f64).sum::<f64>() / 1000.0;
-        let two_pass: f64 =
-            data.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / 1000.0;
+        let two_pass: f64 = data.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / 1000.0;
         let welford = Variance.score(&data, DIMS);
         assert!((welford - two_pass).abs() < 1e-9 * two_pass.max(1.0));
     }
@@ -125,8 +124,9 @@ mod tests {
     fn range_misses_small_band_variation() {
         // The paper's caveat: high variation within a small range scores low
         // under RANGE but higher under VAR relative to a smooth wide ramp.
-        let wiggle: Vec<f32> =
-            (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let wiggle: Vec<f32> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         let ramp: Vec<f32> = (0..100).map(|i| i as f32).collect();
         assert!(Range.score(&wiggle, DIMS) < Range.score(&ramp, DIMS));
     }

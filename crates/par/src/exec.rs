@@ -110,7 +110,10 @@ impl RecommendedConcurrency {
 
     /// A strictly serial recommendation.
     pub fn serial() -> Self {
-        Self { min: NonZeroUsize::MIN, preferred: NonZeroUsize::MIN }
+        Self {
+            min: NonZeroUsize::MIN,
+            preferred: NonZeroUsize::MIN,
+        }
     }
 }
 
@@ -161,8 +164,11 @@ where
                             break;
                         }
                         let end = (start + chunk).min(len);
-                        let out: Vec<R> =
-                            items[start..end].iter().enumerate().map(|(o, t)| f(start + o, t)).collect();
+                        let out: Vec<R> = items[start..end]
+                            .iter()
+                            .enumerate()
+                            .map(|(o, t)| f(start + o, t))
+                            .collect();
                         local.push((start, out));
                     }
                     local
@@ -196,7 +202,9 @@ mod tests {
         let items: Vec<u64> = (0..1000).collect();
         let serial = par_map(ExecPolicy::Serial, &items, |&x| x.wrapping_mul(x) ^ 0xABCD);
         for n in [2, 3, 8, 64] {
-            let par = par_map(ExecPolicy::Threads(n), &items, |&x| x.wrapping_mul(x) ^ 0xABCD);
+            let par = par_map(ExecPolicy::Threads(n), &items, |&x| {
+                x.wrapping_mul(x) ^ 0xABCD
+            });
             assert_eq!(serial, par, "Threads({n}) must match Serial exactly");
         }
     }
@@ -212,7 +220,10 @@ mod tests {
     fn empty_and_singleton_inputs() {
         let empty: Vec<u32> = vec![];
         assert!(par_map(ExecPolicy::Threads(8), &empty, |&x| x).is_empty());
-        assert_eq!(par_map(ExecPolicy::Threads(8), &[7u32], |&x| x + 1), vec![8]);
+        assert_eq!(
+            par_map(ExecPolicy::Threads(8), &[7u32], |&x| x + 1),
+            vec![8]
+        );
     }
 
     #[test]
@@ -227,7 +238,10 @@ mod tests {
     fn clamp_respects_rank_budget() {
         let cores = available_cores();
         // With as many ranks as cores, each rank gets at most one thread.
-        assert_eq!(ExecPolicy::Threads(8).clamp_for_ranks(cores), ExecPolicy::Serial);
+        assert_eq!(
+            ExecPolicy::Threads(8).clamp_for_ranks(cores),
+            ExecPolicy::Serial
+        );
         // A single rank keeps min(n, cores).
         let one = ExecPolicy::Threads(2).clamp_for_ranks(1);
         if cores >= 2 {
@@ -244,7 +258,10 @@ mod tests {
         assert_eq!(ExecPolicy::Threads(8).for_kernel(rec), ExecPolicy::Serial);
         assert_eq!(ExecPolicy::Serial.for_kernel(rec), ExecPolicy::Serial);
         let serial = RecommendedConcurrency::serial();
-        assert_eq!(ExecPolicy::Threads(8).for_kernel(serial), ExecPolicy::Serial);
+        assert_eq!(
+            ExecPolicy::Threads(8).for_kernel(serial),
+            ExecPolicy::Serial
+        );
     }
 
     #[test]
@@ -255,7 +272,10 @@ mod tests {
         // serialize the policy-determinism guards on small CI machines.
         let rec = RecommendedConcurrency::per_items(64, 8);
         assert_eq!(rec.preferred.get(), 8);
-        assert_eq!(ExecPolicy::Threads(8).for_kernel(rec), ExecPolicy::Threads(8));
+        assert_eq!(
+            ExecPolicy::Threads(8).for_kernel(rec),
+            ExecPolicy::Threads(8)
+        );
     }
 
     #[test]

@@ -71,9 +71,18 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a: Vec<u64> = { let mut r = SplitMix64::new(9); (0..8).map(|_| r.next_u64()).collect() };
-        let b: Vec<u64> = { let mut r = SplitMix64::new(9); (0..8).map(|_| r.next_u64()).collect() };
-        let c: Vec<u64> = { let mut r = SplitMix64::new(10); (0..8).map(|_| r.next_u64()).collect() };
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(9);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(9);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = SplitMix64::new(10);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -127,6 +136,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move things");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle should move things"
+        );
     }
 }

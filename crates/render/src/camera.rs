@@ -30,7 +30,9 @@ impl Camera {
             eye,
             target: center,
             up: vec3(0.0, 0.0, 1.0),
-            projection: Projection::Orthographic { half_height: diag * 0.55 },
+            projection: Projection::Orthographic {
+                half_height: diag * 0.55,
+            },
         }
     }
 
@@ -42,7 +44,9 @@ impl Camera {
             eye: center + vec3(0.0, 0.0, diag),
             target: center,
             up: vec3(0.0, 1.0, 0.0),
-            projection: Projection::Orthographic { half_height: (hi.y - lo.y) * 0.55 },
+            projection: Projection::Orthographic {
+                half_height: (hi.y - lo.y) * 0.55,
+            },
         }
     }
 
@@ -69,7 +73,9 @@ impl Camera {
     /// Project a world point to `(x_pixel, y_pixel, depth)`; `None` if the
     /// point is behind the camera.
     pub fn project(&self, p: Vec3, width: usize, height: usize) -> Option<[f32; 3]> {
-        let clip = self.view_projection(width as f32 / height as f32).transform(p);
+        let clip = self
+            .view_projection(width as f32 / height as f32)
+            .transform(p);
         if clip[3] <= 0.0 {
             return None;
         }

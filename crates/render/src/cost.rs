@@ -139,7 +139,10 @@ mod tests {
         let det = m.deterministic().render_time(stats(10_000, 2_000), 10, 0);
         for it in 0..200 {
             let t = m.render_time(stats(10_000, 2_000), 10, RenderCostModel::key(0, it));
-            assert!((t / det - 1.0).abs() < 0.35, "jitter too wild: {t} vs {det}");
+            assert!(
+                (t / det - 1.0).abs() < 0.35,
+                "jitter too wild: {t} vs {det}"
+            );
         }
     }
 

@@ -14,7 +14,11 @@ pub struct Image {
 
 impl Image {
     pub fn new(width: usize, height: usize) -> Self {
-        Self { width, height, data: vec![0; width * height * 3] }
+        Self {
+            width,
+            height,
+            data: vec![0; width * height * 3],
+        }
     }
 
     pub fn filled(width: usize, height: usize, rgb: [u8; 3]) -> Self {
@@ -22,7 +26,11 @@ impl Image {
         for _ in 0..width * height {
             data.extend_from_slice(&rgb);
         }
-        Self { width, height, data }
+        Self {
+            width,
+            height,
+            data,
+        }
     }
 
     pub fn width(&self) -> usize {
@@ -65,9 +73,7 @@ impl Image {
         let grey: Vec<u8> = self
             .data
             .chunks_exact(3)
-            .map(|px| {
-                (0.299 * px[0] as f32 + 0.587 * px[1] as f32 + 0.114 * px[2] as f32) as u8
-            })
+            .map(|px| (0.299 * px[0] as f32 + 0.587 * px[1] as f32 + 0.114 * px[2] as f32) as u8)
             .collect();
         out.write_all(&grey)?;
         out.flush()

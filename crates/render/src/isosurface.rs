@@ -46,7 +46,11 @@ const TETS: [[usize; 4]; 6] = [
 #[inline]
 fn edge_point(pa: Vec3, va: f32, pb: Vec3, vb: f32, iso: f32) -> Vec3 {
     let denom = vb - va;
-    let t = if denom.abs() < 1e-30 { 0.5 } else { ((iso - va) / denom).clamp(0.0, 1.0) };
+    let t = if denom.abs() < 1e-30 {
+        0.5
+    } else {
+        ((iso - va) / denom).clamp(0.0, 1.0)
+    };
     pa + (pb - pa) * t
 }
 
@@ -60,7 +64,11 @@ fn tetra(mesh: &mut TriangleMesh, p: [Vec3; 4], v: [f32; 4], iso: f32) -> usize 
     }
     // Normalize to ≤ 2 inside vertices by complementing (same surface,
     // opposite orientation — we shade two-sided).
-    let (mask, flip) = if mask.count_ones() > 2 { (mask ^ 0xF, true) } else { (mask, false) };
+    let (mask, flip) = if mask.count_ones() > 2 {
+        (mask ^ 0xF, true)
+    } else {
+        (mask, false)
+    };
     let ep = |a: usize, b: usize| edge_point(p[a], v[a], p[b], v[b], iso);
     let mut tri = |a: Vec3, b: Vec3, c: Vec3| {
         if flip {
@@ -174,11 +182,7 @@ where
                 }
                 let mut pos = [Vec3::default(); 8];
                 for (c, pc) in pos.iter_mut().enumerate() {
-                    *pc = Vec3::from_array(position(
-                        i + (c & 1),
-                        j + ((c >> 1) & 1),
-                        k + (c >> 2),
-                    ));
+                    *pc = Vec3::from_array(position(i + (c & 1), j + ((c >> 1) & 1), k + (c >> 2)));
                 }
                 for tet in &TETS {
                     let p = [pos[tet[0]], pos[tet[1]], pos[tet[2]], pos[tet[3]]];
@@ -209,7 +213,11 @@ pub fn block_isosurface(
             // all points first would yield the same surface at 6·n³ the
             // cost; the corner cell is what Catalyst sees after reduction.)
             let corner_dims = Dims3::new(2, 2, 2);
-            let hi = (block.extent.hi.0 - 1, block.extent.hi.1 - 1, block.extent.hi.2 - 1);
+            let hi = (
+                block.extent.hi.0 - 1,
+                block.extent.hi.1 - 1,
+                block.extent.hi.2 - 1,
+            );
             marching_tetrahedra(corners, corner_dims, iso, |i, j, k| {
                 coords.position(
                     if i == 0 { lo.0 } else { hi.0 },
@@ -228,11 +236,9 @@ pub fn block_isosurface(
                 coords.position(lo.0 + ix[i], lo.1 + iy[j], lo.2 + iz[k])
             })
         }
-        apc_grid::BlockData::Full(samples) => {
-            marching_tetrahedra(samples, dims, iso, |i, j, k| {
-                coords.position(lo.0 + i, lo.1 + j, lo.2 + k)
-            })
-        }
+        apc_grid::BlockData::Full(samples) => marching_tetrahedra(samples, dims, iso, |i, j, k| {
+            coords.position(lo.0 + i, lo.1 + j, lo.2 + k)
+        }),
     }
 }
 
@@ -311,16 +317,18 @@ mod tests {
         let analytic = 4.0 * std::f64::consts::PI * (r as f64) * (r as f64);
         let measured = mesh.area();
         let rel = (measured - analytic).abs() / analytic;
-        assert!(rel < 0.15, "sphere area off by {:.1}%: {measured} vs {analytic}", rel * 100.0);
+        assert!(
+            rel < 0.15,
+            "sphere area off by {:.1}%: {measured} vs {analytic}",
+            rel * 100.0
+        );
     }
 
     #[test]
     fn plane_isosurface_sits_at_crossing() {
         // Field linear in x crosses iso=2.5 at the x=2.5 plane.
         let dims = Dims3::new(6, 5, 4);
-        let data: Vec<f32> = (0..dims.len())
-            .map(|idx| (idx % 6) as f32)
-            .collect();
+        let data: Vec<f32> = (0..dims.len()).map(|idx| (idx % 6) as f32).collect();
         let (mesh, _) = marching_tetrahedra(&data, dims, 2.5, ident);
         assert!(!mesh.is_empty());
         for p in &mesh.positions {
@@ -419,12 +427,17 @@ mod tests {
             })
             .collect();
         let serial = batch_isosurface_stats(&blocks, &coords, 0.0, ExecPolicy::Serial);
-        let reference: Vec<IsoStats> =
-            blocks.iter().map(|b| block_isosurface(b, &coords, 0.0).1).collect();
+        let reference: Vec<IsoStats> = blocks
+            .iter()
+            .map(|b| block_isosurface(b, &coords, 0.0).1)
+            .collect();
         assert_eq!(serial, reference, "serial batch must equal the plain loop");
         for threads in [2, 8] {
             let par = batch_isosurface_stats(&blocks, &coords, 0.0, ExecPolicy::Threads(threads));
-            assert_eq!(serial, par, "Threads({threads}) counters must be bit-identical");
+            assert_eq!(
+                serial, par,
+                "Threads({threads}) counters must be bit-identical"
+            );
         }
         assert!(serial.iter().any(|s| s.triangles > 0));
     }

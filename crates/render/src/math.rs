@@ -189,10 +189,18 @@ mod tests {
 
     #[test]
     fn look_at_centers_target() {
-        let view = Mat4::look_at(vec3(0.0, 0.0, 5.0), vec3(0.0, 0.0, 0.0), vec3(0.0, 1.0, 0.0));
+        let view = Mat4::look_at(
+            vec3(0.0, 0.0, 5.0),
+            vec3(0.0, 0.0, 0.0),
+            vec3(0.0, 1.0, 0.0),
+        );
         let out = view.transform(vec3(0.0, 0.0, 0.0));
         assert!(close(out[0], 0.0) && close(out[1], 0.0));
-        assert!(close(out[2], -5.0), "target sits 5 units down -z, got {}", out[2]);
+        assert!(
+            close(out[2], -5.0),
+            "target sits 5 units down -z, got {}",
+            out[2]
+        );
     }
 
     #[test]

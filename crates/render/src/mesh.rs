@@ -90,7 +90,11 @@ mod tests {
     fn push_and_count() {
         let mut m = TriangleMesh::new();
         assert!(m.is_empty());
-        m.push_triangle(vec3(0.0, 0.0, 0.0), vec3(1.0, 0.0, 0.0), vec3(0.0, 1.0, 0.0));
+        m.push_triangle(
+            vec3(0.0, 0.0, 0.0),
+            vec3(1.0, 0.0, 0.0),
+            vec3(0.0, 1.0, 0.0),
+        );
         assert_eq!(m.triangle_count(), 1);
         assert!((m.area() - 0.5).abs() < 1e-6);
     }
@@ -98,9 +102,17 @@ mod tests {
     #[test]
     fn merge_offsets_indices() {
         let mut a = TriangleMesh::new();
-        a.push_triangle(vec3(0.0, 0.0, 0.0), vec3(1.0, 0.0, 0.0), vec3(0.0, 1.0, 0.0));
+        a.push_triangle(
+            vec3(0.0, 0.0, 0.0),
+            vec3(1.0, 0.0, 0.0),
+            vec3(0.0, 1.0, 0.0),
+        );
         let mut b = TriangleMesh::new();
-        b.push_triangle(vec3(5.0, 0.0, 0.0), vec3(6.0, 0.0, 0.0), vec3(5.0, 1.0, 0.0));
+        b.push_triangle(
+            vec3(5.0, 0.0, 0.0),
+            vec3(6.0, 0.0, 0.0),
+            vec3(5.0, 1.0, 0.0),
+        );
         a.merge(&b);
         assert_eq!(a.triangle_count(), 2);
         let t1 = a.triangle(1);
@@ -111,7 +123,11 @@ mod tests {
     fn bounds() {
         let mut m = TriangleMesh::new();
         assert!(m.bounds().is_none());
-        m.push_triangle(vec3(-1.0, 2.0, 0.0), vec3(1.0, 0.0, 3.0), vec3(0.0, -2.0, 1.0));
+        m.push_triangle(
+            vec3(-1.0, 2.0, 0.0),
+            vec3(1.0, 0.0, 3.0),
+            vec3(0.0, -2.0, 1.0),
+        );
         let (lo, hi) = m.bounds().unwrap();
         assert_eq!(lo, vec3(-1.0, -2.0, 0.0));
         assert_eq!(hi, vec3(1.0, 2.0, 3.0));

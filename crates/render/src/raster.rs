@@ -42,7 +42,12 @@ impl Framebuffer {
     /// Rasterize a mesh with a single base color, flat (per-triangle)
     /// two-sided Lambert shading from a fixed directional light.
     pub fn draw_mesh(&mut self, mesh: &TriangleMesh, camera: &Camera, base: [u8; 3]) {
-        let light = Vec3 { x: -0.4, y: -0.55, z: 0.73 }.normalized();
+        let light = Vec3 {
+            x: -0.4,
+            y: -0.55,
+            z: 0.73,
+        }
+        .normalized();
         for t in 0..mesh.triangle_count() {
             let [a, b, c] = mesh.triangle(t);
             let normal = (b - a).cross(c - a).normalized();
@@ -76,8 +81,17 @@ impl Framebuffer {
         camera: &Camera,
         cmap: &Colormap,
     ) {
-        assert_eq!(scalars.len(), mesh.triangle_count(), "one scalar per triangle");
-        let light = Vec3 { x: -0.4, y: -0.55, z: 0.73 }.normalized();
+        assert_eq!(
+            scalars.len(),
+            mesh.triangle_count(),
+            "one scalar per triangle"
+        );
+        let light = Vec3 {
+            x: -0.4,
+            y: -0.55,
+            z: 0.73,
+        }
+        .normalized();
         for t in 0..mesh.triangle_count() {
             let [a, b, c] = mesh.triangle(t);
             let normal = (b - a).cross(c - a).normalized();
@@ -170,7 +184,11 @@ mod tests {
 
     fn one_triangle() -> TriangleMesh {
         let mut m = TriangleMesh::new();
-        m.push_triangle(vec3(2.0, 2.0, 5.0), vec3(8.0, 2.0, 5.0), vec3(5.0, 8.0, 5.0));
+        m.push_triangle(
+            vec3(2.0, 2.0, 5.0),
+            vec3(8.0, 2.0, 5.0),
+            vec3(5.0, 8.0, 5.0),
+        );
         m
     }
 
@@ -206,16 +224,27 @@ mod tests {
         // the higher-z one (nearer the top-down camera) must win.
         let cam = Camera::top_down(vec3(0.0, 0.0, 0.0), vec3(10.0, 10.0, 10.0));
         let mut near = TriangleMesh::new();
-        near.push_triangle(vec3(1.0, 1.0, 8.0), vec3(9.0, 1.0, 8.0), vec3(5.0, 9.0, 8.0));
+        near.push_triangle(
+            vec3(1.0, 1.0, 8.0),
+            vec3(9.0, 1.0, 8.0),
+            vec3(5.0, 9.0, 8.0),
+        );
         let mut far = TriangleMesh::new();
-        far.push_triangle(vec3(1.0, 1.0, 2.0), vec3(9.0, 1.0, 2.0), vec3(5.0, 9.0, 2.0));
+        far.push_triangle(
+            vec3(1.0, 1.0, 2.0),
+            vec3(9.0, 1.0, 2.0),
+            vec3(5.0, 9.0, 2.0),
+        );
 
         let mut fb = Framebuffer::new(32, 32, [0, 0, 0]);
         fb.draw_mesh(&far, &cam, [0, 0, 200]);
         fb.draw_mesh(&near, &cam, [0, 200, 0]);
         let img = fb.into_image();
         let center = img.get(16, 16);
-        assert!(center[1] > center[2], "near (green) should occlude far (blue): {center:?}");
+        assert!(
+            center[1] > center[2],
+            "near (green) should occlude far (blue): {center:?}"
+        );
 
         // Draw order must not matter.
         let mut fb2 = Framebuffer::new(32, 32, [0, 0, 0]);

@@ -34,7 +34,9 @@ pub fn render_scoremap(
     let finite: Vec<f64> = col.iter().copied().filter(|v| v.is_finite()).collect();
     let (lo, hi) = finite
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
     let span = if hi > lo { hi - lo } else { 1.0 };
     let cmap = Colormap::new(0.0, 1.0, Palette::GreyscaleInverted);
 
@@ -69,8 +71,12 @@ mod tests {
     use apc_grid::{Dims3, DomainDecomp, ProcGrid};
 
     fn decomp() -> DomainDecomp {
-        DomainDecomp::new(Dims3::new(40, 40, 8), ProcGrid::new(2, 2, 1), Dims3::new(10, 10, 8))
-            .unwrap()
+        DomainDecomp::new(
+            Dims3::new(40, 40, 8),
+            ProcGrid::new(2, 2, 1),
+            Dims3::new(10, 10, 8),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -90,7 +96,10 @@ mod tests {
         // Block 0 is at (0,0) → bottom-left; block n-1 top-right.
         let low = img.get(0, img.height() - 1);
         let high = img.get(img.width() - 1, 0);
-        assert!(high[0] < low[0], "high score should be darker: {high:?} vs {low:?}");
+        assert!(
+            high[0] < low[0],
+            "high score should be darker: {high:?} vs {low:?}"
+        );
     }
 
     #[test]

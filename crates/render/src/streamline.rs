@@ -24,7 +24,12 @@ pub struct StreamlineOptions {
 
 impl StreamlineOptions {
     pub fn within(lo: [f32; 3], hi: [f32; 3]) -> Self {
-        Self { step: 0.01, max_steps: 2000, min_speed: 1e-9, bounds: (lo, hi) }
+        Self {
+            step: 0.01,
+            max_steps: 2000,
+            min_speed: 1e-9,
+            bounds: (lo, hi),
+        }
     }
 }
 
@@ -73,9 +78,21 @@ pub fn seed_grid(lo: [f32; 3], hi: [f32; 3], nx: usize, ny: usize, z: f32) -> Ve
     let mut seeds = Vec::with_capacity(nx * ny);
     for j in 0..ny {
         for i in 0..nx {
-            let fx = if nx > 1 { i as f32 / (nx - 1) as f32 } else { 0.5 };
-            let fy = if ny > 1 { j as f32 / (ny - 1) as f32 } else { 0.5 };
-            seeds.push([lo[0] + fx * (hi[0] - lo[0]), lo[1] + fy * (hi[1] - lo[1]), z]);
+            let fx = if nx > 1 {
+                i as f32 / (nx - 1) as f32
+            } else {
+                0.5
+            };
+            let fy = if ny > 1 {
+                j as f32 / (ny - 1) as f32
+            } else {
+                0.5
+            };
+            seeds.push([
+                lo[0] + fx * (hi[0] - lo[0]),
+                lo[1] + fy * (hi[1] - lo[1]),
+                z,
+            ]);
         }
     }
     seeds
@@ -119,7 +136,10 @@ mod tests {
 
     #[test]
     fn uniform_wind_gives_straight_line() {
-        let opts = StreamlineOptions { step: 0.01, ..StreamlineOptions::within(UNIT.0, UNIT.1) };
+        let opts = StreamlineOptions {
+            step: 0.01,
+            ..StreamlineOptions::within(UNIT.0, UNIT.1)
+        };
         let line = trace_streamline(|_| [1.0, 0.0, 0.0], [0.1, 0.5, 0.5], &opts);
         assert!(line.len() > 50);
         for p in &line {
@@ -134,7 +154,11 @@ mod tests {
     fn trace_stops_at_bounds() {
         let opts = StreamlineOptions::within(UNIT.0, UNIT.1);
         let line = trace_streamline(|_| [0.0, -1.0, 0.0], [0.5, 0.05, 0.5], &opts);
-        assert!(line.len() < 20, "should exit quickly, got {} points", line.len());
+        assert!(
+            line.len() < 20,
+            "should exit quickly, got {} points",
+            line.len()
+        );
         assert!(line.iter().all(|p| p.y >= 0.0));
     }
 
@@ -186,6 +210,10 @@ mod tests {
         let mut fb = Framebuffer::new(64, 64, [0, 0, 0]);
         let line = vec![vec3(0.1, 0.5, 0.5), vec3(0.9, 0.5, 0.5)];
         fb.draw_polyline(&line, &cam, [255, 0, 0]);
-        assert!(fb.coverage() > 0.005, "line should cover pixels: {}", fb.coverage());
+        assert!(
+            fb.coverage() > 0.005,
+            "line should cover pixels: {}",
+            fb.coverage()
+        );
     }
 }

@@ -1,0 +1,104 @@
+//! Static sim/viz rank partitioning.
+//!
+//! Space-partitioned in situ dedicates a subset of the job's ranks to
+//! visualization (the Damaris "dedicated cores" idea): out of `nranks`
+//! ranks, the first `nranks − viz` are **simulation ranks** and the last
+//! `viz` are **staging ranks**. The split is static for a run — dynamic
+//! repartitioning is a ROADMAP follow-on.
+
+/// What a rank does in a staged run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Produces frames; `slot` is the rank's index among simulation ranks.
+    Sim { slot: usize },
+    /// Consumes and visualizes frames; `slot` indexes the staging ranks.
+    Stage { slot: usize },
+}
+
+/// A static sim:viz split of `nranks` ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    nranks: usize,
+    viz: usize,
+}
+
+impl Partition {
+    /// Dedicate the last `viz` of `nranks` ranks to staging. At least one
+    /// rank must remain on each side.
+    pub fn new(nranks: usize, viz: usize) -> Self {
+        assert!(viz >= 1, "need at least one staging rank");
+        assert!(
+            viz < nranks,
+            "need at least one simulation rank ({viz} viz of {nranks})"
+        );
+        Self { nranks, viz }
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Number of simulation ranks.
+    pub fn n_sim(&self) -> usize {
+        self.nranks - self.viz
+    }
+
+    /// Number of staging ranks.
+    pub fn n_stage(&self) -> usize {
+        self.viz
+    }
+
+    /// The role of a global rank id.
+    pub fn role(&self, rank: usize) -> Role {
+        assert!(rank < self.nranks, "rank {rank} out of range");
+        if rank < self.n_sim() {
+            Role::Sim { slot: rank }
+        } else {
+            Role::Stage {
+                slot: rank - self.n_sim(),
+            }
+        }
+    }
+
+    /// Global rank id of simulation slot `slot`.
+    pub fn sim_rank(&self, slot: usize) -> usize {
+        assert!(slot < self.n_sim());
+        slot
+    }
+
+    /// Global rank id of staging slot `slot`.
+    pub fn stage_rank(&self, slot: usize) -> usize {
+        assert!(slot < self.n_stage());
+        self.n_sim() + slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_split_sims_then_stagers() {
+        let p = Partition::new(6, 2);
+        assert_eq!(p.n_sim(), 4);
+        assert_eq!(p.n_stage(), 2);
+        assert_eq!(p.role(0), Role::Sim { slot: 0 });
+        assert_eq!(p.role(3), Role::Sim { slot: 3 });
+        assert_eq!(p.role(4), Role::Stage { slot: 0 });
+        assert_eq!(p.role(5), Role::Stage { slot: 1 });
+        assert_eq!(p.sim_rank(2), 2);
+        assert_eq!(p.stage_rank(1), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one staging rank")]
+    fn zero_viz_rejected() {
+        let _ = Partition::new(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one simulation rank")]
+    fn all_viz_rejected() {
+        let _ = Partition::new(4, 4);
+    }
+}

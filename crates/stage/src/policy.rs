@@ -1,0 +1,62 @@
+//! What happens when a stager falls behind its simulation ranks.
+
+use apc_comm::FlowControl;
+
+/// Backpressure policy of the staged queues.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BackpressurePolicy {
+    /// The producer blocks (in virtual time) when its queue is full — no
+    /// frame is ever lost, the simulation absorbs the surplus as stall.
+    Block,
+    /// The queue evicts its oldest waiting frame slice to make room — the
+    /// simulation never stalls, the visualization loses data under
+    /// pressure.
+    DropOldest,
+    /// Like [`BackpressurePolicy::Block`], but a frame that sat in the
+    /// queue is visualized at a reduction percentage raised by `boost`
+    /// points over what the Algorithm 1 controller asked for — the
+    /// visualization degrades itself to drain the backlog faster.
+    DegradeHarder {
+        /// Percentage points added to the controller's output while the
+        /// queue is backed up.
+        boost: f64,
+    },
+}
+
+impl BackpressurePolicy {
+    /// The comm-layer flow control this policy rides on.
+    pub fn flow(&self) -> FlowControl {
+        match self {
+            BackpressurePolicy::DropOldest => FlowControl::Lossy,
+            _ => FlowControl::Credit,
+        }
+    }
+
+    /// The percentage-point boost to apply to a backlogged frame.
+    pub fn degrade_boost(&self) -> f64 {
+        match self {
+            BackpressurePolicy::DegradeHarder { boost } => *boost,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flows_match_policies() {
+        assert_eq!(BackpressurePolicy::Block.flow(), FlowControl::Credit);
+        assert_eq!(BackpressurePolicy::DropOldest.flow(), FlowControl::Lossy);
+        assert_eq!(
+            BackpressurePolicy::DegradeHarder { boost: 20.0 }.flow(),
+            FlowControl::Credit
+        );
+        assert_eq!(BackpressurePolicy::Block.degrade_boost(), 0.0);
+        assert_eq!(
+            BackpressurePolicy::DegradeHarder { boost: 15.0 }.degrade_boost(),
+            15.0
+        );
+    }
+}

@@ -57,7 +57,9 @@ impl DirStore {
     /// Bind to `root` (created, along with parents, if missing).
     pub fn create(root: &Path) -> Result<Self, StoreError> {
         std::fs::create_dir_all(root)?;
-        Ok(Self { root: root.to_path_buf() })
+        Ok(Self {
+            root: root.to_path_buf(),
+        })
     }
 
     /// Bind to an existing `root`.
@@ -65,7 +67,9 @@ impl DirStore {
         if !root.is_dir() {
             return Err(StoreError::NotFound(root.display().to_string()));
         }
-        Ok(Self { root: root.to_path_buf() })
+        Ok(Self {
+            root: root.to_path_buf(),
+        })
     }
 
     pub fn root(&self) -> &Path {
@@ -90,7 +94,10 @@ impl StoreBackend for DirStore {
         // Write-then-rename so a key is either absent or complete: an
         // interrupted writer (kill, ENOSPC) must not leave a truncated
         // chunk that `contains` would report as present.
-        let file_name = path.file_name().expect("keys have a final segment").to_owned();
+        let file_name = path
+            .file_name()
+            .expect("keys have a final segment")
+            .to_owned();
         let mut tmp_name = std::ffi::OsString::from(".");
         tmp_name.push(&file_name);
         tmp_name.push(".tmp");
@@ -108,9 +115,7 @@ impl StoreBackend for DirStore {
     fn get(&self, key: &str) -> Result<Vec<u8>, StoreError> {
         match std::fs::read(self.path_of(key)) {
             Ok(bytes) => Ok(bytes),
-            Err(e) if e.kind() == ErrorKind::NotFound => {
-                Err(StoreError::NotFound(key.to_owned()))
-            }
+            Err(e) if e.kind() == ErrorKind::NotFound => Err(StoreError::NotFound(key.to_owned())),
             Err(e) => Err(e.into()),
         }
     }
@@ -143,13 +148,21 @@ impl MemStore {
 
     /// Total stored bytes over all keys (compression diagnostics).
     pub fn nbytes(&self) -> usize {
-        self.map.read().expect("mem store lock").values().map(Vec::len).sum()
+        self.map
+            .read()
+            .expect("mem store lock")
+            .values()
+            .map(Vec::len)
+            .sum()
     }
 }
 
 impl StoreBackend for MemStore {
     fn put(&self, key: &str, bytes: &[u8]) -> Result<(), StoreError> {
-        self.map.write().expect("mem store lock").insert(key.to_owned(), bytes.to_vec());
+        self.map
+            .write()
+            .expect("mem store lock")
+            .insert(key.to_owned(), bytes.to_vec());
         Ok(())
     }
 
@@ -193,7 +206,9 @@ mod tests {
 
     #[test]
     fn dir_store_basics() {
-        let root = std::env::temp_dir().join("apc_store_backend_tests").join("basics");
+        let root = std::env::temp_dir()
+            .join("apc_store_backend_tests")
+            .join("basics");
         let _ = std::fs::remove_dir_all(&root);
         let store = DirStore::create(&root).unwrap();
         exercise(&store);
@@ -206,9 +221,14 @@ mod tests {
 
     #[test]
     fn dir_store_open_missing_root_is_error() {
-        let root = std::env::temp_dir().join("apc_store_backend_tests").join("missing");
+        let root = std::env::temp_dir()
+            .join("apc_store_backend_tests")
+            .join("missing");
         let _ = std::fs::remove_dir_all(&root);
-        assert!(matches!(DirStore::open(&root), Err(StoreError::NotFound(_))));
+        assert!(matches!(
+            DirStore::open(&root),
+            Err(StoreError::NotFound(_))
+        ));
     }
 
     #[test]

@@ -26,22 +26,17 @@ const TAG_ZFPX: u8 = 3;
 /// fixed absolute `tolerance` — useful for archival copies, but reports
 /// produced from a `Zfpx` store are only *approximately* those of the
 /// in-memory path.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum CodecKind {
     /// Little-endian `f32`s, no compression.
     Raw,
     /// The lossless fpzip-like predictive codec (the default).
+    #[default]
     Fpz,
     /// Lossless LZ77 over byte-plane-transposed floats.
     Lz,
     /// The lossy zfp-like transform codec at an absolute tolerance.
     Zfpx { tolerance: f32 },
-}
-
-impl Default for CodecKind {
-    fn default() -> Self {
-        CodecKind::Fpz
-    }
 }
 
 impl CodecKind {
@@ -91,7 +86,10 @@ impl CodecKind {
             CodecKind::Zfpx { tolerance } => {
                 // The decoder needs the encoder's tolerance to know the
                 // bit-plane cutoff, so the chunk carries it.
-                let stream = Zfpx { tolerance: *tolerance }.encode(samples, shape);
+                let stream = Zfpx {
+                    tolerance: *tolerance,
+                }
+                .encode(samples, shape);
                 let mut out = Vec::with_capacity(5 + stream.len());
                 out.push(TAG_ZFPX);
                 out.extend_from_slice(&tolerance.to_le_bytes());
@@ -143,11 +141,16 @@ impl CodecKind {
                 Zfpx { tolerance }.decode(body, shape)?
             }
             other => {
-                return Err(StoreError::BadMeta(format!("unknown chunk codec tag {other}")))
+                return Err(StoreError::BadMeta(format!(
+                    "unknown chunk codec tag {other}"
+                )))
             }
         };
         if samples.len() != dims.len() {
-            return Err(StoreError::ChunkShape { expected: dims.len(), got: samples.len() });
+            return Err(StoreError::ChunkShape {
+                expected: dims.len(),
+                got: samples.len(),
+            });
         }
         Ok(samples)
     }
@@ -173,7 +176,9 @@ mod tests {
     use super::*;
 
     fn wavy(n: usize) -> Vec<f32> {
-        (0..n).map(|i| (i as f32 * 0.37).sin() * 40.0 + 10.0).collect()
+        (0..n)
+            .map(|i| (i as f32 * 0.37).sin() * 40.0 + 10.0)
+            .collect()
     }
 
     #[test]
@@ -195,7 +200,9 @@ mod tests {
         let dims = Dims3::new(8, 8, 4);
         let data = wavy(dims.len());
         let kind = CodecKind::Zfpx { tolerance: 0.01 };
-        let dec = kind.decode_chunk(&kind.encode_chunk(&data, dims), dims).unwrap();
+        let dec = kind
+            .decode_chunk(&kind.encode_chunk(&data, dims), dims)
+            .unwrap();
         for (a, b) in data.iter().zip(&dec) {
             assert!((a - b).abs() < 0.1, "{a} vs {b}");
         }
@@ -261,7 +268,9 @@ mod tests {
         // Truncated fpz payload.
         let data = wavy(dims.len());
         let enc = CodecKind::Fpz.encode_chunk(&data, dims);
-        assert!(CodecKind::Fpz.decode_chunk(&enc[..enc.len() / 2], dims).is_err());
+        assert!(CodecKind::Fpz
+            .decode_chunk(&enc[..enc.len() / 2], dims)
+            .is_err());
     }
 
     #[test]

@@ -34,7 +34,11 @@ impl<B: StoreBackend> ChunkedDataset<B> {
     pub fn create(backend: B, meta: DatasetMeta) -> Result<Self, StoreError> {
         let decomp = meta.decomp()?;
         backend.put(META_KEY, meta.to_json().as_bytes())?;
-        Ok(Self { backend, meta, decomp })
+        Ok(Self {
+            backend,
+            meta,
+            decomp,
+        })
     }
 
     /// Open an existing dataset by reading its metadata document.
@@ -49,7 +53,11 @@ impl<B: StoreBackend> ChunkedDataset<B> {
             .map_err(|_| StoreError::BadMeta("meta.json is not utf-8".to_owned()))?;
         let meta = DatasetMeta::from_json(&text)?;
         let decomp = meta.decomp()?;
-        Ok(Self { backend, meta, decomp })
+        Ok(Self {
+            backend,
+            meta,
+            decomp,
+        })
     }
 
     pub fn meta(&self) -> &DatasetMeta {
@@ -98,7 +106,10 @@ impl<B: StoreBackend> ChunkedDataset<B> {
         self.check_iteration(iteration)?;
         let dims = self.meta.chunk;
         if samples.len() != dims.len() {
-            return Err(StoreError::ChunkShape { expected: dims.len(), got: samples.len() });
+            return Err(StoreError::ChunkShape {
+                expected: dims.len(),
+                got: samples.len(),
+            });
         }
         let bytes = self.meta.codec.encode_chunk(samples, dims);
         self.backend.put(&Self::chunk_key(iteration, id), &bytes)
@@ -169,7 +180,9 @@ mod tests {
     }
 
     fn chunk_data(dims: Dims3, salt: f32) -> Vec<f32> {
-        (0..dims.len()).map(|i| (i as f32 * 0.21 + salt).sin() * 30.0).collect()
+        (0..dims.len())
+            .map(|i| (i as f32 * 0.21 + salt).sin() * 30.0)
+            .collect()
     }
 
     #[test]
@@ -179,7 +192,9 @@ mod tests {
         let dims = store.chunk_dims();
         for &it in &[10usize, 20] {
             for id in store.decomp().all_blocks() {
-                store.write_chunk(it, id, &chunk_data(dims, (it + id as usize) as f32)).unwrap();
+                store
+                    .write_chunk(it, id, &chunk_data(dims, (it + id as usize) as f32))
+                    .unwrap();
             }
         }
         assert!(store.iteration_complete(10).unwrap());
@@ -188,7 +203,11 @@ mod tests {
         assert_eq!(reopened.meta(), &meta);
         for id in reopened.decomp().all_blocks() {
             let got = reopened.read_chunk(20, id).unwrap();
-            assert_eq!(got, chunk_data(dims, (20 + id as usize) as f32), "chunk {id}");
+            assert_eq!(
+                got,
+                chunk_data(dims, (20 + id as usize) as f32),
+                "chunk {id}"
+            );
         }
     }
 
@@ -197,7 +216,9 @@ mod tests {
         let store = ChunkedDataset::create(MemStore::new(), tiny_meta(CodecKind::Raw)).unwrap();
         let dims = store.chunk_dims();
         for id in store.decomp().all_blocks() {
-            store.write_chunk(10, id, &chunk_data(dims, id as f32)).unwrap();
+            store
+                .write_chunk(10, id, &chunk_data(dims, id as f32))
+                .unwrap();
         }
         let b = store.read_block(10, 3).unwrap();
         assert_eq!(b.id, 3);
@@ -213,8 +234,14 @@ mod tests {
     #[test]
     fn unknown_iteration_and_missing_chunk_are_errors() {
         let store = ChunkedDataset::create(MemStore::new(), tiny_meta(CodecKind::Raw)).unwrap();
-        assert!(matches!(store.read_chunk(99, 0), Err(StoreError::NotFound(_))));
-        assert!(matches!(store.read_chunk(10, 0), Err(StoreError::NotFound(_))));
+        assert!(matches!(
+            store.read_chunk(99, 0),
+            Err(StoreError::NotFound(_))
+        ));
+        assert!(matches!(
+            store.read_chunk(10, 0),
+            Err(StoreError::NotFound(_))
+        ));
         assert!(!store.iteration_complete(10).unwrap());
         let dims = store.chunk_dims();
         assert!(matches!(
@@ -244,7 +271,10 @@ mod tests {
     #[test]
     fn corrupt_chunk_is_codec_error() {
         let store = ChunkedDataset::create(MemStore::new(), tiny_meta(CodecKind::Fpz)).unwrap();
-        store.backend().put(&ChunkedDataset::<MemStore>::chunk_key(10, 0), &[1, 0xFF]).unwrap();
+        store
+            .backend()
+            .put(&ChunkedDataset::<MemStore>::chunk_key(10, 0), &[1, 0xFF])
+            .unwrap();
         assert!(matches!(store.read_chunk(10, 0), Err(StoreError::Codec(_))));
     }
 }

@@ -82,7 +82,11 @@ impl DatasetMeta {
         }
         match get("version")? {
             Value::Int(v) if *v == VERSION as i128 => {}
-            other => return Err(StoreError::BadMeta(format!("unsupported version {other:?}"))),
+            other => {
+                return Err(StoreError::BadMeta(format!(
+                    "unsupported version {other:?}"
+                )))
+            }
         }
         let dims = |key: &str| -> Result<Dims3, StoreError> {
             match get(key)? {
@@ -103,7 +107,9 @@ impl DatasetMeta {
             Some((_, Value::Float(f))) => Some(*f as f32),
             Some((_, Value::Int(i))) => Some(*i as f32),
             Some((_, other)) => {
-                return Err(StoreError::BadMeta(format!("bad tolerance field {other:?}")))
+                return Err(StoreError::BadMeta(format!(
+                    "bad tolerance field {other:?}"
+                )))
             }
             None => None,
         };
@@ -117,7 +123,9 @@ impl DatasetMeta {
                 v.iter().map(|&x| x as usize).collect::<Vec<usize>>()
             }
             other => {
-                return Err(StoreError::BadMeta(format!("bad iterations field {other:?}")))
+                return Err(StoreError::BadMeta(format!(
+                    "bad iterations field {other:?}"
+                )))
             }
         };
         if !iterations.windows(2).all(|w| w[1] > w[0]) {
@@ -150,7 +158,10 @@ enum Value {
 /// Parse `{"key": value, ...}` with string / integer / float / int-array
 /// values. Returns fields in document order.
 fn parse_object(text: &str) -> Result<Vec<(String, Value)>, String> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     p.expect(b'{')?;
     let mut fields = Vec::new();
@@ -238,9 +249,13 @@ impl Parser<'_> {
         let tok = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| "invalid number".to_owned())?;
         if tok.contains(['.', 'e', 'E']) {
-            tok.parse::<f64>().map(Value::Float).map_err(|e| format!("bad float {tok:?}: {e}"))
+            tok.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| format!("bad float {tok:?}: {e}"))
         } else {
-            tok.parse::<i128>().map(Value::Int).map_err(|e| format!("bad integer {tok:?}: {e}"))
+            tok.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|e| format!("bad integer {tok:?}: {e}"))
         }
     }
 
@@ -299,7 +314,10 @@ mod tests {
 
     #[test]
     fn json_roundtrip_with_tolerance() {
-        let meta = DatasetMeta { codec: CodecKind::Zfpx { tolerance: 0.25 }, ..sample() };
+        let meta = DatasetMeta {
+            codec: CodecKind::Zfpx { tolerance: 0.25 },
+            ..sample()
+        };
         let back = DatasetMeta::from_json(&meta.to_json()).unwrap();
         assert_eq!(back, meta);
     }
@@ -331,7 +349,10 @@ mod tests {
         let d = meta.decomp().unwrap();
         assert_eq!(d.nranks(), 4);
         assert_eq!(d.n_blocks(), 128);
-        let bad = DatasetMeta { chunk: Dims3::new(7, 10, 8), ..sample() };
+        let bad = DatasetMeta {
+            chunk: Dims3::new(7, 10, 8),
+            ..sample()
+        };
         assert!(matches!(bad.decomp(), Err(StoreError::Geometry(_))));
     }
 

@@ -25,12 +25,10 @@ fn main() {
     let field = dataset.field(it);
 
     // Original isosurface over the whole domain.
-    let (orig_mesh, orig_stats) = marching_tetrahedra(
-        field.as_slice(),
-        field.dims(),
-        DBZ_ISOVALUE,
-        |i, j, k| coords.position(i, j, k),
-    );
+    let (orig_mesh, orig_stats) =
+        marching_tetrahedra(field.as_slice(), field.dims(), DBZ_ISOVALUE, |i, j, k| {
+            coords.position(i, j, k)
+        });
 
     // Reduced: every block collapsed to its corners, then rendered.
     let mut red_mesh = TriangleMesh::new();
@@ -50,7 +48,11 @@ fn main() {
         fb.draw_mesh(mesh, &cam, [235, 235, 240]);
         let path = out.join(format!("isosurface_{name}.ppm"));
         fb.into_image().write_ppm(&path).expect("write image");
-        println!("{name:>9}: {:>7} triangles -> {}", mesh.triangle_count(), path.display());
+        println!(
+            "{name:>9}: {:>7} triangles -> {}",
+            mesh.triangle_count(),
+            path.display()
+        );
     }
     println!(
         "reduction kept {:.1}% of the triangles (the paper's Fig 1b blur, \

@@ -21,7 +21,10 @@ fn main() {
         .with_redistribution(Redistribution::RoundRobin)
         .with_target(3.0);
 
-    println!("running {} iterations on 16 virtual ranks...", iterations.len());
+    println!(
+        "running {} iterations on 16 virtual ranks...",
+        iterations.len()
+    );
     let reports = run_experiment(&dataset, config, &iterations);
 
     println!("{}", IterationReport::csv_header());

@@ -64,5 +64,8 @@ fn main() {
             path.display()
         );
     }
-    println!("explore the PGMs in {} (darker = higher score)", out.display());
+    println!(
+        "explore the PGMs in {} (darker = higher score)",
+        out.display()
+    );
 }

@@ -23,13 +23,17 @@ fn main() {
 
     // The "simulation" side: advect a tracer through the storm's wind field
     // between visualization phases (the compute phase CM1 would run).
-    let tracer0 = insitu::grid::Field3::from_fn(dataset.decomp().domain(), |_i, _j, k| {
-        if k < 2 {
-            1.0
-        } else {
-            0.0
-        }
-    });
+    let tracer0 =
+        insitu::grid::Field3::from_fn(
+            dataset.decomp().domain(),
+            |_i, _j, k| {
+                if k < 2 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
     let mut solver = AdvectionSolver::new(tracer0, dataset.storm().clone());
 
     // The in situ side: budgeted pipeline with redistribution.
@@ -52,7 +56,8 @@ fn main() {
         if frame % 3 == 0 {
             let field = dataset.field(it);
             let img = cmap.render_column_max(&field);
-            img.write_ppm(&out.join(format!("frame_{it:04}.ppm"))).expect("write frame");
+            img.write_ppm(&out.join(format!("frame_{it:04}.ppm")))
+                .expect("write frame");
         }
     }
     println!(

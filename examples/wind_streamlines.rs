@@ -10,12 +10,12 @@
 use std::path::PathBuf;
 
 use insitu::cm1::{open_dataset, write_dataset, ReflectivityDataset, DBZ_ISOVALUE};
-use insitu::store::CodecKind;
 use insitu::render::math::Vec3;
 use insitu::render::{
     block_isosurface, seed_grid, trace_streamline, Camera, Framebuffer, StreamlineOptions,
     TriangleMesh,
 };
+use insitu::store::CodecKind;
 
 fn main() {
     let out = PathBuf::from("target/streamlines");
@@ -58,12 +58,10 @@ fn main() {
 
     // Compose: isosurface + streamlines in physical coordinates.
     let (lo, hi) = dataset.coords().bounds();
-    let to_phys = |p: Vec3| {
-        Vec3 {
-            x: lo[0] + p.x * (hi[0] - lo[0]),
-            y: lo[1] + p.y * (hi[1] - lo[1]),
-            z: lo[2] + p.z * (hi[2] - lo[2]),
-        }
+    let to_phys = |p: Vec3| Vec3 {
+        x: lo[0] + p.x * (hi[0] - lo[0]),
+        y: lo[1] + p.y * (hi[1] - lo[1]),
+        z: lo[2] + p.z * (hi[2] - lo[2]),
     };
     let cam = Camera::framing(Vec3::from_array(lo), Vec3::from_array(hi));
     let mut fb = Framebuffer::new(900, 675, [8, 8, 20]);

@@ -12,21 +12,27 @@
 
 use insitu::cm1::ReflectivityDataset;
 use insitu::comm::{NetModel, Runtime};
-use insitu::pipeline::{
-    ExecPolicy, IterationReport, Pipeline, PipelineConfig, Redistribution,
-};
+use insitu::pipeline::{ExecPolicy, IterationReport, Pipeline, PipelineConfig, Redistribution};
 
 /// Run `config` on `dataset` across its rank count, asserting all ranks
 /// agree, and return rank 0's reports.
-fn run(dataset: &ReflectivityDataset, config: &PipelineConfig, iters: &[usize]) -> Vec<IterationReport> {
+fn run(
+    dataset: &ReflectivityDataset,
+    config: &PipelineConfig,
+    iters: &[usize],
+) -> Vec<IterationReport> {
     let nranks = dataset.decomp().nranks();
-    let all: Vec<Vec<IterationReport>> = Runtime::new(nranks, NetModel::blue_waters()).run(|rank| {
-        let mut p = Pipeline::new(config.clone(), *dataset.decomp(), dataset.coords().clone());
-        iters
-            .iter()
-            .map(|&it| p.run_iteration(rank, dataset.rank_blocks(it, rank.rank()), it).0)
-            .collect()
-    });
+    let all: Vec<Vec<IterationReport>> =
+        Runtime::new(nranks, NetModel::blue_waters()).run(|rank| {
+            let mut p = Pipeline::new(config.clone(), *dataset.decomp(), dataset.coords().clone());
+            iters
+                .iter()
+                .map(|&it| {
+                    p.run_iteration(rank, dataset.rank_blocks(it, rank.rank()), it)
+                        .0
+                })
+                .collect()
+        });
     for r in 1..all.len() {
         assert_eq!(all[0], all[r], "rank {r} disagrees");
     }
@@ -34,7 +40,11 @@ fn run(dataset: &ReflectivityDataset, config: &PipelineConfig, iters: &[usize]) 
 }
 
 fn assert_policies_agree(config: PipelineConfig, dataset: &ReflectivityDataset, iters: &[usize]) {
-    let serial = run(dataset, &config.clone().with_exec(ExecPolicy::Serial), iters);
+    let serial = run(
+        dataset,
+        &config.clone().with_exec(ExecPolicy::Serial),
+        iters,
+    );
     let threads = run(dataset, &config.with_exec(ExecPolicy::Threads(8)), iters);
     assert_eq!(serial.len(), threads.len());
     for (s, t) in serial.iter().zip(&threads) {
@@ -49,7 +59,12 @@ fn assert_policies_agree(config: PipelineConfig, dataset: &ReflectivityDataset, 
             (s.t_render, t.t_render),
             (s.t_total, t.t_total),
         ] {
-            assert_eq!(a.to_bits(), b.to_bits(), "virtual time drifted at iteration {}", s.iteration);
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "virtual time drifted at iteration {}",
+                s.iteration
+            );
         }
     }
 }
@@ -104,7 +119,10 @@ fn session_reuse_matches_one_shot_run() {
         let mut p = Pipeline::new(config.clone(), *dataset.decomp(), dataset.coords().clone());
         iters
             .iter()
-            .map(|&it| p.run_iteration(rank, dataset.rank_blocks(it, rank.rank()), it).0)
+            .map(|&it| {
+                p.run_iteration(rank, dataset.rank_blocks(it, rank.rank()), it)
+                    .0
+            })
             .collect()
     };
 
@@ -113,7 +131,10 @@ fn session_reuse_matches_one_shot_run() {
     let first = session.run(job);
     let second = session.run(job);
 
-    for (label, run) in [("first session run", &first), ("second session run", &second)] {
+    for (label, run) in [
+        ("first session run", &first),
+        ("second session run", &second),
+    ] {
         assert_eq!(run, &one_shot, "{label} diverged from the one-shot run");
         for (s, t) in run[0].iter().zip(&one_shot[0]) {
             for (a, b) in [
@@ -142,7 +163,11 @@ fn absurd_thread_counts_are_safe() {
     let dataset = ReflectivityDataset::tiny(2, 11).unwrap();
     let iters = [dataset.sample_iterations(1)[0]];
     let base = PipelineConfig::default().deterministic();
-    let serial = run(&dataset, &base.clone().with_exec(ExecPolicy::Serial), &iters);
+    let serial = run(
+        &dataset,
+        &base.clone().with_exec(ExecPolicy::Serial),
+        &iters,
+    );
     let wide = run(&dataset, &base.with_exec(ExecPolicy::Threads(64)), &iters);
     assert_eq!(serial, wide);
 }

@@ -42,7 +42,9 @@ fn render_time_is_monotone_in_reduction_percentage() {
     for p in [0.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
         let r = run_experiment(
             &dataset,
-            PipelineConfig::default().deterministic().with_fixed_percent(p),
+            PipelineConfig::default()
+                .deterministic()
+                .with_fixed_percent(p),
             &[it],
         );
         assert!(
@@ -66,7 +68,11 @@ fn reduction_keeps_block_count_and_extents() {
             let ext = b.extent;
             b.reduce();
             assert_eq!(b.extent, ext, "reduction must preserve the extent");
-            assert_eq!(b.samples().len(), ext.len(), "reconstruction fills the extent");
+            assert_eq!(
+                b.samples().len(),
+                ext.len(),
+                "reconstruction fills the extent"
+            );
             total_points += ext.len();
         }
     }
@@ -87,12 +93,17 @@ fn redistribution_preserves_geometry_exactly() {
     ] {
         let r = run_experiment(
             &dataset,
-            PipelineConfig::default().deterministic().with_redistribution(strat),
+            PipelineConfig::default()
+                .deterministic()
+                .with_redistribution(strat),
             &[it],
         );
         totals.push(r[0].triangles_total);
     }
-    assert!(totals.windows(2).all(|w| w[0] == w[1]), "triangle totals differ: {totals:?}");
+    assert!(
+        totals.windows(2).all(|w| w[0] == w[1]),
+        "triangle totals differ: {totals:?}"
+    );
 }
 
 #[test]
@@ -142,7 +153,10 @@ fn metric_choice_does_not_change_unreduced_rendering() {
             &[it],
         );
         assert_eq!(r[0].triangles_total, base[0].triangles_total, "metric {m}");
-        assert!((r[0].t_render - base[0].t_render).abs() < 1e-9, "metric {m}");
+        assert!(
+            (r[0].t_render - base[0].t_render).abs() < 1e-9,
+            "metric {m}"
+        );
     }
 }
 
@@ -152,8 +166,12 @@ fn network_model_only_affects_communication_steps() {
     let cfg = PipelineConfig::default()
         .deterministic()
         .with_redistribution(Redistribution::RandomShuffle { seed: 1 });
-    let gemini =
-        run_experiment_on(&dataset, cfg.clone(), &[300], insitu::comm::NetModel::blue_waters());
+    let gemini = run_experiment_on(
+        &dataset,
+        cfg.clone(),
+        &[300],
+        insitu::comm::NetModel::blue_waters(),
+    );
     let gige = run_experiment_on(
         &dataset,
         cfg,

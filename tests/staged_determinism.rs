@@ -1,0 +1,232 @@
+//! Acceptance guards for the staged (dedicated-core, asynchronous) in
+//! situ mode:
+//!
+//! 1. **Determinism.** Staged runs produce byte-identical
+//!    [`IterationReport`] streams — and identical staged observables —
+//!    across `Serial` vs `Threads(n)` execution policies, across repeated
+//!    runs, and across persistent-session reuse, for every backpressure
+//!    policy. Asynchrony is modeled in virtual time over fixed receive
+//!    orders, so OS scheduling has nothing to perturb.
+//! 2. **The point of staging.** At equal total rank count, the staged
+//!    mode's simulation-visible in situ time is a small fraction of the
+//!    synchronous pipeline's iteration time.
+//!
+//! The runs go through `run_staged_prepared` (no exec-policy clamp)
+//! so the `Threads(n)` comparison is real even on single-core CI hosts —
+//! same reasoning as `exec_policy_determinism.rs`.
+
+use insitu::cm1::ReflectivityDataset;
+use insitu::comm::NetModel;
+use insitu::pipeline::{
+    run_staged_prepared, BackpressurePolicy, ExecPolicy, PipelineConfig, Prepared, StagedParams,
+    StagedRun,
+};
+
+fn all_policies() -> [BackpressurePolicy; 3] {
+    [
+        BackpressurePolicy::Block,
+        BackpressurePolicy::DropOldest,
+        BackpressurePolicy::DegradeHarder { boost: 20.0 },
+    ]
+}
+
+fn staged_config(policy: BackpressurePolicy, exec: ExecPolicy) -> PipelineConfig {
+    // Adaptation on (a live controller is the hardest state to keep in
+    // lockstep) and a modest solver compute so queues see real dynamics.
+    let params = StagedParams::new(1, 2, policy)
+        .with_sim_compute(5.0)
+        .with_pre_reduce(10.0);
+    PipelineConfig::default()
+        .with_target(20.0)
+        .with_exec(exec)
+        .with_staged(params)
+}
+
+fn run_once(policy: BackpressurePolicy, exec: ExecPolicy) -> StagedRun {
+    let dataset = ReflectivityDataset::tiny(4, 42).unwrap();
+    let iters = dataset.sample_iterations(4);
+    run_staged_prepared(
+        dataset.decomp(),
+        dataset.coords(),
+        &staged_config(policy, exec),
+        &iters,
+        NetModel::blue_waters(),
+        |it, rank| dataset.rank_blocks(it, rank),
+    )
+}
+
+fn assert_bit_identical(a: &StagedRun, b: &StagedRun, label: &str) {
+    assert_eq!(a, b, "{label}: staged runs diverged");
+    for (x, y) in a.frames.iter().zip(&b.frames) {
+        for (p, q) in [
+            (x.report.t_score, y.report.t_score),
+            (x.report.t_reduce, y.report.t_reduce),
+            (x.report.t_redistribute, y.report.t_redistribute),
+            (x.report.t_render, y.report.t_render),
+            (x.report.t_total, y.report.t_total),
+            (x.t_sim_stall, y.t_sim_stall),
+            (x.t_sim_visible, y.t_sim_visible),
+        ] {
+            assert_eq!(
+                p.to_bits(),
+                q.to_bits(),
+                "{label}: virtual time drifted at iteration {}",
+                x.report.iteration
+            );
+        }
+    }
+}
+
+/// The acceptance pin: `Serial` and `Threads(n)` staged runs are
+/// byte-identical, for every backpressure policy.
+#[test]
+fn staged_reports_identical_across_exec_policies() {
+    for policy in all_policies() {
+        let serial = run_once(policy, ExecPolicy::Serial);
+        let threads = run_once(policy, ExecPolicy::Threads(8));
+        assert_bit_identical(&serial, &threads, "Serial vs Threads(8)");
+        // Early iterations may predate the storm; the run as a whole must
+        // produce geometry.
+        assert!(
+            serial
+                .frames
+                .iter()
+                .map(|f| f.report.triangles_total)
+                .sum::<usize>()
+                > 0
+        );
+    }
+}
+
+/// Repeated runs replay bit-identically (fresh sessions each time).
+#[test]
+fn staged_reports_identical_across_repeated_runs() {
+    for policy in all_policies() {
+        let a = run_once(policy, ExecPolicy::Serial);
+        let b = run_once(policy, ExecPolicy::Serial);
+        assert_bit_identical(&a, &b, "repeated run");
+    }
+}
+
+/// Session reuse through `Prepared` (shared stats cache, persistent rank
+/// threads, exec clamp) changes wall-clock only: two staged sweeps over
+/// one session match each other and stay internally consistent with a
+/// synchronous sweep run through the *same* session in between.
+#[test]
+fn staged_session_reuse_is_invisible() {
+    let dataset = ReflectivityDataset::tiny(4, 42).unwrap();
+    let iters = dataset.sample_iterations(3);
+    let prepared = Prepared::from_dataset(
+        dataset,
+        iters.clone(),
+        ExecPolicy::Serial,
+        NetModel::blue_waters(),
+    );
+    let params = StagedParams::new(1, 2, BackpressurePolicy::Block).with_sim_compute(5.0);
+    let config = PipelineConfig::default()
+        .with_fixed_percent(40.0)
+        .with_staged(params);
+
+    let first = prepared.run_staged(config.clone(), &iters);
+    // Interleave a synchronous run over the same session + cache.
+    let sync = prepared.run(PipelineConfig::default().with_fixed_percent(40.0), &iters);
+    assert_eq!(sync.len(), iters.len());
+    let second = prepared.run_staged(config.clone(), &iters);
+    assert_bit_identical(&first, &second, "session reuse");
+
+    // And the sweep-engine dispatch returns exactly the staged reports.
+    let swept = prepared.run(config, &iters);
+    assert_eq!(
+        swept,
+        first.reports(),
+        "sweep dispatch must match run_staged"
+    );
+}
+
+/// The headline acceptance: at equal total rank count, staging reduces
+/// what the simulation sees of in situ processing to a fraction of the
+/// synchronous pipeline time — and with a solver busy enough to overlap,
+/// the queue never even stalls.
+#[test]
+fn staged_mode_cuts_simulation_visible_time() {
+    let dataset = ReflectivityDataset::tiny(4, 42).unwrap();
+    let iters = dataset.sample_iterations(4);
+    let sync = insitu::pipeline::run_experiment(
+        &dataset,
+        PipelineConfig::default()
+            .deterministic()
+            .with_fixed_percent(40.0),
+        &iters,
+    );
+    let sync_mean = sync.iter().map(|r| r.t_total).sum::<f64>() / sync.len() as f64;
+
+    let params = StagedParams::new(1, 2, BackpressurePolicy::Block).with_sim_compute(sync_mean);
+    let staged = run_staged_prepared(
+        dataset.decomp(),
+        dataset.coords(),
+        &PipelineConfig::default()
+            .deterministic()
+            .with_fixed_percent(40.0)
+            .with_staged(params),
+        &iters,
+        NetModel::blue_waters(),
+        |it, rank| dataset.rank_blocks(it, rank),
+    );
+
+    let visible = staged.mean_sim_visible();
+    assert!(
+        visible < 0.2 * sync_mean,
+        "staged sim-visible time {visible:.3} s should be well under the \
+         synchronous pipeline's {sync_mean:.3} s"
+    );
+    assert_eq!(
+        staged.mean_sim_stall(),
+        0.0,
+        "a solver this slow fully hides the stagers"
+    );
+    assert_eq!(staged.total_dropped(), 0);
+}
+
+/// Under pressure (no solver compute, depth-1 queues) the policies
+/// diverge exactly as designed: Block stalls and loses nothing,
+/// DropOldest sheds frames and never stalls — deterministically.
+#[test]
+fn policies_respond_to_pressure_as_specified() {
+    let dataset = ReflectivityDataset::tiny(4, 42).unwrap();
+    let iters = dataset.sample_iterations(5);
+    let run = |policy| {
+        let params = StagedParams::new(1, 1, policy);
+        run_staged_prepared(
+            dataset.decomp(),
+            dataset.coords(),
+            &PipelineConfig::default()
+                .deterministic()
+                .with_fixed_percent(20.0)
+                .with_staged(params),
+            &iters,
+            NetModel::blue_waters(),
+            |it, rank| dataset.rank_blocks(it, rank),
+        )
+    };
+    let block = run(BackpressurePolicy::Block);
+    assert!(
+        block.mean_sim_stall() > 0.0,
+        "back-to-back frames must stall under Block"
+    );
+    assert_eq!(block.total_dropped(), 0);
+
+    let lossy = run(BackpressurePolicy::DropOldest);
+    assert_eq!(
+        lossy.mean_sim_stall(),
+        0.0,
+        "DropOldest never stalls the sim"
+    );
+    assert!(lossy.total_dropped() > 0, "pressure must shed frames");
+    // Shedding frames loses geometry relative to the lossless run.
+    let block_tris: usize = block.frames.iter().map(|f| f.report.triangles_total).sum();
+    let lossy_tris: usize = lossy.frames.iter().map(|f| f.report.triangles_total).sum();
+    assert!(
+        lossy_tris < block_tris,
+        "dropped slices must cost triangles"
+    );
+}

@@ -12,7 +12,9 @@ use insitu::pipeline::{
 use insitu::store::{CodecKind, MemStore, StoreBackend};
 
 fn tmp_dir(name: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join("apc_store_roundtrip_tests").join(name);
+    let dir = std::env::temp_dir()
+        .join("apc_store_roundtrip_tests")
+        .join(name);
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -31,7 +33,10 @@ fn configs() -> Vec<PipelineConfig> {
 
 /// The reference: the plain in-memory experiment driver.
 fn in_memory_reports(dataset: &ReflectivityDataset, iters: &[usize]) -> Vec<Vec<IterationReport>> {
-    configs().into_iter().map(|c| run_experiment(dataset, c, iters)).collect()
+    configs()
+        .into_iter()
+        .map(|c| run_experiment(dataset, c, iters))
+        .collect()
 }
 
 #[test]
@@ -71,8 +76,7 @@ fn every_lossless_codec_replays_identically_from_memory_backend() {
         let backend: Box<dyn StoreBackend> = Box::new(MemStore::new());
         cm1::write_dataset_to(&dataset, &iters, &backend, codec).unwrap();
         let stored = StoredTimeSeries::from_backend(backend).unwrap();
-        let prepared =
-            Prepared::from_store(stored, ExecPolicy::Serial, NetModel::blue_waters());
+        let prepared = Prepared::from_store(stored, ExecPolicy::Serial, NetModel::blue_waters());
         assert_eq!(
             prepared.run(config.clone(), &iters),
             expected,
@@ -114,6 +118,9 @@ fn store_geometry_twin_matches_the_writer() {
     assert_eq!(stored.seed(), 77);
     // The blocks a rank reads are the blocks the simulation produced.
     for rank in [0usize, 7, 15] {
-        assert_eq!(stored.rank_blocks(300, rank).unwrap(), dataset.rank_blocks(300, rank));
+        assert_eq!(
+            stored.rank_blocks(300, rank).unwrap(),
+            dataset.rank_blocks(300, rank)
+        );
     }
 }
