@@ -25,4 +25,19 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> compile-check examples and benches"
 cargo build --examples --benches --quiet
 
+echo "==> perf trajectory gate (kernels bench vs bench_baseline.json)"
+# Regenerates target/experiments/bench_kernels.json, then diffs its wall
+# times against the committed baseline with a tolerance band (default
+# 2.5x slowdown fails; tune with APC_BENCH_TOL). The baseline is only
+# meaningful for the machine class it was generated on — regenerate it
+# on the enforcing hardware with APC_UPDATE_BASELINE=1 ./ci.sh, and on a
+# machine class the baseline does not describe, run with a wider
+# APC_BENCH_TOL or APC_PERF_GATE=skip rather than trusting the verdict.
+cargo bench -p apc-bench --bench kernels >/dev/null
+if [ "${APC_PERF_GATE:-on}" = "skip" ]; then
+  echo "perf gate: skipped (APC_PERF_GATE=skip)"
+else
+  cargo run --release -q -p apc-bench --bin perf_gate
+fi
+
 echo "ci.sh: all green"

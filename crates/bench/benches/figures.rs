@@ -33,6 +33,7 @@ fn main() {
     experiments::fig10::run(&ctx, &scale);
     experiments::fig11::run(&ctx, &scale);
     experiments::fig12::run(&ctx, &scale);
+    experiments::fig13::run(&ctx, &scale);
     experiments::ablations::sort_strategy(&ctx, &scale);
     experiments::ablations::slow_network(&ctx, &scale);
     experiments::ablations::controller_variants(&ctx, &scale);

@@ -1,0 +1,10 @@
+//! Standalone harness for fig13 (frame serving under client load).
+
+use apc_bench::experiments::{self, Ctx};
+use apc_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ctx = Ctx::new(&scale);
+    experiments::fig13::run(&ctx, &scale);
+}

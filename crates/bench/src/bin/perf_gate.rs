@@ -1,0 +1,68 @@
+//! The perf-trajectory gate binary (see `apc_bench::perf`).
+//!
+//! Diffs `target/experiments/bench_kernels.json` (a fresh kernels-bench
+//! run) against the committed `bench_baseline.json` at the repository
+//! root and exits non-zero on a regression or a silently-removed entry.
+//!
+//! * `APC_UPDATE_BASELINE=1` — copy the fresh run over the baseline
+//!   instead of diffing (commit the result intentionally).
+//! * `APC_BENCH_TOL=<factor>` — slowdown factor that fails the gate
+//!   (default 2.5x; wall clocks on shared CI are noisy by design).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use apc_bench::perf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() -> ExitCode {
+    let current_path = repo_root().join("target/experiments/bench_kernels.json");
+    let baseline_path = repo_root().join("bench_baseline.json");
+
+    let current_text = std::fs::read_to_string(&current_path).unwrap_or_else(|e| {
+        panic!(
+            "no fresh trajectory at {} ({e}); run \
+             `cargo bench -p apc-bench --bench kernels` first",
+            current_path.display()
+        )
+    });
+    // Validate before use — a malformed run must never become a baseline.
+    let current = perf::parse_entries(&current_text)
+        .unwrap_or_else(|e| panic!("{}: {e}", current_path.display()));
+
+    if std::env::var("APC_UPDATE_BASELINE").as_deref() == Ok("1") {
+        std::fs::write(&baseline_path, &current_text).expect("write baseline");
+        println!(
+            "perf gate: baseline regenerated with {} entries at {}",
+            current.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        panic!(
+            "no committed baseline at {} ({e}); generate one with \
+             APC_UPDATE_BASELINE=1",
+            baseline_path.display()
+        )
+    });
+    let baseline = perf::parse_entries(&baseline_text)
+        .unwrap_or_else(|e| panic!("{}: {e}", baseline_path.display()));
+
+    let tolerance = perf::tolerance_from_env(std::env::var("APC_BENCH_TOL").ok().as_deref());
+    let report = perf::compare(&baseline, &current, tolerance);
+    print!("{}", report.render(tolerance));
+    if report.is_green() {
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "perf gate: FAILED — investigate, or regenerate the baseline \
+             intentionally with APC_UPDATE_BASELINE=1"
+        );
+        ExitCode::FAILURE
+    }
+}

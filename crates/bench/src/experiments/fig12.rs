@@ -75,9 +75,10 @@ pub fn run(ctx: &Ctx, scale: &Scale) {
             "-".into(),
             "0".into(),
             "0".into(),
+            "-".into(),
         ]);
         csv.push(format!(
-            "{nranks},sync,0,0,none,{sync_mean:.6},{sync_mean:.6},0,0,0"
+            "{nranks},sync,0,0,none,{sync_mean:.6},{sync_mean:.6},0,0,0,-"
         ));
 
         for viz in viz_choices(nranks) {
@@ -89,6 +90,16 @@ pub fn run(ctx: &Ctx, scale: &Scale) {
                     let e2e = run.mean_latency();
                     let visible = run.mean_sim_visible();
                     let stall = run.mean_sim_stall();
+                    // One entry per stager, explicit zeros included, so
+                    // the column stays aligned across rank counts and
+                    // policies (a fully-shedding DropOldest stager still
+                    // shows up — as a 0).
+                    let per_stager = run
+                        .blocks_by_stager()
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<String>>()
+                        .join(";");
                     rows.push(vec![
                         "staged".into(),
                         format!("{}:{}", nranks - viz, viz),
@@ -99,10 +110,11 @@ pub fn run(ctx: &Ctx, scale: &Scale) {
                         format!("{stall:.2}"),
                         format!("{}", run.total_dropped()),
                         format!("{}", run.total_degraded()),
+                        summarize_per_stager(&run.blocks_by_stager()),
                     ]);
                     csv.push(format!(
                         "{nranks},staged,{viz},{depth},{pname},{e2e:.6},{visible:.6},\
-                         {stall:.6},{},{}",
+                         {stall:.6},{},{},{per_stager}",
                         run.total_dropped(),
                         run.total_degraded()
                     ));
@@ -121,6 +133,7 @@ pub fn run(ctx: &Ctx, scale: &Scale) {
                 "stall",
                 "dropped",
                 "degraded",
+                "blocks/stager",
             ],
             &rows,
         );
@@ -128,8 +141,16 @@ pub fn run(ctx: &Ctx, scale: &Scale) {
     let path = write_csv(
         "fig12_staged_vs_sync.csv",
         "nranks,mode,viz_ranks,queue_depth,policy,mean_t_total,mean_sim_visible,\
-         mean_sim_stall,slices_dropped,stagers_degraded",
+         mean_sim_stall,slices_dropped,stagers_degraded,blocks_by_stager",
         &csv,
     );
     println!("csv: {}", path.display());
+}
+
+/// Compact `min..max (n)` display of the per-stager block totals (the CSV
+/// carries the full `;`-joined vector).
+fn summarize_per_stager(totals: &[usize]) -> String {
+    let min = totals.iter().min().copied().unwrap_or(0);
+    let max = totals.iter().max().copied().unwrap_or(0);
+    format!("{min}..{max} ({})", totals.len())
 }

@@ -11,6 +11,10 @@
 //! * [`experiments`] — one module per paper table/figure plus the ablations
 //!   listed in DESIGN.md §4. Each exposes `run(&Scale)`, prints the
 //!   series/rows the paper reports, and writes CSV.
+//! * [`perf`] — the perf-trajectory regression gate: parses
+//!   `bench_kernels.json` runs and diffs them against the committed
+//!   `bench_baseline.json` with a tolerance band (driven by the
+//!   `perf_gate` binary from `ci.sh`).
 //!
 //! Thin binaries in `src/bin/` wrap single experiments; the `figures` bench
 //! target (`cargo bench -p apc-bench --bench figures`) runs the whole set,
@@ -30,5 +34,6 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod perf;
 
 pub use harness::{exec_from_env, Scale};

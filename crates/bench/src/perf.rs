@@ -1,0 +1,317 @@
+//! The performance-trajectory regression gate.
+//!
+//! The kernels bench writes every timed row to
+//! `target/experiments/bench_kernels.json` (schema 1: `{"schema": 1,
+//! "entries": [{"name", "wall_s", "virtual_s"}, ...]}`). This module
+//! diffs a fresh run against the committed baseline
+//! (`bench_baseline.json` at the repository root) with a tolerance band,
+//! so a hot-path regression fails `ci.sh` loudly instead of drifting in
+//! unnoticed:
+//!
+//! * an entry slower than `baseline × tolerance + slack` is a
+//!   **regression**;
+//! * an entry present in the baseline but missing from the run is a
+//!   **removal** (renaming a row silently would blind the gate);
+//! * new entries pass with a note — they join the gate when the baseline
+//!   is next regenerated.
+//!
+//! Regenerate intentionally-changed baselines with
+//! `APC_UPDATE_BASELINE=1` (the `perf_gate` binary copies the fresh run
+//! over the baseline instead of diffing). Tune the band with
+//! `APC_BENCH_TOL=<factor>` — the default is deliberately loose (wall
+//! clocks on shared CI are noisy); the gate exists to catch step-change
+//! regressions, not percent-level drift.
+
+use std::fmt::Write as _;
+
+/// Default slowdown factor that fails the gate.
+pub const DEFAULT_TOLERANCE: f64 = 2.5;
+/// Absolute slack (seconds) added to every bound: sub-millisecond rows
+/// jitter by scheduling alone and must not trip the gate.
+pub const ABSOLUTE_SLACK_S: f64 = 0.005;
+
+/// Parse the `bench_kernels.json` schema: `(name, wall_s)` per entry.
+/// The writer emits one entry object per line; within a line, field
+/// order and whitespace are free (a hand-edited or reformatted baseline
+/// still parses), but a malformed document fails the gate rather than
+/// passing it vacuously.
+pub fn parse_entries(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let compact: String = text.split_whitespace().collect();
+    if !compact.contains("\"schema\":1") {
+        return Err("not a schema-1 bench_kernels.json document".to_owned());
+    }
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !(line.starts_with('{') && line.contains("\"name\"")) {
+            continue;
+        }
+        let name = string_field(line, "\"name\"")?;
+        let wall_tok = number_field(line, "\"wall_s\"")?;
+        let wall: f64 = wall_tok
+            .parse()
+            .map_err(|e| format!("bad wall_s {wall_tok:?} in {line:?}: {e}"))?;
+        if !wall.is_finite() || wall < 0.0 {
+            return Err(format!("non-finite wall_s in {line:?}"));
+        }
+        entries.push((name, wall));
+    }
+    if entries.is_empty() {
+        return Err("trajectory document holds no entries".to_owned());
+    }
+    Ok(entries)
+}
+
+/// Position right after `key` and its following `:` (whitespace-free).
+fn value_start(line: &str, key: &str) -> Result<usize, String> {
+    let mut pos = line
+        .find(key)
+        .ok_or_else(|| format!("missing {key} in {line:?}"))?
+        + key.len();
+    let bytes = line.as_bytes();
+    while bytes.get(pos).is_some_and(u8::is_ascii_whitespace) {
+        pos += 1;
+    }
+    if bytes.get(pos) != Some(&b':') {
+        return Err(format!("expected ':' after {key} in {line:?}"));
+    }
+    pos += 1;
+    while bytes.get(pos).is_some_and(u8::is_ascii_whitespace) {
+        pos += 1;
+    }
+    Ok(pos)
+}
+
+fn string_field(line: &str, key: &str) -> Result<String, String> {
+    let start = value_start(line, key)?;
+    let rest = &line[start..];
+    let inner = rest
+        .strip_prefix('"')
+        .ok_or_else(|| format!("{key} is not a string in {line:?}"))?;
+    let end = inner
+        .find('"')
+        .ok_or_else(|| format!("unterminated {key} in {line:?}"))?;
+    Ok(inner[..end].to_owned())
+}
+
+fn number_field(line: &str, key: &str) -> Result<String, String> {
+    let start = value_start(line, key)?;
+    let tok: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+        .collect();
+    if tok.is_empty() {
+        return Err(format!("{key} is not a number in {line:?}"));
+    }
+    Ok(tok)
+}
+
+/// The gate's verdict on one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// `(name, baseline_s, current_s)` rows exceeding the band.
+    pub regressions: Vec<(String, f64, f64)>,
+    /// Baseline entries absent from the current run.
+    pub removed: Vec<String>,
+    /// Current entries absent from the baseline (informational).
+    pub new_entries: Vec<String>,
+    /// Entries compared and inside the band.
+    pub passed: usize,
+}
+
+impl GateReport {
+    pub fn is_green(&self) -> bool {
+        self.regressions.is_empty() && self.removed.is_empty()
+    }
+
+    /// Human-readable summary for the CI log.
+    pub fn render(&self, tolerance: f64) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "perf gate: {} entries within {tolerance:.1}x band, {} regressed, {} removed, {} new",
+            self.passed,
+            self.regressions.len(),
+            self.removed.len(),
+            self.new_entries.len()
+        );
+        for (name, base, cur) in &self.regressions {
+            let _ = writeln!(
+                s,
+                "  REGRESSED {name}: {:.3} ms -> {:.3} ms ({:.2}x)",
+                base * 1e3,
+                cur * 1e3,
+                cur / base.max(1e-12)
+            );
+        }
+        for name in &self.removed {
+            let _ = writeln!(s, "  REMOVED   {name}: in baseline but not in this run");
+        }
+        for name in &self.new_entries {
+            let _ = writeln!(s, "  new       {name}: not in baseline yet");
+        }
+        s
+    }
+}
+
+/// Diff `current` against `baseline` under `tolerance` (slowdown factor).
+pub fn compare(
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    tolerance: f64,
+) -> GateReport {
+    assert!(tolerance >= 1.0, "a tolerance below 1x fails every run");
+    let mut report = GateReport {
+        regressions: Vec::new(),
+        removed: Vec::new(),
+        new_entries: Vec::new(),
+        passed: 0,
+    };
+    for (name, base) in baseline {
+        match current.iter().find(|(n, _)| n == name) {
+            None => report.removed.push(name.clone()),
+            Some((_, cur)) => {
+                if *cur > base * tolerance + ABSOLUTE_SLACK_S {
+                    report.regressions.push((name.clone(), *base, *cur));
+                } else {
+                    report.passed += 1;
+                }
+            }
+        }
+    }
+    for (name, _) in current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            report.new_entries.push(name.clone());
+        }
+    }
+    report
+}
+
+/// Read `APC_BENCH_TOL` (slowdown factor, ≥ 1). Garbage fails loudly — a
+/// typo that silently restored the default would defeat setting it.
+pub fn tolerance_from_env(var: Option<&str>) -> f64 {
+    match var {
+        None => DEFAULT_TOLERANCE,
+        Some(s) => {
+            let tol: f64 = s
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("APC_BENCH_TOL must be a slowdown factor, got {s:?}"));
+            assert!(
+                tol.is_finite() && tol >= 1.0,
+                "APC_BENCH_TOL must be a finite factor >= 1, got {s:?}"
+            );
+            tol
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "schema": 1,
+  "entries": [
+    {"name": "score/VAR/serial", "wall_s": 0.010000000, "virtual_s": null},
+    {"name": "pipeline/sync", "wall_s": 0.500000000, "virtual_s": 146.800000000}
+  ]
+}
+"#;
+
+    fn entries(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|(n, w)| (n.to_string(), *w)).collect()
+    }
+
+    #[test]
+    fn parses_the_kernels_schema() {
+        let parsed = parse_entries(DOC).unwrap();
+        assert_eq!(
+            parsed,
+            entries(&[("score/VAR/serial", 0.01), ("pipeline/sync", 0.5)])
+        );
+    }
+
+    #[test]
+    fn parsing_is_free_of_field_order_and_spacing() {
+        // A hand-edited baseline: compact spacing, reordered fields,
+        // wall_s terminated by '}' instead of ','.
+        let doc = "{\"schema\":1,\"entries\":[\n\
+                   {\"wall_s\":0.25,\"name\":\"a\"},\n\
+                   { \"name\" : \"b\" , \"virtual_s\": null, \"wall_s\" : 1e-3}\n\
+                   ]}";
+        assert_eq!(
+            parse_entries(doc).unwrap(),
+            entries(&[("a", 0.25), ("b", 1e-3)])
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_entries("").is_err());
+        assert!(parse_entries("{\"schema\": 2, \"entries\": []}").is_err());
+        assert!(parse_entries("{\"schema\": 1,\n \"entries\": []}").is_err());
+        assert!(parse_entries(
+            "{\"schema\": 1, \"entries\": [\n{\"name\": \"x\", \"wall_s\": NaN},\n]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn within_band_passes() {
+        let base = entries(&[("a", 0.100), ("b", 0.200)]);
+        let cur = entries(&[("a", 0.180), ("b", 0.150)]);
+        let report = compare(&base, &cur, 2.0);
+        assert!(report.is_green());
+        assert_eq!(report.passed, 2);
+    }
+
+    #[test]
+    fn regression_outside_band_fails() {
+        let base = entries(&[("a", 0.100)]);
+        let cur = entries(&[("a", 0.300)]);
+        let report = compare(&base, &cur, 2.0);
+        assert!(!report.is_green());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].0, "a");
+        let rendered = report.render(2.0);
+        assert!(rendered.contains("REGRESSED a"), "{rendered}");
+    }
+
+    #[test]
+    fn tiny_rows_ride_the_absolute_slack() {
+        // 50 us -> 2 ms is a 40x "slowdown" but within scheduling noise;
+        // the absolute slack keeps it green.
+        let base = entries(&[("micro", 50e-6)]);
+        let cur = entries(&[("micro", 2e-3)]);
+        assert!(compare(&base, &cur, 2.0).is_green());
+    }
+
+    #[test]
+    fn removed_entries_fail_new_entries_pass() {
+        let base = entries(&[("a", 0.1), ("gone", 0.1)]);
+        let cur = entries(&[("a", 0.1), ("fresh", 0.1)]);
+        let report = compare(&base, &cur, 2.0);
+        assert!(!report.is_green(), "silent removals must fail the gate");
+        assert_eq!(report.removed, vec!["gone".to_string()]);
+        assert_eq!(report.new_entries, vec!["fresh".to_string()]);
+    }
+
+    #[test]
+    fn tolerance_parsing() {
+        assert_eq!(tolerance_from_env(None), DEFAULT_TOLERANCE);
+        assert_eq!(tolerance_from_env(Some("3.5")), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "APC_BENCH_TOL must be a slowdown factor")]
+    fn tolerance_rejects_garbage() {
+        let _ = tolerance_from_env(Some("fast"));
+    }
+
+    #[test]
+    #[should_panic(expected = "factor >= 1")]
+    fn tolerance_rejects_sub_one() {
+        let _ = tolerance_from_env(Some("0.5"));
+    }
+}

@@ -29,6 +29,18 @@
 //! stranded on a credit because its consumer panicked fails loudly within
 //! the timeout and poisons the session, exactly like any other stranded
 //! receive (guarded by the stager-panic case in `tests/session_stress.rs`).
+//!
+//! On a second reserved tag range the module also provides **request/reply
+//! endpoints** ([`ServeClient`] / [`ServeServer`]): a client sends a typed
+//! request and blocks for the typed reply; the server receives requests
+//! selectively per client (so a fixed service order is deterministic no
+//! matter how the OS schedules the client threads) and answers when it
+//! chooses — immediately, or deferred to a later point of its own
+//! timeline, which is how `apc-serve` models replies that wait for a frame
+//! still being produced. Requests and replies are ordinary envelopes, so
+//! the same clock-merge arithmetic that prices queue traffic prices the
+//! round trip, and the same timeout machinery fails a stranded side loudly
+//! when its peer dies mid-request.
 
 use crate::meter::Meter;
 use crate::p2p::Tag;
@@ -63,6 +75,22 @@ fn credit_tag(channel: u32) -> Tag {
         "stage channel {channel} out of range"
     );
     Tag(Tag::STAGE_BASE - 2 * channel - 1)
+}
+
+fn request_tag(channel: u32) -> Tag {
+    assert!(
+        channel < MAX_CHANNEL,
+        "serve channel {channel} out of range"
+    );
+    Tag(Tag::SERVE_BASE - 2 * channel)
+}
+
+fn reply_tag(channel: u32) -> Tag {
+    assert!(
+        channel < MAX_CHANNEL,
+        "serve channel {channel} out of range"
+    );
+    Tag(Tag::SERVE_BASE - 2 * channel - 1)
 }
 
 /// Producer half of a bounded queue to `dst`.
@@ -185,6 +213,116 @@ impl QueueReceiver {
             arrival,
             bytes,
         }
+    }
+}
+
+/// Client half of a request/reply endpoint toward `server`. One endpoint
+/// per `(client, server, channel)` triple; requests on an endpoint are
+/// answered in order.
+#[derive(Debug)]
+pub struct ServeClient {
+    server: usize,
+    channel: u32,
+    sent: u64,
+    answered: u64,
+}
+
+impl ServeClient {
+    pub fn new(server: usize, channel: u32) -> Self {
+        Self {
+            server,
+            channel,
+            sent: 0,
+            answered: 0,
+        }
+    }
+
+    /// Post a request (never blocks — eager buffering, like any send).
+    pub fn send_request<Q: Meter + Send + 'static>(&mut self, rank: &mut Rank, request: Q) {
+        rank.send(self.server, request_tag(self.channel), request);
+        self.sent += 1;
+    }
+
+    /// Block for the next reply: merges its arrival into the client's
+    /// clock and charges the ingest cost, so `rank.clock()` before the
+    /// request and after this call bracket the full virtual round trip —
+    /// including however long the server chose to sit on the reply.
+    pub fn recv_reply<R: Send + 'static>(&mut self, rank: &mut Rank) -> Dequeued<R> {
+        assert!(
+            self.answered < self.sent,
+            "no outstanding request to receive a reply for"
+        );
+        let (msg, arrival, bytes) = rank.recv_with_arrival(self.server, reply_tag(self.channel));
+        rank.merge_clock_to(arrival);
+        let ingest = rank.net().ingest(bytes);
+        rank.advance(ingest);
+        self.answered += 1;
+        Dequeued {
+            msg,
+            arrival,
+            bytes,
+        }
+    }
+
+    /// Requests still awaiting a reply.
+    pub fn outstanding(&self) -> u64 {
+        self.sent - self.answered
+    }
+}
+
+/// Server half of a request/reply endpoint from `client`. A server rank
+/// holds one of these per client it serves; receiving from them in a
+/// fixed order is what makes multi-client service deterministic.
+#[derive(Debug)]
+pub struct ServeServer {
+    client: usize,
+    channel: u32,
+    taken: u64,
+    replied: u64,
+}
+
+impl ServeServer {
+    pub fn new(client: usize, channel: u32) -> Self {
+        Self {
+            client,
+            channel,
+            taken: 0,
+            replied: 0,
+        }
+    }
+
+    /// The client rank this endpoint serves.
+    pub fn client(&self) -> usize {
+        self.client
+    }
+
+    /// Block for the client's next request, merging its arrival into the
+    /// server's clock and charging the ingest cost.
+    pub fn recv_request<Q: Send + 'static>(&mut self, rank: &mut Rank) -> Dequeued<Q> {
+        let (msg, arrival, bytes) = rank.recv_with_arrival(self.client, request_tag(self.channel));
+        rank.merge_clock_to(arrival);
+        let ingest = rank.net().ingest(bytes);
+        rank.advance(ingest);
+        self.taken += 1;
+        Dequeued {
+            msg,
+            arrival,
+            bytes,
+        }
+    }
+
+    /// Answer the oldest unanswered request. The reply is stamped with the
+    /// server's *current* clock, so deferring this call is exactly how a
+    /// server makes a client wait in virtual time.
+    pub fn send_reply<R: Meter + Send + 'static>(&mut self, rank: &mut Rank, reply: R) {
+        assert!(self.replied < self.taken, "no received request to reply to");
+        rank.send(self.client, reply_tag(self.channel), reply);
+        self.replied += 1;
+    }
+
+    /// Requests received but not yet answered.
+    pub fn pending(&self) -> u64 {
+        self.taken - self.replied
     }
 }
 
@@ -320,6 +458,125 @@ mod tests {
     #[should_panic(expected = "queue depth must be at least one")]
     fn zero_depth_rejected() {
         let _ = QueueSender::new(0, 0, 0, FlowControl::Credit);
+    }
+
+    /// A request/reply round trip prices the full virtual path: the
+    /// client's clock after the reply reflects the server's service time.
+    #[test]
+    fn serve_round_trip_accounts_service_time() {
+        let out = Runtime::new(2, NetModel::free()).run(|rank| {
+            if rank.rank() == 0 {
+                let mut ep = ServeClient::new(1, 0);
+                let t0 = rank.clock();
+                ep.send_request(rank, 7u64);
+                let d = ep.recv_reply::<u64>(rank);
+                assert_eq!(d.msg, 14);
+                assert_eq!(ep.outstanding(), 0);
+                rank.clock() - t0
+            } else {
+                let mut ep = ServeServer::new(0, 0);
+                let q = ep.recv_request::<u64>(rank);
+                rank.advance(3.0); // service time
+                ep.send_reply(rank, q.msg * 2);
+                assert_eq!(ep.pending(), 0);
+                0.0
+            }
+        });
+        assert!(
+            (out[0] - 3.0).abs() < 1e-9,
+            "round-trip latency must carry the 3 s service time, got {}",
+            out[0]
+        );
+    }
+
+    /// A server deferring its reply makes the client wait in virtual time.
+    #[test]
+    fn deferred_replies_cost_the_client_virtual_time() {
+        let out = Runtime::new(2, NetModel::free()).run(|rank| {
+            if rank.rank() == 0 {
+                let mut ep = ServeClient::new(1, 0);
+                ep.send_request(rank, ());
+                ep.send_request(rank, ());
+                let a = ep.recv_reply::<u64>(rank);
+                let t_first = rank.clock();
+                let b = ep.recv_reply::<u64>(rank);
+                assert_eq!((a.msg, b.msg), (0, 1));
+                (t_first, rank.clock())
+            } else {
+                let mut ep = ServeServer::new(0, 0);
+                let _ = ep.recv_request::<()>(rank);
+                let _ = ep.recv_request::<()>(rank);
+                ep.send_reply(rank, 0u64);
+                rank.advance(10.0); // sit on the second reply
+                ep.send_reply(rank, 1u64);
+                (0.0, 0.0)
+            }
+        });
+        let (t_first, t_second) = out[0];
+        assert!(t_first < 1.0, "first reply is immediate");
+        assert!(
+            t_second >= 10.0,
+            "deferred reply must arrive 10 virtual seconds later, got {t_second}"
+        );
+    }
+
+    /// Two clients of one server stay isolated: each sees only its own
+    /// replies, and the server's fixed receive order is deterministic.
+    #[test]
+    fn serve_clients_are_isolated() {
+        let out = Runtime::new(3, NetModel::free()).run(|rank| {
+            if rank.rank() < 2 {
+                let mut ep = ServeClient::new(2, 0);
+                ep.send_request(rank, rank.rank() as u64);
+                ep.recv_reply::<u64>(rank).msg
+            } else {
+                let mut eps: Vec<ServeServer> = (0..2).map(|c| ServeServer::new(c, 0)).collect();
+                // Fixed order: client 1 first, then client 0.
+                let q1 = eps[1].recv_request::<u64>(rank).msg;
+                eps[1].send_reply(rank, q1 * 100);
+                let q0 = eps[0].recv_request::<u64>(rank).msg;
+                eps[0].send_reply(rank, q0 * 100);
+                0
+            }
+        });
+        assert_eq!(&out[..2], &[0, 100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no received request to reply to")]
+    fn reply_without_request_rejected() {
+        Runtime::new(2, NetModel::free()).run(|rank| {
+            if rank.rank() == 1 {
+                let mut ep = ServeServer::new(0, 0);
+                ep.send_reply(rank, 1u64);
+            }
+        });
+    }
+
+    /// Serve endpoints and stage queues between the same pair of ranks
+    /// never collide: their reserved tag ranges are disjoint.
+    #[test]
+    fn serve_and_stage_tags_are_disjoint() {
+        const {
+            assert!(Tag::SERVE_BASE < Tag::STAGE_BASE - 2 * (MAX_CHANNEL - 1) - 1);
+        }
+        let out = Runtime::new(2, NetModel::free()).run(|rank| {
+            if rank.rank() == 0 {
+                let mut tx = QueueSender::new(1, 0, 2, FlowControl::Credit);
+                let mut ep = ServeClient::new(1, 0);
+                ep.send_request(rank, 5u64);
+                tx.enqueue(rank, 77u64);
+                ep.recv_reply::<u64>(rank).msg
+            } else {
+                let mut rx = QueueReceiver::new(0, 0, FlowControl::Credit);
+                let mut ep = ServeServer::new(0, 0);
+                let q = ep.recv_request::<u64>(rank).msg;
+                let d = rx.dequeue::<u64>(rank).msg;
+                ep.send_reply(rank, q + d);
+                0
+            }
+        });
+        assert_eq!(out[0], 82);
     }
 
     /// Two channels between the same pair of ranks stay independent.

@@ -26,10 +26,13 @@
 //!   execution stays laptop-scale and deterministic.
 //! * **Distributed sorting** ([`sort`]): the paper's gather-sort-broadcast
 //!   (§IV-C) plus a real parallel sample sort used as an ablation.
-//! * **Bounded stage queues** ([`bounded`]): flow-controlled producer →
-//!   consumer channels (credit-based or lossy) whose capacity semantics
-//!   live in virtual time — the substrate of `apc-stage`'s dedicated-core
-//!   asynchronous in situ mode.
+//! * **Bounded stage queues and serve endpoints** ([`bounded`]):
+//!   flow-controlled producer → consumer channels (credit-based or lossy)
+//!   whose capacity semantics live in virtual time — the substrate of
+//!   `apc-stage`'s dedicated-core asynchronous in situ mode — plus
+//!   request/reply endpoints ([`ServeClient`] / [`ServeServer`]) on a
+//!   second reserved tag range, the substrate of `apc-serve`'s frame
+//!   serving protocol.
 //!
 //! ```
 //! use apc_comm::{NetModel, Runtime};
@@ -49,7 +52,7 @@ pub mod p2p;
 pub mod runtime;
 pub mod sort;
 
-pub use bounded::{Dequeued, FlowControl, QueueReceiver, QueueSender};
+pub use bounded::{Dequeued, FlowControl, QueueReceiver, QueueSender, ServeClient, ServeServer};
 pub use meter::Meter;
 pub use netmodel::NetModel;
 pub use p2p::{Request, Tag};

@@ -26,6 +26,11 @@ impl Tag {
     /// queues; channel `c` occupies `STAGE_BASE - 2c` (data) and
     /// `STAGE_BASE - 2c - 1` (credits).
     pub(crate) const STAGE_BASE: u32 = u32::MAX - 2;
+    /// Base of the internal tag pairs used by [`crate::bounded`]
+    /// request/reply endpoints, directly below the stage-queue range;
+    /// channel `c` occupies `SERVE_BASE - 2c` (requests) and
+    /// `SERVE_BASE - 2c - 1` (replies).
+    pub(crate) const SERVE_BASE: u32 = Tag::STAGE_BASE - 2 * (1 << 16);
 }
 
 pub(crate) struct Envelope {

@@ -12,7 +12,9 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use apc_comm::{FlowControl, NetModel, QueueReceiver, QueueSender, Runtime, Tag};
+use apc_comm::{
+    FlowControl, NetModel, QueueReceiver, QueueSender, Runtime, ServeClient, ServeServer, Tag,
+};
 use apc_par::SplitMix64;
 
 const ROUNDS: usize = 10;
@@ -174,6 +176,97 @@ fn stager_panic_fails_blocked_producers_instead_of_stranding_them() {
     let mut fresh = runtime.session();
     let sums = fresh.run(|rank| rank.allreduce(1u64, |a, b| a + b));
     assert_eq!(sums, vec![NRANKS as u64; NRANKS]);
+}
+
+/// The frame-serving failure story, server side: a serving stager dies
+/// between taking a request and answering it. The client is stranded in
+/// `recv_reply` — the deadlock machinery must fail it loudly within the
+/// timeout, the panic must poison the session, and a fresh session must
+/// recover.
+#[test]
+fn server_panic_mid_request_fails_waiting_clients_not_strands_them() {
+    let runtime = Runtime::new(3, NetModel::free()).deadlock_timeout(TIMEOUT);
+    let mut session = runtime.session();
+
+    let t0 = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        session.run(|rank| {
+            match rank.rank() {
+                0 | 1 => {
+                    // Clients: first round trip completes, the second
+                    // request is never answered.
+                    let mut ep = ServeClient::new(2, 0);
+                    ep.send_request(rank, 1u64);
+                    let _ = ep.recv_reply::<u64>(rank);
+                    ep.send_request(rank, 2u64);
+                    let _ = ep.recv_reply::<u64>(rank); // strands here
+                }
+                _ => {
+                    let mut eps: Vec<ServeServer> =
+                        (0..2).map(|c| ServeServer::new(c, 0)).collect();
+                    for ep in &mut eps {
+                        let q = ep.recv_request::<u64>(rank).msg;
+                        ep.send_reply(rank, q);
+                    }
+                    // Take round two's requests, answer nothing.
+                    for ep in &mut eps {
+                        let _ = ep.recv_request::<u64>(rank);
+                    }
+                    panic!("server died mid-request");
+                }
+            }
+        })
+    }));
+    assert!(result.is_err(), "the run must fail, not complete");
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "stranded clients must fail within the deadlock timeout"
+    );
+    assert!(session.is_poisoned(), "a dead server poisons the session");
+
+    drop(session);
+    let mut fresh = runtime.session();
+    let sums = fresh.run(|rank| rank.allreduce(1u64, |a, b| a + b));
+    assert_eq!(sums, vec![3; 3]);
+}
+
+/// The frame-serving failure story, client side: a client dies after one
+/// round trip while its server still expects another request. The server
+/// is stranded in `recv_request` — loud failure within the timeout,
+/// poisoned session, fresh-session recovery.
+#[test]
+fn client_panic_mid_request_fails_the_server_not_strands_it() {
+    let runtime = Runtime::new(2, NetModel::free()).deadlock_timeout(TIMEOUT);
+    let mut session = runtime.session();
+
+    let t0 = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        session.run(|rank| {
+            if rank.rank() == 0 {
+                let mut ep = ServeClient::new(1, 0);
+                ep.send_request(rank, 7u64);
+                let _ = ep.recv_reply::<u64>(rank);
+                panic!("client died mid-conversation");
+            } else {
+                let mut ep = ServeServer::new(0, 0);
+                let q = ep.recv_request::<u64>(rank).msg;
+                ep.send_reply(rank, q);
+                // The second request never comes.
+                let _ = ep.recv_request::<u64>(rank);
+            }
+        })
+    }));
+    assert!(result.is_err(), "the run must fail, not complete");
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "a stranded server must fail within the deadlock timeout"
+    );
+    assert!(session.is_poisoned(), "a dead client poisons the session");
+
+    drop(session);
+    let mut fresh = runtime.session();
+    let out = fresh.run(|rank| rank.rank());
+    assert_eq!(out, vec![0, 1]);
 }
 
 #[test]

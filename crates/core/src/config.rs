@@ -2,10 +2,11 @@
 
 use apc_par::ExecPolicy;
 use apc_render::RenderCostModel;
+use apc_serve::FrameSink;
 use apc_stage::BackpressurePolicy;
 
 /// How the in situ pipeline is coupled to the simulation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum InSituMode {
     /// Time-partitioned (the paper's setup): every rank runs the full
     /// score→sort→reduce→redistribute→render pipeline inline, so the whole
@@ -19,7 +20,7 @@ pub enum InSituMode {
 }
 
 /// Parameters of [`InSituMode::Staged`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StagedParams {
     /// Ranks dedicated to staging, out of the run's total rank count (the
     /// last `viz_ranks` ranks). The remaining ranks simulate.
@@ -36,6 +37,13 @@ pub struct StagedParams {
     /// *before* posting (trades sim-side reduce time for queue bytes);
     /// zero disables pre-reduction.
     pub pre_reduce_percent: f64,
+    /// Where stagers persist the frames they render (`apc-serve`): a
+    /// shared store backend, a run id, and a per-frame codec. `None` (the
+    /// default) reproduces the pre-serving behavior — frames are counted
+    /// and discarded. The write itself is modeled as off the critical
+    /// path (no virtual-time charge), so a run's reports are identical
+    /// with and without a sink; serving (`crate::serving`) requires one.
+    pub persist: Option<FrameSink>,
 }
 
 impl StagedParams {
@@ -48,6 +56,7 @@ impl StagedParams {
             policy,
             sim_compute: 0.0,
             pre_reduce_percent: 0.0,
+            persist: None,
         }
     }
 
@@ -58,6 +67,13 @@ impl StagedParams {
             "sim compute time must be finite and non-negative"
         );
         self.sim_compute = seconds;
+        self
+    }
+
+    /// Persist rendered frames through `sink` as the stagers produce them
+    /// (see [`apc_serve::FrameSink`] and `crate::serving`).
+    pub fn with_persist(mut self, sink: FrameSink) -> Self {
+        self.persist = Some(sink);
         self
     }
 
@@ -296,7 +312,7 @@ mod tests {
         let params = StagedParams::new(2, 4, BackpressurePolicy::Block)
             .with_sim_compute(12.5)
             .with_pre_reduce(30.0);
-        let c = PipelineConfig::default().with_staged(params);
+        let c = PipelineConfig::default().with_staged(params.clone());
         match c.mode {
             InSituMode::Staged(p) => {
                 assert_eq!(p.viz_ranks, 2);
@@ -304,10 +320,24 @@ mod tests {
                 assert_eq!(p.policy, BackpressurePolicy::Block);
                 assert_eq!(p.sim_compute, 12.5);
                 assert_eq!(p.pre_reduce_percent, 30.0);
+                assert_eq!(p.persist, None, "no frame sink by default");
             }
             InSituMode::Synchronous => panic!("builder must switch the mode"),
         }
         params.validate(8); // 2 of 8 ranks staged is fine
+    }
+
+    #[test]
+    fn persist_builder_attaches_a_sink() {
+        use apc_store::MemStore;
+        use std::sync::Arc;
+
+        let sink = FrameSink::new(Arc::new(MemStore::new()), "run", apc_store::CodecKind::Fpz);
+        let params = StagedParams::new(1, 2, BackpressurePolicy::Block).with_persist(sink.clone());
+        assert_eq!(params.persist, Some(sink));
+        // Configs carrying a sink still clone and compare like any other.
+        let c = PipelineConfig::default().with_staged(params.clone());
+        assert_eq!(c.mode, InSituMode::Staged(params));
     }
 
     #[test]

@@ -61,9 +61,11 @@ pub mod prepared;
 pub mod redistribute;
 pub mod report;
 pub mod selection;
+pub mod serving;
 pub mod staged;
 
 pub use apc_par::{ExecPolicy, RecommendedConcurrency};
+pub use apc_serve::{Frame, FrameReply, FrameRequest, FrameSink, FrameStore, ServePolicy};
 pub use apc_stage::BackpressurePolicy;
 pub use config::{InSituMode, PipelineConfig, Redistribution, SortStrategy, StagedParams};
 pub use controller::{adapt_percent, BudgetController};
@@ -75,4 +77,8 @@ pub use pipeline::{Pipeline, StatsCache};
 pub use prepared::{spaced_subset, Prepared};
 pub use report::IterationReport;
 pub use selection::{reduction_set, ScoredBlock};
+pub use serving::{
+    run_staged_serving_in_session, run_staged_serving_prepared, RequestLog, ServeParams,
+    ServerStats, ServingRun,
+};
 pub use staged::{run_staged_in_session, run_staged_prepared, StagedFrame, StagedRun};

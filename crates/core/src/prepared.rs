@@ -29,6 +29,7 @@ use crate::config::PipelineConfig;
 use crate::driver::{run_experiment_prepared, run_sweep_in_session};
 use crate::pipeline::StatsCache;
 use crate::report::IterationReport;
+use crate::serving::{run_staged_serving_in_session, ServeParams, ServingRun};
 use crate::staged::{run_staged_in_session, StagedRun};
 
 /// Where a [`Prepared`]'s blocks come from.
@@ -203,6 +204,34 @@ impl Prepared {
             self.dataset.coords(),
             &config,
             iterations,
+            &|it, rank| self.prepared_blocks(it, rank),
+        )
+    }
+
+    /// Run a staged configuration with `serve.clients` simulated client
+    /// ranks co-scheduled against its stager pool, through the persistent
+    /// rank session (see [`crate::serving`]). The config's
+    /// `StagedParams::persist` sink must be attached: stagers persist
+    /// frames as they render and serve them back over the request/reply
+    /// protocol. The session's rank count splits
+    /// `[sim][viz][serve.clients]`, with the dataset's ranks folded onto
+    /// the simulation ranks as in [`Prepared::run_staged`].
+    pub fn run_staged_serving(
+        &self,
+        config: PipelineConfig,
+        iterations: &[usize],
+        serve: &ServeParams,
+    ) -> ServingRun {
+        let mut config = self.instrument(config);
+        config.exec = config.exec.clamp_for_ranks(self.dataset.decomp().nranks());
+        let mut session = self.session.lock().expect("an earlier sweep panicked");
+        run_staged_serving_in_session(
+            &mut session,
+            self.dataset.decomp(),
+            self.dataset.coords(),
+            &config,
+            iterations,
+            serve,
             &|it, rank| self.prepared_blocks(it, rank),
         )
     }

@@ -1,0 +1,873 @@
+//! The frame-serving executor: simulated client ranks co-scheduled
+//! against the stager pool, in one session.
+//!
+//! [`run_staged_serving_in_session`] splits the session's ranks three
+//! ways — `[simulation ranks][staging ranks][client ranks]`. The first
+//! two run the ordinary staged pipeline (`crate::staged`), with two
+//! additions wired through the stager's per-frame hook:
+//!
+//! * every rendered frame is **persisted** through the config's
+//!   [`FrameSink`] and seeded into the stager's LRU [`FrameCache`];
+//! * after rendering frame `k`, the stager **serves its clients** up to
+//!   frame `k`'s request quota over `apc_comm`'s request/reply endpoints,
+//!   answering from the cache when it can and charging a virtual
+//!   store-read when it cannot.
+//!
+//! Client ranks issue a deterministic request mix ([`FrameRequest`]:
+//! `Latest` / `AtIteration` / `Range`, some deliberately targeting frames
+//! *ahead* of production) and measure virtual service latency per
+//! request. Requests that race production are the [`ServePolicy`]'s
+//! call: `WaitForFrame` defers the reply until the frame exists (the
+//! client's latency absorbs the wait), `BestEffort` answers immediately
+//! with the newest frame available.
+//!
+//! **Why this cannot deadlock, and why it replays bit-identically.** A
+//! client sends request `j + 1` only after receiving reply `j`, and a
+//! stager blocks on a client only when every earlier reply to it has been
+//! sent (a deferred reply marks the client *blocked* and the stager skips
+//! it until the due frame is rendered — the due frame depends only on the
+//! sim queues, never on clients, so production always advances). Receive
+//! orders are fixed (clients in slot order, requests in sequence order),
+//! every quantity is virtual-time arithmetic over deterministic inputs,
+//! and the quota schedule is pure integer math — so a serving run is a
+//! pure function of its configuration, byte-stable across OS scheduling,
+//! `ExecPolicy`, and session reuse (`tests/staged_determinism.rs` pins
+//! this).
+
+use apc_comm::{Rank, ServeClient, ServeServer, Session};
+use apc_grid::{Block, DomainDecomp, RectilinearCoords};
+use apc_serve::{
+    Frame, FrameCache, FrameReply, FrameRequest, FrameSink, RunManifest, ServePolicy, ServedFrame,
+};
+use apc_stage::{Partition, RankLog, StagedSpec};
+
+use crate::config::{InSituMode, PipelineConfig};
+use crate::staged::{merge_logs, rank_program, SimAux, StageOut, StagedRun};
+
+/// Parameters of one serving run: how many client ranks, how hard they
+/// ask, and how the stagers answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeParams {
+    /// Simulated client ranks (the last ranks of the session).
+    pub clients: usize,
+    /// Requests each client issues over the run.
+    pub requests_per_client: usize,
+    /// What a stager does with a request whose frame is not rendered yet.
+    pub policy: ServePolicy,
+    /// Virtual seconds a client waits between a reply and its next
+    /// request.
+    pub think_time: f64,
+    /// Capacity of each stager's LRU hot-frame cache, in frames.
+    pub cache_frames: usize,
+}
+
+impl ServeParams {
+    pub fn new(clients: usize, requests_per_client: usize, policy: ServePolicy) -> Self {
+        assert!(clients >= 1, "need at least one client rank");
+        assert!(
+            requests_per_client >= 1,
+            "each client must issue at least one request"
+        );
+        Self {
+            clients,
+            requests_per_client,
+            policy,
+            think_time: 0.0,
+            cache_frames: 4,
+        }
+    }
+
+    /// Set the virtual think time between requests.
+    pub fn with_think_time(mut self, seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "think time must be finite and non-negative"
+        );
+        self.think_time = seconds;
+        self
+    }
+
+    /// Set the per-stager hot-frame cache capacity (0 disables caching).
+    pub fn with_cache_frames(mut self, frames: usize) -> Self {
+        self.cache_frames = frames;
+        self
+    }
+
+    /// Check the three-way split fits a concrete rank count.
+    pub fn validate(&self, nranks: usize, viz_ranks: usize) {
+        assert!(
+            viz_ranks + self.clients < nranks,
+            "serving run dedicates {} viz + {} client of {nranks} ranks; at \
+             least one simulation rank must remain",
+            viz_ranks,
+            self.clients
+        );
+    }
+}
+
+/// One client request as the client experienced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestLog {
+    /// Client slot that issued the request.
+    pub client: usize,
+    pub request: FrameRequest,
+    /// Frames the reply carried.
+    pub frames: usize,
+    /// Of those, how many were answered from the stager's hot cache.
+    pub cache_hits: usize,
+    /// Whether the reply answered the request exactly as asked
+    /// (`BestEffort` may substitute the newest frame; `NotYet` and
+    /// `NoSuchIteration` are never exact).
+    pub exact: bool,
+    /// Virtual seconds from posting the request to holding the reply —
+    /// including any production wait a deferred reply absorbed.
+    pub latency: f64,
+}
+
+/// Per-stager serving totals.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServerStats {
+    /// Requests this stager received.
+    pub requests: usize,
+    /// Frame payloads it shipped.
+    pub frames_served: usize,
+    /// Cache hits / misses over those payloads.
+    pub cache_hits: usize,
+    pub cache_misses: usize,
+    /// Replies deferred to a later frame (`WaitForFrame` racing
+    /// production).
+    pub deferred: usize,
+}
+
+/// A completed serving run: the staged pipeline's own observables plus
+/// the serving-side ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingRun {
+    /// The underlying staged run (reports, stalls, drops, per-stager
+    /// block counts).
+    pub staged: StagedRun,
+    /// Per-stager serving totals, in stager-slot order.
+    pub servers: Vec<ServerStats>,
+    /// Every request, clients in slot order, requests in issue order.
+    pub requests: Vec<RequestLog>,
+    /// Each client's final virtual clock, in client-slot order.
+    pub client_finish: Vec<f64>,
+}
+
+impl ServingRun {
+    /// Total frame payloads served.
+    pub fn frames_served(&self) -> usize {
+        self.servers.iter().map(|s| s.frames_served).sum()
+    }
+
+    /// Cache hit rate over all served payloads (0 when nothing was
+    /// served).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits: usize = self.servers.iter().map(|s| s.cache_hits).sum();
+        let misses: usize = self.servers.iter().map(|s| s.cache_misses).sum();
+        if hits + misses == 0 {
+            return 0.0;
+        }
+        hits as f64 / (hits + misses) as f64
+    }
+
+    /// Replies that waited for a frame still in production.
+    pub fn total_deferred(&self) -> usize {
+        self.servers.iter().map(|s| s.deferred).sum()
+    }
+
+    /// Requests a best-effort stager answered inexactly (substituted or
+    /// empty).
+    pub fn total_inexact(&self) -> usize {
+        self.requests.iter().filter(|r| !r.exact).count()
+    }
+
+    /// The `p`-th percentile (0–100) of virtual service latency.
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        let mut lat: Vec<f64> = self.requests.iter().map(|r| r.latency).collect();
+        if lat.is_empty() {
+            return 0.0;
+        }
+        lat.sort_by(f64::total_cmp);
+        let idx = ((p / 100.0) * (lat.len() - 1) as f64).round() as usize;
+        lat[idx]
+    }
+
+    /// Frames served per virtual second of serving makespan (the last
+    /// client's finish time).
+    pub fn frames_per_virtual_second(&self) -> f64 {
+        let makespan = self.client_finish.iter().copied().fold(0.0, f64::max);
+        if makespan <= 0.0 {
+            return 0.0;
+        }
+        self.frames_served() as f64 / makespan
+    }
+}
+
+/// The deterministic request mix a client issues: a rotation over
+/// `Latest`, a trailing `AtIteration` (exercises the cache/store split),
+/// an `AtIteration` deliberately *ahead* of the expected production
+/// frontier (races production — the `ServePolicy` decides), and a short
+/// `Range` window.
+pub(crate) fn gen_request(
+    client: usize,
+    j: usize,
+    iterations: &[usize],
+    requests_per_client: usize,
+) -> FrameRequest {
+    let n = iterations.len();
+    match (client + j) % 4 {
+        0 => FrameRequest::Latest,
+        1 => {
+            // A trailing frame, cycling backward through the run.
+            let idx = (client * 7 + j * 3) % n;
+            FrameRequest::AtIteration(iterations[idx] as u64)
+        }
+        2 => {
+            // Just ahead of the frontier the quota schedule will have
+            // produced when this request is serviced.
+            let frontier = ((j + 1) * n) / requests_per_client.max(1);
+            let idx = (frontier + 1).min(n - 1);
+            FrameRequest::AtIteration(iterations[idx] as u64)
+        }
+        _ => {
+            let a = (client + j) % n;
+            let b = (a + 2).min(n - 1);
+            FrameRequest::Range {
+                start: iterations[a] as u64,
+                end: iterations[b] as u64,
+            }
+        }
+    }
+}
+
+/// What a stager does with one request, given that frames `0..=k` exist.
+enum Action {
+    /// Serve these frame indices now.
+    Ready { exact: bool, idxs: Vec<usize> },
+    /// Hold the reply until frame `due` is rendered.
+    Defer(usize),
+    /// Answer immediately with a frameless reply.
+    Answer(FrameReply),
+}
+
+/// One client's connection state at its serving stager.
+struct ClientConn {
+    ep: ServeServer,
+    /// Requests received from this client so far.
+    taken: usize,
+    /// A reply being held until its due frame index is rendered. While
+    /// present the client is blocked on it, so the stager must not expect
+    /// further requests from this client.
+    deferred: Option<(FrameRequest, usize)>,
+}
+
+/// Per-stager serving state, driven from the staged executor's per-frame
+/// hook (`crate::staged::rank_program`).
+pub struct StagerServe<'a> {
+    policy: ServePolicy,
+    slot: u32,
+    sink: &'a FrameSink,
+    iterations: &'a [usize],
+    requests_per_client: usize,
+    cache: FrameCache,
+    clients: Vec<ClientConn>,
+    stats: ServerStats,
+}
+
+impl<'a> StagerServe<'a> {
+    /// Serving state for stager `slot`, answering `client_ranks` (global
+    /// rank ids, fixed order).
+    pub(crate) fn new(
+        serve: &ServeParams,
+        slot: u32,
+        sink: &'a FrameSink,
+        iterations: &'a [usize],
+        client_ranks: Vec<usize>,
+    ) -> Self {
+        Self {
+            policy: serve.policy,
+            slot,
+            sink,
+            iterations,
+            requests_per_client: serve.requests_per_client,
+            cache: FrameCache::new(serve.cache_frames),
+            clients: client_ranks
+                .into_iter()
+                .map(|r| ClientConn {
+                    ep: ServeServer::new(r, 0),
+                    taken: 0,
+                    deferred: None,
+                })
+                .collect(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Called by the stager right after persisting frame `k`: seed the
+    /// hot cache.
+    pub(crate) fn on_frame_rendered(&mut self, _k: usize, iteration: u64, stream: Vec<u8>) {
+        self.cache.put((iteration, self.slot), stream);
+    }
+
+    /// Called by the stager after rendering frame `k`: flush replies that
+    /// waited for it, then serve every client up to frame `k`'s request
+    /// quota. The quota schedule spreads each client's
+    /// `requests_per_client` requests evenly over the run's frames and
+    /// drains completely on the last frame.
+    pub(crate) fn after_frame(&mut self, rank: &mut Rank, k: usize, nframes: usize) {
+        debug_assert!(k < nframes);
+        for i in 0..self.clients.len() {
+            if let Some((q, due)) = self.clients[i].deferred {
+                if due <= k {
+                    self.clients[i].deferred = None;
+                    match self.resolve(q, k) {
+                        Action::Ready { exact, idxs } => {
+                            let reply = self.build_reply(rank, exact, &idxs);
+                            self.clients[i].ep.send_reply(rank, reply);
+                        }
+                        _ => unreachable!("a deferred request is servable at its due frame"),
+                    }
+                }
+            }
+        }
+        let quota = if k + 1 == nframes {
+            self.requests_per_client
+        } else {
+            (self.requests_per_client * (k + 1)).div_ceil(nframes)
+        };
+        for i in 0..self.clients.len() {
+            while self.clients[i].taken < quota && self.clients[i].deferred.is_none() {
+                let q: FrameRequest = self.clients[i].ep.recv_request(rank).msg;
+                self.clients[i].taken += 1;
+                self.stats.requests += 1;
+                match self.resolve(q, k) {
+                    Action::Ready { exact, idxs } => {
+                        let reply = self.build_reply(rank, exact, &idxs);
+                        self.clients[i].ep.send_reply(rank, reply);
+                    }
+                    Action::Defer(due) => {
+                        debug_assert!(due > k, "deferrals always point forward");
+                        self.clients[i].deferred = Some((q, due));
+                        self.stats.deferred += 1;
+                    }
+                    Action::Answer(reply) => self.clients[i].ep.send_reply(rank, reply),
+                }
+            }
+        }
+    }
+
+    /// Drain the serving state into its totals (cache counters included).
+    pub(crate) fn finish(self) -> ServerStats {
+        debug_assert!(
+            self.clients
+                .iter()
+                .all(|c| c.taken == self.requests_per_client && c.deferred.is_none()),
+            "every client fully served at end of run"
+        );
+        ServerStats {
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            ..self.stats
+        }
+    }
+
+    fn index_of(&self, it: u64) -> Option<usize> {
+        self.iterations.iter().position(|&x| x as u64 == it)
+    }
+
+    fn resolve(&self, q: FrameRequest, k: usize) -> Action {
+        match q {
+            FrameRequest::Latest => Action::Ready {
+                exact: true,
+                idxs: vec![k],
+            },
+            FrameRequest::AtIteration(it) => match self.index_of(it) {
+                None => Action::Answer(FrameReply::NoSuchIteration(it)),
+                Some(idx) if idx <= k => Action::Ready {
+                    exact: true,
+                    idxs: vec![idx],
+                },
+                Some(idx) => match self.policy {
+                    ServePolicy::WaitForFrame => Action::Defer(idx),
+                    ServePolicy::BestEffort => Action::Ready {
+                        exact: false,
+                        idxs: vec![k],
+                    },
+                },
+            },
+            FrameRequest::Range { start, end } => {
+                let idxs: Vec<usize> = self
+                    .iterations
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &x)| (x as u64) >= start && (x as u64) <= end)
+                    .map(|(i, _)| i)
+                    .collect();
+                let Some(&last) = idxs.last() else {
+                    return Action::Answer(FrameReply::NoSuchIteration(start));
+                };
+                if last <= k {
+                    return Action::Ready { exact: true, idxs };
+                }
+                match self.policy {
+                    ServePolicy::WaitForFrame => Action::Defer(last),
+                    ServePolicy::BestEffort => {
+                        let avail: Vec<usize> = idxs.into_iter().filter(|&i| i <= k).collect();
+                        if avail.is_empty() {
+                            Action::Answer(FrameReply::NotYet)
+                        } else {
+                            Action::Ready {
+                                exact: false,
+                                idxs: avail,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Assemble a reply, answering each frame from the cache or — with a
+    /// virtual read charge — from the frame store.
+    fn build_reply(&mut self, rank: &mut Rank, exact: bool, idxs: &[usize]) -> FrameReply {
+        let mut frames = Vec::with_capacity(idxs.len());
+        for &idx in idxs {
+            let it = self.iterations[idx] as u64;
+            let key = (it, self.slot);
+            let (stream, cache_hit) = match self.cache.get(key) {
+                Some(s) => (s.to_vec(), true),
+                None => {
+                    let s = self
+                        .sink
+                        .store()
+                        .encoded(it, self.slot)
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "stager {} failed to read back frame (iteration {it}): {e}",
+                                self.slot
+                            )
+                        });
+                    // The store read is real data movement: charge the
+                    // same per-byte ingest cost any other transfer pays.
+                    let cost = rank.net().ingest(s.len());
+                    rank.advance(cost);
+                    self.cache.put(key, s.clone());
+                    (s, false)
+                }
+            };
+            frames.push(ServedFrame {
+                iteration: it,
+                stager: self.slot,
+                cache_hit,
+                stream,
+            });
+        }
+        self.stats.frames_served += frames.len();
+        FrameReply::Frames { exact, frames }
+    }
+}
+
+/// The SPMD program of one client rank: issue the deterministic request
+/// mix against its assigned stager, one request in flight at a time, and
+/// log virtual latency per request.
+fn client_program(
+    rank: &mut Rank,
+    client: usize,
+    server_rank: usize,
+    server_slot: u32,
+    iterations: &[usize],
+    serve: &ServeParams,
+) -> (Vec<RequestLog>, f64) {
+    let mut ep = ServeClient::new(server_rank, 0);
+    let mut logs = Vec::with_capacity(serve.requests_per_client);
+    for j in 0..serve.requests_per_client {
+        let q = gen_request(client, j, iterations, serve.requests_per_client);
+        let t0 = rank.clock();
+        ep.send_request(rank, q);
+        let reply: FrameReply = ep.recv_reply(rank).msg;
+        let latency = rank.clock() - t0;
+        let mut cache_hits = 0;
+        for served in reply.frames() {
+            // Decode end to end: a frame that survived store + wire must
+            // parse back; a corrupt one fails the run loudly.
+            let frame = Frame::decode(&served.stream)
+                .unwrap_or_else(|e| panic!("client {client} received an undecodable frame: {e}"));
+            assert_eq!(frame.stager, server_slot, "frame from the wrong stager");
+            assert_eq!(frame.iteration, served.iteration, "frame key mismatch");
+            cache_hits += usize::from(served.cache_hit);
+        }
+        logs.push(RequestLog {
+            client,
+            request: q,
+            frames: reply.frames().len(),
+            cache_hits,
+            exact: reply.exact(),
+            latency,
+        });
+        rank.advance(serve.think_time);
+    }
+    (logs, rank.clock())
+}
+
+/// Per-rank result of a serving run (internal).
+enum ServingRankLog {
+    Sim(Vec<(SimAux, apc_stage::SimFrameLog)>),
+    Stage(Vec<(StageOut, apc_stage::StageFrameLog)>, ServerStats),
+    Client(Vec<RequestLog>, f64),
+}
+
+/// Run a staged configuration with `serve.clients` simulated client ranks
+/// co-scheduled against the stager pool, over a caller-owned [`Session`] —
+/// the serving counterpart of [`crate::staged::run_staged_in_session`].
+///
+/// The session's ranks split `[sim][stage][client]`: the staged partition
+/// covers the first `nranks − clients` ranks (dataset ranks fold onto the
+/// simulation ranks exactly as in a plain staged run), and the last
+/// `clients` ranks run the request/reply workload. The config must be
+/// [`InSituMode::Staged`] **with a frame sink attached**
+/// (`StagedParams::persist`) — serving reads the frames it ships from
+/// that sink's store. The run writes the sink's [`RunManifest`] before
+/// the ranks start.
+pub fn run_staged_serving_in_session<F>(
+    session: &mut Session,
+    decomp: &DomainDecomp,
+    coords: &RectilinearCoords,
+    config: &PipelineConfig,
+    iterations: &[usize],
+    serve: &ServeParams,
+    blocks: &F,
+) -> ServingRun
+where
+    F: Fn(usize, usize) -> Vec<Block> + Sync,
+{
+    let params = match &config.mode {
+        InSituMode::Staged(p) => p.clone(),
+        InSituMode::Synchronous => {
+            panic!("run_staged_serving_in_session needs an InSituMode::Staged config")
+        }
+    };
+    let sink = params
+        .persist
+        .clone()
+        .expect("serving needs StagedParams::persist — attach a FrameSink");
+    let nranks = session.nranks();
+    assert_eq!(
+        nranks,
+        decomp.nranks(),
+        "session rank count must match the decomposition"
+    );
+    serve.validate(nranks, params.viz_ranks);
+    let n_stage = params.viz_ranks;
+    let n_clients = serve.clients;
+    let n_sim = nranks - n_stage - n_clients;
+    let partition = Partition::new(n_sim + n_stage, n_stage);
+    let spec = StagedSpec::new(partition, params.queue_depth, params.policy);
+
+    let gb = decomp.global_block_grid();
+    sink.store()
+        .put_manifest(&RunManifest {
+            run_id: sink.run_id().to_owned(),
+            n_stagers: n_stage,
+            width: gb.nx,
+            height: gb.ny,
+            codec: sink.codec(),
+            iterations: iterations.to_vec(),
+        })
+        .expect("write the run manifest");
+
+    let iters = iterations.to_vec();
+    let logs: Vec<ServingRankLog> = session.run(|rank| {
+        let r = rank.rank();
+        if r < n_sim {
+            match rank_program(
+                rank, &spec, &params, config, decomp, coords, &iters, blocks, None,
+            ) {
+                RankLog::Sim(v) => ServingRankLog::Sim(v),
+                RankLog::Stage(_) => unreachable!("rank below n_sim is a sim"),
+            }
+        } else if r < n_sim + n_stage {
+            let slot = r - n_sim;
+            let client_ranks: Vec<usize> = (0..n_clients)
+                .filter(|c| c % n_stage == slot)
+                .map(|c| n_sim + n_stage + c)
+                .collect();
+            let mut srv = StagerServe::new(serve, slot as u32, &sink, &iters, client_ranks);
+            let log = rank_program(
+                rank,
+                &spec,
+                &params,
+                config,
+                decomp,
+                coords,
+                &iters,
+                blocks,
+                Some(&mut srv),
+            );
+            match log {
+                RankLog::Stage(v) => ServingRankLog::Stage(v, srv.finish()),
+                RankLog::Sim(_) => unreachable!("rank in the stage band is a stager"),
+            }
+        } else {
+            let client = r - n_sim - n_stage;
+            let server_slot = client % n_stage;
+            let (logs, finish) = client_program(
+                rank,
+                client,
+                partition.stage_rank(server_slot),
+                server_slot as u32,
+                &iters,
+                serve,
+            );
+            ServingRankLog::Client(logs, finish)
+        }
+    });
+
+    let mut staged_logs: Vec<RankLog<SimAux, StageOut>> = Vec::with_capacity(n_sim + n_stage);
+    let mut servers = Vec::with_capacity(n_stage);
+    let mut requests = Vec::new();
+    let mut client_finish = Vec::with_capacity(n_clients);
+    for log in logs {
+        match log {
+            ServingRankLog::Sim(v) => staged_logs.push(RankLog::Sim(v)),
+            ServingRankLog::Stage(v, stats) => {
+                staged_logs.push(RankLog::Stage(v));
+                servers.push(stats);
+            }
+            ServingRankLog::Client(v, finish) => {
+                requests.extend(v);
+                client_finish.push(finish);
+            }
+        }
+    }
+    ServingRun {
+        staged: merge_logs(&spec, iterations, staged_logs),
+        servers,
+        requests,
+        client_finish,
+    }
+}
+
+/// One-shot serving run (spawns its own session) — the serving
+/// counterpart of [`crate::staged::run_staged_prepared`], and like it,
+/// runs the config's `ExecPolicy` unclamped so policy-determinism guards
+/// can exercise `Threads(n)` on small hosts.
+pub fn run_staged_serving_prepared<F>(
+    decomp: &DomainDecomp,
+    coords: &RectilinearCoords,
+    config: &PipelineConfig,
+    iterations: &[usize],
+    serve: &ServeParams,
+    net: apc_comm::NetModel,
+    blocks: F,
+) -> ServingRun
+where
+    F: Fn(usize, usize) -> Vec<Block> + Sync,
+{
+    let mut session = apc_comm::Runtime::new(decomp.nranks(), net).session();
+    run_staged_serving_in_session(
+        &mut session,
+        decomp,
+        coords,
+        config,
+        iterations,
+        serve,
+        &blocks,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use apc_cm1::ReflectivityDataset;
+    use apc_comm::NetModel;
+    use apc_serve::FrameStore;
+    use apc_stage::BackpressurePolicy;
+    use apc_store::{CodecKind, MemStore, StoreBackend};
+
+    use crate::config::StagedParams;
+
+    /// A tiny serving run: 8 ranks split 2 sim / 2 viz / 4 clients over
+    /// the tiny dataset, returning the run and its backing store.
+    fn tiny_serving(
+        policy: ServePolicy,
+        cache_frames: usize,
+    ) -> (ServingRun, Arc<dyn StoreBackend>, Vec<usize>) {
+        let dataset = ReflectivityDataset::tiny(8, 42).unwrap();
+        let iters = dataset.sample_iterations(4);
+        let backend: Arc<dyn StoreBackend> = Arc::new(MemStore::new());
+        let sink = FrameSink::new(Arc::clone(&backend), "test", CodecKind::Fpz);
+        let params = StagedParams::new(2, 2, BackpressurePolicy::Block)
+            .with_sim_compute(5.0)
+            .with_persist(sink);
+        let config = crate::PipelineConfig::default()
+            .deterministic()
+            .with_fixed_percent(40.0)
+            .with_staged(params);
+        let serve = ServeParams::new(4, 6, policy)
+            .with_think_time(0.1)
+            .with_cache_frames(cache_frames);
+        let run = run_staged_serving_prepared(
+            dataset.decomp(),
+            dataset.coords(),
+            &config,
+            &iters,
+            &serve,
+            NetModel::blue_waters(),
+            |it, rank| dataset.rank_blocks(it, rank),
+        );
+        (run, backend, iters)
+    }
+
+    #[test]
+    fn serving_run_persists_and_answers_every_request() {
+        let (run, backend, iters) = tiny_serving(ServePolicy::WaitForFrame, 4);
+        // Every client's every request is logged and carried frames.
+        assert_eq!(run.requests.len(), 4 * 6);
+        assert!(run.frames_served() > 0);
+        assert_eq!(run.client_finish.len(), 4);
+        assert!(run.requests.iter().all(|r| r.latency >= 0.0));
+        // WaitForFrame answers everything exactly.
+        assert_eq!(run.total_inexact(), 0);
+        // The staged side still did its job.
+        assert_eq!(run.staged.frames.len(), iters.len());
+        assert_eq!(run.servers.len(), 2);
+        // Frames are durable: every (iteration, stager) reads back and
+        // the manifest describes the run.
+        let store = FrameStore::new(&*backend, "test");
+        let manifest = store.manifest().unwrap();
+        assert_eq!(manifest.n_stagers, 2);
+        assert_eq!(manifest.iterations, iters);
+        for &it in &iters {
+            for stager in 0..2u32 {
+                let frame = store.get_frame(it as u64, stager).unwrap();
+                assert_eq!(frame.iteration, it as u64);
+                assert_eq!(frame.stager, stager);
+                assert_eq!(
+                    (frame.width as usize, frame.height as usize),
+                    (manifest.width, manifest.height)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wait_for_frame_defers_racing_requests() {
+        let (run, ..) = tiny_serving(ServePolicy::WaitForFrame, 4);
+        assert!(
+            run.total_deferred() > 0,
+            "the request mix targets frames ahead of production"
+        );
+        assert_eq!(run.total_inexact(), 0, "waiting always answers exactly");
+    }
+
+    #[test]
+    fn best_effort_never_defers_but_substitutes() {
+        let (run, ..) = tiny_serving(ServePolicy::BestEffort, 4);
+        assert_eq!(run.total_deferred(), 0, "best effort never waits");
+        assert!(
+            run.total_inexact() > 0,
+            "racing requests must come back substituted"
+        );
+    }
+
+    #[test]
+    fn cache_capacity_drives_hit_rate() {
+        let (cached, ..) = tiny_serving(ServePolicy::BestEffort, 16);
+        let (uncached, ..) = tiny_serving(ServePolicy::BestEffort, 0);
+        assert!(cached.cache_hit_rate() > 0.0, "a roomy cache must hit");
+        assert_eq!(uncached.cache_hit_rate(), 0.0, "no cache, no hits");
+        // Identical traffic either way.
+        assert_eq!(cached.frames_served(), uncached.frames_served());
+        // Store reads cost virtual time, so the uncached run cannot be
+        // faster end to end.
+        assert!(
+            uncached.latency_percentile(99.0) >= cached.latency_percentile(99.0) - 1e-12,
+            "cache misses must not make tail latency better"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs StagedParams::persist")]
+    fn serving_without_a_sink_rejected() {
+        let dataset = ReflectivityDataset::tiny(8, 42).unwrap();
+        let iters = dataset.sample_iterations(2);
+        let config = crate::PipelineConfig::default()
+            .deterministic()
+            .with_staged(StagedParams::new(2, 2, BackpressurePolicy::Block));
+        let _ = run_staged_serving_prepared(
+            dataset.decomp(),
+            dataset.coords(),
+            &config,
+            &iters,
+            &ServeParams::new(2, 2, ServePolicy::BestEffort),
+            NetModel::blue_waters(),
+            |it, rank| dataset.rank_blocks(it, rank),
+        );
+    }
+
+    #[test]
+    fn gen_request_is_deterministic_and_in_range() {
+        let iterations: Vec<usize> = (0..12).map(|i| 100 + i * 20).collect();
+        for client in 0..7 {
+            for j in 0..9 {
+                let a = gen_request(client, j, &iterations, 9);
+                let b = gen_request(client, j, &iterations, 9);
+                assert_eq!(a, b, "request mix must replay identically");
+                match a {
+                    FrameRequest::Latest => {}
+                    FrameRequest::AtIteration(it) => {
+                        assert!(iterations.iter().any(|&x| x as u64 == it))
+                    }
+                    FrameRequest::Range { start, end } => {
+                        assert!(start <= end);
+                        assert!(iterations.iter().any(|&x| x as u64 == start));
+                        assert!(iterations.iter().any(|&x| x as u64 == end));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gen_request_covers_every_variant() {
+        let iterations: Vec<usize> = (0..8).collect();
+        let mut latest = 0;
+        let mut at = 0;
+        let mut range = 0;
+        for j in 0..8 {
+            match gen_request(0, j, &iterations, 8) {
+                FrameRequest::Latest => latest += 1,
+                FrameRequest::AtIteration(_) => at += 1,
+                FrameRequest::Range { .. } => range += 1,
+            }
+        }
+        assert!(latest > 0 && at > 0 && range > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one simulation rank")]
+    fn overfull_split_rejected() {
+        ServeParams::new(6, 1, ServePolicy::BestEffort).validate(8, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_rejected() {
+        let _ = ServeParams::new(0, 1, ServePolicy::BestEffort);
+    }
+
+    #[test]
+    fn serve_params_builders() {
+        let p = ServeParams::new(4, 6, ServePolicy::WaitForFrame)
+            .with_think_time(0.25)
+            .with_cache_frames(2);
+        assert_eq!(p.clients, 4);
+        assert_eq!(p.requests_per_client, 6);
+        assert_eq!(p.think_time, 0.25);
+        assert_eq!(p.cache_frames, 2);
+    }
+}

@@ -54,7 +54,7 @@ type Slice = Vec<(Vec<f32>, f64)>;
 
 /// What a simulation rank logs per frame (beyond the engine's timing).
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct SimAux {
+pub(crate) struct SimAux {
     t_score: f64,
     t_prereduce: f64,
     blocks_prereduced: usize,
@@ -62,9 +62,12 @@ struct SimAux {
 
 /// What a staging rank logs per frame (beyond the engine's timing).
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct StageOut {
+pub(crate) struct StageOut {
     percent: f64,
     degraded: bool,
+    /// Blocks this stager rendered this frame (explicitly zero when every
+    /// slice it was dealt was empty or dropped).
+    blocks: usize,
     blocks_reduced: usize,
     triangles: usize,
     t_reduce: f64,
@@ -73,7 +76,7 @@ struct StageOut {
 
 /// One staged iteration: the synchronous-compatible report plus the
 /// staged-only observables.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StagedFrame {
     /// The familiar per-iteration report. Staged semantics of the step
     /// fields: `t_score` is the (max-over-sim-ranks) sim-side scoring
@@ -96,6 +99,12 @@ pub struct StagedFrame {
     /// Stagers that rendered this frame at a degraded (boosted) reduction
     /// percentage.
     pub stagers_degraded: usize,
+    /// Blocks each stager rendered this frame, in stager-slot order —
+    /// always `n_stage` entries, with an **explicit zero** for a stager
+    /// that rendered nothing (empty slices, or every slice dropped by
+    /// `DropOldest`), so per-stager accounting stays aligned across rank
+    /// counts and policies instead of silently losing rows.
+    pub blocks_by_stager: Vec<usize>,
 }
 
 /// A completed staged run: one [`StagedFrame`] per iteration.
@@ -134,6 +143,20 @@ impl StagedRun {
     pub fn mean_latency(&self) -> f64 {
         mean(self.frames.iter().map(|f| f.report.t_total))
     }
+
+    /// Total blocks rendered per stager over the run, in stager-slot
+    /// order. Stagers that rendered nothing contribute explicit zeros,
+    /// so the vector length is always the partition's stager count.
+    pub fn blocks_by_stager(&self) -> Vec<usize> {
+        let n = self.frames.first().map_or(0, |f| f.blocks_by_stager.len());
+        let mut totals = vec![0usize; n];
+        for f in &self.frames {
+            for (t, b) in totals.iter_mut().zip(&f.blocks_by_stager) {
+                *t += b;
+            }
+        }
+        totals
+    }
 }
 
 fn mean(it: impl Iterator<Item = f64>) -> f64 {
@@ -168,8 +191,8 @@ pub fn run_staged_in_session<F>(
 where
     F: Fn(usize, usize) -> Vec<Block> + Sync,
 {
-    let params = match config.mode {
-        InSituMode::Staged(p) => p,
+    let params = match &config.mode {
+        InSituMode::Staged(p) => p.clone(),
         InSituMode::Synchronous => {
             panic!("run_staged_in_session needs an InSituMode::Staged config")
         }
@@ -183,9 +206,28 @@ where
     params.validate(nranks);
     let partition = Partition::new(nranks, params.viz_ranks);
     let spec = StagedSpec::new(partition, params.queue_depth, params.policy);
+    if let Some(sink) = &params.persist {
+        // Make the stored run self-describing before any frame lands:
+        // backends deliberately offer no key listing, so the manifest is
+        // how a later reader discovers what this run persisted.
+        let gb = decomp.global_block_grid();
+        sink.store()
+            .put_manifest(&apc_serve::RunManifest {
+                run_id: sink.run_id().to_owned(),
+                n_stagers: params.viz_ranks,
+                width: gb.nx,
+                height: gb.ny,
+                codec: sink.codec(),
+                iterations: iterations.to_vec(),
+            })
+            .expect("write the run manifest");
+    }
     let iters = iterations.to_vec();
-    let logs: Vec<RankLog<SimAux, StageOut>> = session
-        .run(|rank| rank_program(rank, &spec, &params, config, decomp, coords, &iters, blocks));
+    let logs: Vec<RankLog<SimAux, StageOut>> = session.run(|rank| {
+        rank_program(
+            rank, &spec, &params, config, decomp, coords, &iters, blocks, None,
+        )
+    });
     merge_logs(&spec, iterations, logs)
 }
 
@@ -209,9 +251,12 @@ where
     run_staged_in_session(&mut session, decomp, coords, config, iterations, &blocks)
 }
 
-/// The SPMD program of one staged rank (both roles).
+/// The SPMD program of one staged rank (both roles). `serve` is the
+/// per-stager serving state the `crate::serving` executor threads in —
+/// `None` for plain staged runs; when present, the stager also answers
+/// its assigned clients' frame requests between frames.
 #[allow(clippy::too_many_arguments)]
-fn rank_program<F>(
+pub(crate) fn rank_program<F>(
     rank: &mut Rank,
     spec: &StagedSpec,
     params: &StagedParams,
@@ -220,6 +265,7 @@ fn rank_program<F>(
     coords: &RectilinearCoords,
     iterations: &[usize],
     blocks: &F,
+    mut serve: Option<&mut crate::serving::StagerServe<'_>>,
 ) -> RankLog<SimAux, StageOut>
 where
     F: Fn(usize, usize) -> Vec<Block> + Sync,
@@ -357,9 +403,44 @@ where
                 // have boosted past the controller's own output).
                 ctrl.observe_at(t_reduce + t_render, percent);
             }
+
+            if let Some(sink) = &params.persist {
+                // The rendered frame as a durable artifact: the plan-view
+                // score footprint of the blocks this stager rendered (the
+                // paper's Fig 4 scoremap idea, kept as f32 so apc-compress
+                // codecs apply). The write is modeled as off the critical
+                // path, so persisting charges no virtual time.
+                let gb = decomp.global_block_grid();
+                let mut pixels = vec![0.0f32; gb.nx * gb.ny];
+                for sb in &entries {
+                    let (bi, bj, _bk) = decomp.block_coords(sb.id);
+                    let px = &mut pixels[bj * gb.nx + bi];
+                    *px = px.max(sb.score as f32);
+                }
+                let slot = rank.rank() - spec.partition.n_sim();
+                let frame = apc_serve::Frame::new(
+                    it as u64,
+                    slot as u32,
+                    gb.nx as u32,
+                    gb.ny as u32,
+                    pixels,
+                )
+                .with_render_info(stats.triangles as u64, percent);
+                let stream = sink.persist_stream(&frame);
+                if let Some(srv) = serve.as_deref_mut() {
+                    srv.on_frame_rendered(k, it as u64, stream);
+                }
+            }
+            if let Some(srv) = serve.as_deref_mut() {
+                // Serve this stager's clients up to frame k's quota (and
+                // flush replies that waited for this frame).
+                srv.after_frame(rank, k, iterations.len());
+            }
+
             StageOut {
                 percent,
                 degraded,
+                blocks: held.len(),
                 blocks_reduced,
                 triangles: stats.triangles,
                 t_reduce,
@@ -371,7 +452,7 @@ where
 
 /// Fold the per-rank logs into the per-iteration stream. Pure arithmetic
 /// over rank-ordered data — deterministic by construction.
-fn merge_logs(
+pub(crate) fn merge_logs(
     spec: &StagedSpec,
     iterations: &[usize],
     logs: Vec<RankLog<SimAux, StageOut>>,
@@ -414,8 +495,10 @@ fn merge_logs(
         let mut triangles_max = 0usize;
         let mut slices_dropped = 0usize;
         let mut stagers_degraded = 0usize;
+        let mut blocks_by_stager = Vec::with_capacity(stages.len());
         for stage in &stages {
             let (out, f) = &stage[k];
+            blocks_by_stager.push(out.blocks);
             let prev_finish = if k == 0 { 0.0 } else { stage[k - 1].1.finish };
             t_reduce = t_reduce.max(out.t_reduce);
             t_redistribute = t_redistribute.max((f.start - f.arrival.max(prev_finish)).max(0.0));
@@ -447,6 +530,7 @@ fn merge_logs(
             t_sim_visible,
             slices_dropped,
             stagers_degraded,
+            blocks_by_stager,
         });
     }
     StagedRun { frames }
@@ -484,7 +568,7 @@ mod tests {
         // 3 sim ranks stand in for all 4 dataset ranks; the staged run must
         // render exactly the geometry a synchronous run renders.
         let params = StagedParams::new(1, 2, BackpressurePolicy::Block);
-        let staged = run_tiny(params, 2);
+        let staged = run_tiny(params.clone(), 2);
         let dataset = ReflectivityDataset::tiny(4, 42).unwrap();
         let its = dataset.sample_iterations(2);
         let sync = crate::run_experiment(
@@ -618,6 +702,101 @@ mod tests {
                 "half of 128 blocks pre-reduced"
             );
         }
+    }
+
+    /// Attaching a frame sink is invisible to the run's observables (the
+    /// write is off the critical path), and every `(iteration, stager)`
+    /// frame lands in the store.
+    #[test]
+    fn persisting_frames_is_invisible_and_durable() {
+        use apc_serve::{FrameSink, FrameStore};
+        use apc_store::{CodecKind, MemStore, StoreBackend};
+        use std::sync::Arc;
+
+        let params = StagedParams::new(2, 2, BackpressurePolicy::Block);
+        let plain = run_tiny(params.clone(), 3);
+
+        let backend: Arc<dyn StoreBackend> = Arc::new(MemStore::new());
+        let sink = FrameSink::new(Arc::clone(&backend), "staged", CodecKind::Fpz);
+        let persisted = run_tiny(params.with_persist(sink), 3);
+        assert_eq!(
+            plain, persisted,
+            "persisting frames must not perturb any report or clock"
+        );
+
+        let dataset = ReflectivityDataset::tiny(4, 42).unwrap();
+        let its = dataset.sample_iterations(3);
+        let store = FrameStore::new(&*backend, "staged");
+        // Plain staged runs are self-describing too: the manifest is
+        // written even when no serving executor is involved.
+        let manifest = store.manifest().unwrap();
+        assert_eq!(manifest.n_stagers, 2);
+        assert_eq!(manifest.iterations, its);
+        for &it in &its {
+            for stager in 0..2u32 {
+                let frame = store.get_frame(it as u64, stager).unwrap();
+                assert_eq!(frame.iteration, it as u64);
+                assert_eq!(frame.stager, stager);
+                assert!(frame.pixels.iter().any(|&p| p != 0.0), "scores painted");
+            }
+        }
+    }
+
+    /// Per-stager block counts always cover every stager — a stager whose
+    /// every slice was dropped contributes an explicit zero, not a
+    /// missing row.
+    #[test]
+    fn blocks_by_stager_emits_explicit_zero_rows() {
+        // 1 sim feeding 1 stager, depth-1 lossy queue, back-to-back
+        // production: whole frames get dropped, and those frames must
+        // still carry a (zero) entry for the stager.
+        let dataset = ReflectivityDataset::tiny(2, 42).unwrap();
+        let its = dataset.sample_iterations(6);
+        let run = run_staged_prepared(
+            dataset.decomp(),
+            dataset.coords(),
+            &staged_config(StagedParams::new(1, 1, BackpressurePolicy::DropOldest)),
+            &its,
+            NetModel::blue_waters(),
+            |it, rank| dataset.rank_blocks(it, rank),
+        );
+        assert!(
+            run.frames.iter().all(|f| f.blocks_by_stager.len() == 1),
+            "every frame covers every stager"
+        );
+        let zero_rows = run
+            .frames
+            .iter()
+            .filter(|f| f.blocks_by_stager[0] == 0)
+            .count();
+        assert!(zero_rows > 0, "fully-dropped frames must appear as zeros");
+        for f in &run.frames {
+            assert_eq!(
+                f.blocks_by_stager[0] == 0,
+                f.slices_dropped == 1,
+                "a zero row is exactly a fully-dropped frame here"
+            );
+        }
+        assert_eq!(run.blocks_by_stager().len(), 1);
+    }
+
+    /// Under a lossless policy the per-stager counts partition the whole
+    /// domain every frame.
+    #[test]
+    fn blocks_by_stager_partitions_the_domain() {
+        let run = run_tiny(StagedParams::new(2, 2, BackpressurePolicy::Block), 2);
+        let dataset = ReflectivityDataset::tiny(4, 42).unwrap();
+        for f in &run.frames {
+            assert_eq!(f.blocks_by_stager.len(), 2);
+            assert_eq!(
+                f.blocks_by_stager.iter().sum::<usize>(),
+                dataset.decomp().n_blocks(),
+                "every block lands on exactly one stager"
+            );
+        }
+        let totals = run.blocks_by_stager();
+        assert_eq!(totals.len(), 2);
+        assert!(totals.iter().all(|&t| t > 0));
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! The frame-serving wire protocol.
+//!
+//! Clients send a [`FrameRequest`] and block for the matching
+//! [`FrameReply`]; both ride the `apc_comm::bounded` serve endpoints
+//! ([`apc_comm::ServeClient`] / [`apc_comm::ServeServer`]), so their
+//! virtual wire cost follows the ordinary `NetModel` accounting — which
+//! is why both types implement [`Meter`]. Replies ship frames as their
+//! *encoded* streams: the server never decodes (a cache or store read is
+//! a byte copy), the client decodes and verifies.
+//!
+//! What happens when a request races frame production is the
+//! [`ServePolicy`]'s call:
+//!
+//! * [`ServePolicy::WaitForFrame`] — the reply is deferred, in virtual
+//!   time, until the requested frame has been rendered; the wait shows up
+//!   in the client's measured service latency.
+//! * [`ServePolicy::BestEffort`] — the server answers immediately with
+//!   the newest frame it has (flagged `exact = false`), or
+//!   [`FrameReply::NotYet`] when it has nothing.
+
+use apc_comm::Meter;
+
+/// What a client asks a serving stager for. Iterations are simulation
+/// iteration numbers (the frame key), not frame indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameRequest {
+    /// The newest frame the stager has rendered.
+    Latest,
+    /// The frame of one specific iteration.
+    AtIteration(u64),
+    /// Every frame in an inclusive iteration window.
+    Range { start: u64, end: u64 },
+}
+
+impl Meter for FrameRequest {
+    fn nbytes(&self) -> usize {
+        // Tag byte plus the iteration operands.
+        match self {
+            FrameRequest::Latest => 1,
+            FrameRequest::AtIteration(_) => 1 + 8,
+            FrameRequest::Range { .. } => 1 + 16,
+        }
+    }
+}
+
+/// One served frame: the encoded stream plus its coordinates and whether
+/// the serving stager answered it from the hot cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedFrame {
+    pub iteration: u64,
+    pub stager: u32,
+    /// Answered from the LRU cache (false: a store read was charged).
+    pub cache_hit: bool,
+    /// The frame's encoded stream (decode with `Frame::decode`).
+    pub stream: Vec<u8>,
+}
+
+impl Meter for ServedFrame {
+    fn nbytes(&self) -> usize {
+        8 + 4 + 1 + self.stream.len()
+    }
+}
+
+/// The server's answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameReply {
+    /// The served frames (one for `Latest`/`AtIteration`, several for
+    /// `Range`). `exact` is false when a best-effort server substituted
+    /// newer/fewer frames than the request named.
+    Frames {
+        exact: bool,
+        frames: Vec<ServedFrame>,
+    },
+    /// Best-effort server with nothing rendered yet (or an empty range).
+    NotYet,
+    /// The request named an iteration outside the run.
+    NoSuchIteration(u64),
+}
+
+impl FrameReply {
+    /// Frames carried by the reply.
+    pub fn frames(&self) -> &[ServedFrame] {
+        match self {
+            FrameReply::Frames { frames, .. } => frames,
+            _ => &[],
+        }
+    }
+
+    /// Whether the reply answers the request exactly as asked.
+    pub fn exact(&self) -> bool {
+        matches!(self, FrameReply::Frames { exact: true, .. })
+    }
+}
+
+impl Meter for FrameReply {
+    fn nbytes(&self) -> usize {
+        match self {
+            FrameReply::Frames { frames, .. } => {
+                2 + frames.iter().map(Meter::nbytes).sum::<usize>()
+            }
+            FrameReply::NotYet => 1,
+            FrameReply::NoSuchIteration(_) => 1 + 8,
+        }
+    }
+}
+
+/// What a serving stager does with a request whose frame has not been
+/// rendered yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServePolicy {
+    /// Defer the reply until the frame exists; the client's latency
+    /// absorbs the production wait. Every answer is exact.
+    WaitForFrame,
+    /// Answer immediately with the newest rendered frame (`exact =
+    /// false`), or [`FrameReply::NotYet`] when nothing has been rendered.
+    BestEffort,
+}
+
+impl ServePolicy {
+    /// Short stable name for CSV/report rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServePolicy::WaitForFrame => "wait-for-frame",
+            ServePolicy::BestEffort => "best-effort",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sizes_scale_with_operands() {
+        assert_eq!(FrameRequest::Latest.nbytes(), 1);
+        assert_eq!(FrameRequest::AtIteration(5).nbytes(), 9);
+        assert_eq!(FrameRequest::Range { start: 1, end: 4 }.nbytes(), 17);
+    }
+
+    #[test]
+    fn reply_meters_its_streams() {
+        let frame = ServedFrame {
+            iteration: 3,
+            stager: 0,
+            cache_hit: true,
+            stream: vec![0; 100],
+        };
+        assert_eq!(frame.nbytes(), 113);
+        let reply = FrameReply::Frames {
+            exact: true,
+            frames: vec![frame.clone(), frame],
+        };
+        assert_eq!(reply.nbytes(), 2 + 2 * 113);
+        assert_eq!(FrameReply::NotYet.nbytes(), 1);
+        assert_eq!(FrameReply::NoSuchIteration(9).nbytes(), 9);
+    }
+
+    #[test]
+    fn reply_accessors() {
+        let reply = FrameReply::Frames {
+            exact: true,
+            frames: vec![ServedFrame {
+                iteration: 1,
+                stager: 0,
+                cache_hit: false,
+                stream: vec![],
+            }],
+        };
+        assert_eq!(reply.frames().len(), 1);
+        assert!(reply.exact());
+        assert!(!FrameReply::NotYet.exact());
+        assert!(FrameReply::NotYet.frames().is_empty());
+        assert!(!FrameReply::NoSuchIteration(2).exact());
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(ServePolicy::WaitForFrame.name(), "wait-for-frame");
+        assert_eq!(ServePolicy::BestEffort.name(), "best-effort");
+    }
+}

@@ -1,0 +1,448 @@
+//! Frame persistence: the on-store layout and its handles.
+//!
+//! One serving run occupies one `run_id` namespace inside any
+//! [`StoreBackend`]:
+//!
+//! ```text
+//! f/<run_id>/manifest.json          run-level metadata (RunManifest)
+//! f/<run_id>/<iteration>/<stager>   one frame stream per rendered frame
+//! ```
+//!
+//! Frame keys are pure functions of `(run_id, iteration, stager)`, so
+//! concurrent stagers write disjoint keys with no coordination, and any
+//! reader that knows the manifest can address every frame of the run.
+//! `run_id` namespacing is what lets several runs (or several datasets —
+//! the multi-dataset ROADMAP item) share one backend.
+
+use std::sync::Arc;
+
+use apc_store::json::{parse_object, Value};
+use apc_store::{CodecKind, StoreBackend};
+
+use crate::frame::Frame;
+use crate::ServeError;
+
+/// Key of the run-level manifest document.
+fn manifest_key(run_id: &str) -> String {
+    format!("f/{run_id}/manifest.json")
+}
+
+/// Run ids are a single path segment that must also survive the manifest's
+/// JSON round trip verbatim (the strict parser has no escape sequences),
+/// so the alphabet is locked down rather than blacklisted.
+fn validate_run_id(run_id: &str) {
+    assert!(
+        !run_id.is_empty()
+            && run_id
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.')),
+        "run id must be a non-empty single path segment of [A-Za-z0-9._-], got {run_id:?}"
+    );
+}
+
+/// Key of one frame stream.
+pub fn frame_key(run_id: &str, iteration: u64, stager: u32) -> String {
+    format!("f/{run_id}/{iteration:06}/{stager:04}")
+}
+
+/// Run-level metadata: which frames a stored run contains and how they
+/// were encoded. Written once by the run driver before the rank program
+/// starts, so readers never depend on backend key listing (which the
+/// `StoreBackend` trait deliberately does not offer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    pub run_id: String,
+    /// Staging slots that render (and persist) frames.
+    pub n_stagers: usize,
+    /// Frame dimensions (all frames of a run share them).
+    pub width: usize,
+    pub height: usize,
+    /// Codec the run's frames were written with (per-frame streams still
+    /// self-describe; this records the writer's intent).
+    pub codec: CodecKind,
+    /// Simulation iterations the run renders, strictly increasing.
+    pub iterations: Vec<usize>,
+}
+
+impl RunManifest {
+    pub fn to_json(&self) -> String {
+        let iters: Vec<String> = self.iterations.iter().map(|i| i.to_string()).collect();
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"format\": \"apc-serve\",\n");
+        s.push_str("  \"version\": 1,\n");
+        s.push_str(&format!("  \"run_id\": \"{}\",\n", self.run_id));
+        s.push_str(&format!("  \"n_stagers\": {},\n", self.n_stagers));
+        s.push_str(&format!("  \"width\": {},\n", self.width));
+        s.push_str(&format!("  \"height\": {},\n", self.height));
+        s.push_str(&format!("  \"codec\": \"{}\",\n", self.codec.name()));
+        if let Some(tol) = self.codec.tolerance() {
+            s.push_str(&format!("  \"tolerance\": {tol},\n"));
+        }
+        s.push_str(&format!("  \"iterations\": [{}]\n", iters.join(", ")));
+        s.push('}');
+        s
+    }
+
+    pub fn from_json(text: &str) -> Result<Self, ServeError> {
+        let fields = parse_object(text).map_err(ServeError::Corrupt)?;
+        let get = |key: &str| -> Result<&Value, ServeError> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| ServeError::Corrupt(format!("manifest missing field {key:?}")))
+        };
+        match get("format")? {
+            Value::Str(s) if s == "apc-serve" => {}
+            other => {
+                return Err(ServeError::Corrupt(format!(
+                    "bad manifest format field {other:?}"
+                )))
+            }
+        }
+        match get("version")? {
+            Value::Int(1) => {}
+            other => {
+                return Err(ServeError::Corrupt(format!(
+                    "unsupported manifest version {other:?}"
+                )))
+            }
+        }
+        let string = |key: &str| -> Result<String, ServeError> {
+            match get(key)? {
+                Value::Str(s) => Ok(s.clone()),
+                other => Err(ServeError::Corrupt(format!("bad {key} field {other:?}"))),
+            }
+        };
+        let int = |key: &str| -> Result<usize, ServeError> {
+            match get(key)? {
+                Value::Int(v) if *v >= 0 => Ok(*v as usize),
+                other => Err(ServeError::Corrupt(format!("bad {key} field {other:?}"))),
+            }
+        };
+        let tolerance = match fields.iter().find(|(k, _)| k == "tolerance") {
+            Some((_, Value::Float(f))) => Some(*f as f32),
+            Some((_, Value::Int(i))) => Some(*i as f32),
+            Some((_, other)) => {
+                return Err(ServeError::Corrupt(format!(
+                    "bad tolerance field {other:?}"
+                )))
+            }
+            None => None,
+        };
+        let codec = CodecKind::from_name(&string("codec")?, tolerance)?;
+        let iterations = match get("iterations")? {
+            Value::Arr(v) if v.iter().all(|x| *x >= 0) => {
+                v.iter().map(|&x| x as usize).collect::<Vec<usize>>()
+            }
+            other => {
+                return Err(ServeError::Corrupt(format!(
+                    "bad iterations field {other:?}"
+                )))
+            }
+        };
+        if !iterations.windows(2).all(|w| w[1] > w[0]) {
+            return Err(ServeError::Corrupt(
+                "manifest iterations must be strictly increasing".into(),
+            ));
+        }
+        Ok(Self {
+            run_id: string("run_id")?,
+            n_stagers: int("n_stagers")?,
+            width: int("width")?,
+            height: int("height")?,
+            codec,
+            iterations,
+        })
+    }
+}
+
+/// Frame persistence over one backend, scoped to one `run_id`.
+#[derive(Debug)]
+pub struct FrameStore<B> {
+    backend: B,
+    run_id: String,
+}
+
+impl<B: StoreBackend> FrameStore<B> {
+    pub fn new(backend: B, run_id: &str) -> Self {
+        validate_run_id(run_id);
+        Self {
+            backend,
+            run_id: run_id.to_owned(),
+        }
+    }
+
+    pub fn run_id(&self) -> &str {
+        &self.run_id
+    }
+
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Persist `frame` under its `(run_id, iteration, stager)` key,
+    /// returning the stored stream size in bytes.
+    pub fn put_frame(&self, frame: &Frame, codec: CodecKind) -> Result<usize, ServeError> {
+        let stream = frame.encode(codec);
+        self.backend.put(
+            &frame_key(&self.run_id, frame.iteration, frame.stager),
+            &stream,
+        )?;
+        Ok(stream.len())
+    }
+
+    /// Read a frame's raw encoded stream (what the serve path ships over
+    /// the wire — decoding is the client's business).
+    pub fn encoded(&self, iteration: u64, stager: u32) -> Result<Vec<u8>, ServeError> {
+        Ok(self
+            .backend
+            .get(&frame_key(&self.run_id, iteration, stager))?)
+    }
+
+    /// Read and decode a frame.
+    pub fn get_frame(&self, iteration: u64, stager: u32) -> Result<Frame, ServeError> {
+        Frame::decode(&self.encoded(iteration, stager)?)
+    }
+
+    pub fn contains(&self, iteration: u64, stager: u32) -> Result<bool, ServeError> {
+        Ok(self
+            .backend
+            .contains(&frame_key(&self.run_id, iteration, stager))?)
+    }
+
+    /// Write the run-level manifest.
+    pub fn put_manifest(&self, manifest: &RunManifest) -> Result<(), ServeError> {
+        assert_eq!(manifest.run_id, self.run_id, "manifest run id mismatch");
+        self.backend
+            .put(&manifest_key(&self.run_id), manifest.to_json().as_bytes())?;
+        Ok(())
+    }
+
+    /// Read the run-level manifest.
+    pub fn manifest(&self) -> Result<RunManifest, ServeError> {
+        let bytes = self.backend.get(&manifest_key(&self.run_id))?;
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|_| ServeError::Corrupt("manifest is not utf-8".into()))?;
+        RunManifest::from_json(text)
+    }
+}
+
+/// The cloneable write handle the staged executor threads through
+/// `StagedParams::persist`: a shared backend, a run id, and the codec to
+/// write frames with. Every stager clones the handle and writes its own
+/// disjoint keys.
+#[derive(Clone)]
+pub struct FrameSink {
+    backend: Arc<dyn StoreBackend>,
+    run_id: String,
+    codec: CodecKind,
+}
+
+impl FrameSink {
+    pub fn new(backend: Arc<dyn StoreBackend>, run_id: &str, codec: CodecKind) -> Self {
+        validate_run_id(run_id);
+        Self {
+            backend,
+            run_id: run_id.to_owned(),
+            codec,
+        }
+    }
+
+    pub fn run_id(&self) -> &str {
+        &self.run_id
+    }
+
+    pub fn codec(&self) -> CodecKind {
+        self.codec
+    }
+
+    pub fn backend(&self) -> &Arc<dyn StoreBackend> {
+        &self.backend
+    }
+
+    /// A [`FrameStore`] view over the sink's backend and run id.
+    pub fn store(&self) -> FrameStore<&dyn StoreBackend> {
+        FrameStore::new(&*self.backend, &self.run_id)
+    }
+
+    /// Persist one frame with the sink's codec; returns the stored bytes.
+    /// A failed write panics: inside a rank program that fails the run
+    /// loudly and poisons the session, the same contract as a failed
+    /// chunk read in `Prepared::from_store`.
+    pub fn persist(&self, frame: &Frame) -> usize {
+        self.persist_stream(frame).len()
+    }
+
+    /// [`FrameSink::persist`] returning the encoded stream itself, so a
+    /// serving stager can seed its hot cache without encoding twice.
+    pub fn persist_stream(&self, frame: &Frame) -> Vec<u8> {
+        let stream = frame.encode(self.codec);
+        self.backend
+            .put(
+                &frame_key(&self.run_id, frame.iteration, frame.stager),
+                &stream,
+            )
+            .unwrap_or_else(|e| {
+                panic!(
+                    "failed to persist frame (run {}, iteration {}, stager {}): {e}",
+                    self.run_id, frame.iteration, frame.stager
+                )
+            });
+        stream
+    }
+}
+
+impl std::fmt::Debug for FrameSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameSink")
+            .field("run_id", &self.run_id)
+            .field("codec", &self.codec)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Two sinks are equal when they write the same run through the same
+/// backend instance — what config equality needs (`PipelineConfig`
+/// cloning must compare equal to its source).
+impl PartialEq for FrameSink {
+    fn eq(&self, other: &Self) -> bool {
+        self.run_id == other.run_id
+            && self.codec == other.codec
+            && Arc::ptr_eq(&self.backend, &other.backend)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apc_store::{DirStore, MemStore, StoreError};
+
+    fn sample_frame(iteration: u64, stager: u32) -> Frame {
+        let pixels: Vec<f32> = (0..24)
+            .map(|i| (i as f32 + iteration as f32 * 0.1).cos() * 10.0)
+            .collect();
+        Frame::new(iteration, stager, 6, 4, pixels).with_render_info(99, 30.0)
+    }
+
+    #[test]
+    fn frame_keys_are_stable_and_disjoint() {
+        assert_eq!(frame_key("r", 300, 2), "f/r/000300/0002");
+        assert_ne!(frame_key("r", 300, 2), frame_key("r", 300, 3));
+        assert_ne!(frame_key("a", 300, 2), frame_key("b", 300, 2));
+    }
+
+    #[test]
+    fn put_get_roundtrip_mem_and_dir() {
+        let mem = FrameStore::new(MemStore::new(), "run");
+        let dir_root = std::env::temp_dir()
+            .join("apc_serve_store_tests")
+            .join("roundtrip");
+        let _ = std::fs::remove_dir_all(&dir_root);
+        let dir = FrameStore::new(DirStore::create(&dir_root).unwrap(), "run");
+        let frame = sample_frame(300, 1);
+        for codec in [CodecKind::Raw, CodecKind::Fpz, CodecKind::Lz] {
+            mem.put_frame(&frame, codec).unwrap();
+            dir.put_frame(&frame, codec).unwrap();
+            assert_eq!(mem.get_frame(300, 1).unwrap(), frame);
+            assert_eq!(dir.get_frame(300, 1).unwrap(), frame);
+            // Disk and memory hold byte-identical streams.
+            assert_eq!(
+                mem.encoded(300, 1).unwrap(),
+                dir.encoded(300, 1).unwrap(),
+                "{}",
+                codec.name()
+            );
+        }
+        assert!(mem.contains(300, 1).unwrap());
+        assert!(!mem.contains(301, 1).unwrap());
+    }
+
+    #[test]
+    fn missing_frame_is_store_not_found() {
+        let store = FrameStore::new(MemStore::new(), "run");
+        assert!(matches!(
+            store.get_frame(1, 0),
+            Err(ServeError::Store(StoreError::NotFound(_)))
+        ));
+    }
+
+    #[test]
+    fn truncated_stored_frame_is_corrupt() {
+        let store = FrameStore::new(MemStore::new(), "run");
+        let frame = sample_frame(10, 0);
+        store.put_frame(&frame, CodecKind::Fpz).unwrap();
+        let full = store.encoded(10, 0).unwrap();
+        store
+            .backend()
+            .put(&frame_key("run", 10, 0), &full[..full.len() / 2])
+            .unwrap();
+        assert!(matches!(
+            store.get_frame(10, 0),
+            Err(ServeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let store = FrameStore::new(MemStore::new(), "run");
+        let manifest = RunManifest {
+            run_id: "run".into(),
+            n_stagers: 4,
+            width: 8,
+            height: 8,
+            codec: CodecKind::Lz,
+            iterations: vec![100, 250, 400],
+        };
+        store.put_manifest(&manifest).unwrap();
+        assert_eq!(store.manifest().unwrap(), manifest);
+    }
+
+    #[test]
+    fn manifest_rejects_malformed_documents() {
+        for text in [
+            "",
+            "{}",
+            "{\"format\": \"apc-store\", \"version\": 1}",
+            "{\"format\": \"apc-serve\", \"version\": 2}",
+            // Unsorted iterations.
+            "{\"format\":\"apc-serve\",\"version\":1,\"run_id\":\"r\",
+              \"n_stagers\":1,\"width\":2,\"height\":2,\"codec\":\"raw\",
+              \"iterations\":[5,2]}",
+        ] {
+            assert!(
+                RunManifest::from_json(text).is_err(),
+                "accepted malformed manifest: {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sink_persists_and_compares() {
+        let backend: Arc<dyn StoreBackend> = Arc::new(MemStore::new());
+        let sink = FrameSink::new(Arc::clone(&backend), "run", CodecKind::Fpz);
+        let frame = sample_frame(42, 0);
+        let bytes = sink.persist(&frame);
+        assert!(bytes > 0);
+        assert_eq!(sink.store().get_frame(42, 0).unwrap(), frame);
+        assert_eq!(sink, sink.clone(), "clones compare equal");
+        let other = FrameSink::new(Arc::new(MemStore::new()), "run", CodecKind::Fpz);
+        assert_ne!(sink, other, "different backends are different sinks");
+    }
+
+    #[test]
+    #[should_panic(expected = "single path segment")]
+    fn slash_in_run_id_rejected() {
+        let _ = FrameStore::new(MemStore::new(), "a/b");
+    }
+
+    /// A run id that would corrupt the manifest's JSON (no escape support
+    /// in the strict parser) is rejected at construction, not at read
+    /// time after the run already wrote its data.
+    #[test]
+    #[should_panic(expected = "single path segment")]
+    fn quote_in_run_id_rejected() {
+        let _ = FrameSink::new(Arc::new(MemStore::new()), "run\"A", CodecKind::Raw);
+    }
+}

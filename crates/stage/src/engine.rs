@@ -130,10 +130,13 @@ pub fn run_staged<M, S, R>(
 where
     M: Meter + Send + 'static,
 {
-    assert_eq!(
-        spec.partition.nranks(),
-        rank.nranks(),
-        "partition must cover the whole rank group"
+    // `<=` rather than `==`: a session may co-schedule ranks *outside*
+    // the staged partition (apc-core's serving executor runs frame
+    // clients on the ranks past it); the engine only requires that its
+    // own rank is covered.
+    assert!(
+        spec.partition.nranks() <= rank.nranks(),
+        "partition must fit inside the rank group"
     );
     match spec.partition.role(rank.rank()) {
         Role::Sim { .. } => RankLog::Sim(run_sim(rank, spec, nframes, &mut produce)),

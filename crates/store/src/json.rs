@@ -1,0 +1,152 @@
+//! A minimal, strict parser for the flat JSON subset the metadata
+//! documents use: one object of string / integer / float / integer-array
+//! values. Shared by [`crate::meta`] (`meta.json`) and by downstream
+//! metadata documents (`apc-serve`'s run manifests), so the "hand-rolled
+//! JSON, no external dependency" rule has exactly one implementation.
+
+/// A parsed JSON value of the subset the metadata documents use.
+/// Integers are `i128` so the full `u64` seed range survives the round
+/// trip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(i128),
+    Float(f64),
+    /// Integer array (the only array shape the document contains).
+    Arr(Vec<i128>),
+}
+
+/// Parse `{"key": value, ...}` with string / integer / float / int-array
+/// values. Returns fields in document order.
+pub fn parse_object(text: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing bytes after document".to_owned());
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    /// A string literal (no escape sequences — keys and codec names never
+    /// need them; a backslash is rejected loudly).
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        loop {
+            match self.next() {
+                Some(b'"') => break,
+                Some(b'\\') => return Err("escape sequences unsupported".to_owned()),
+                Some(_) => {}
+                None => return Err("unterminated string".to_owned()),
+            }
+        }
+        String::from_utf8(self.bytes[start..self.pos - 1].to_vec())
+            .map_err(|_| "invalid utf-8 in string".to_owned())
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number".to_owned())?;
+        if tok.contains(['.', 'e', 'E']) {
+            tok.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| format!("bad float {tok:?}: {e}"))
+        } else {
+            tok.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|e| format!("bad integer {tok:?}: {e}"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    match self.number()? {
+                        Value::Int(v) => items.push(v),
+                        other => return Err(format!("array holds non-integer {other:?}")),
+                    }
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b']') => break,
+                        other => return Err(format!("expected ',' or ']', got {other:?}")),
+                    }
+                }
+                Ok(Value::Arr(items))
+            }
+            _ => self.number(),
+        }
+    }
+}

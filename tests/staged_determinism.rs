@@ -15,12 +15,15 @@
 //! so the `Threads(n)` comparison is real even on single-core CI hosts —
 //! same reasoning as `exec_policy_determinism.rs`.
 
+use std::sync::Arc;
+
 use insitu::cm1::ReflectivityDataset;
 use insitu::comm::NetModel;
 use insitu::pipeline::{
-    run_staged_prepared, BackpressurePolicy, ExecPolicy, PipelineConfig, Prepared, StagedParams,
-    StagedRun,
+    run_staged_prepared, run_staged_serving_prepared, BackpressurePolicy, ExecPolicy, FrameSink,
+    PipelineConfig, Prepared, ServeParams, ServePolicy, ServingRun, StagedParams, StagedRun,
 };
+use insitu::store::{CodecKind, MemStore};
 
 fn all_policies() -> [BackpressurePolicy; 3] {
     [
@@ -185,6 +188,108 @@ fn staged_mode_cuts_simulation_visible_time() {
         "a solver this slow fully hides the stagers"
     );
     assert_eq!(staged.total_dropped(), 0);
+}
+
+/// A full serving workload (sims + stagers + clients in one session) for
+/// the serving-determinism guards: adaptation on, a request mix that
+/// races production, and a fresh `MemStore` per run so nothing persists
+/// across runs except what the run itself writes.
+fn serving_once(policy: ServePolicy, exec: ExecPolicy) -> ServingRun {
+    let dataset = ReflectivityDataset::tiny(8, 42).unwrap();
+    let iters = dataset.sample_iterations(4);
+    let sink = FrameSink::new(Arc::new(MemStore::new()), "det", CodecKind::Fpz);
+    let params = StagedParams::new(2, 2, BackpressurePolicy::Block)
+        .with_sim_compute(5.0)
+        .with_persist(sink);
+    let config = PipelineConfig::default()
+        .with_target(20.0)
+        .with_exec(exec)
+        .with_staged(params);
+    let serve = ServeParams::new(3, 6, policy)
+        .with_think_time(0.1)
+        .with_cache_frames(2);
+    run_staged_serving_prepared(
+        dataset.decomp(),
+        dataset.coords(),
+        &config,
+        &iters,
+        &serve,
+        NetModel::blue_waters(),
+        |it, rank| dataset.rank_blocks(it, rank),
+    )
+}
+
+fn assert_serving_bit_identical(a: &ServingRun, b: &ServingRun, label: &str) {
+    assert_eq!(a, b, "{label}: serving runs diverged");
+    assert_bit_identical(&a.staged, &b.staged, label);
+    for (x, y) in a.requests.iter().zip(&b.requests) {
+        assert_eq!(
+            x.latency.to_bits(),
+            y.latency.to_bits(),
+            "{label}: service latency drifted for client {}",
+            x.client
+        );
+    }
+    for (x, y) in a.client_finish.iter().zip(&b.client_finish) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: client clock drifted");
+    }
+}
+
+/// The serving acceptance pin: clients + stagers + sims replay
+/// byte-identically across `Serial` vs `Threads(8)`, for both serve
+/// policies.
+#[test]
+fn serving_runs_identical_across_exec_policies() {
+    for policy in [ServePolicy::WaitForFrame, ServePolicy::BestEffort] {
+        let serial = serving_once(policy, ExecPolicy::Serial);
+        let threads = serving_once(policy, ExecPolicy::Threads(8));
+        assert_serving_bit_identical(&serial, &threads, "Serial vs Threads(8)");
+        assert!(serial.frames_served() > 0);
+    }
+}
+
+/// Repeated serving runs (fresh sessions, fresh stores) replay
+/// bit-identically, for both serve policies.
+#[test]
+fn serving_runs_identical_across_repeated_runs() {
+    for policy in [ServePolicy::WaitForFrame, ServePolicy::BestEffort] {
+        let a = serving_once(policy, ExecPolicy::Serial);
+        let b = serving_once(policy, ExecPolicy::Serial);
+        assert_serving_bit_identical(&a, &b, "repeated serving run");
+    }
+}
+
+/// Serving through a `Prepared`'s persistent session is invisible:
+/// replays match each other and survive an interleaved synchronous run
+/// over the same session — for both serve policies.
+#[test]
+fn serving_session_reuse_is_invisible() {
+    let iters = ReflectivityDataset::tiny(8, 42)
+        .unwrap()
+        .sample_iterations(3);
+    let prepared = Prepared::from_dataset(
+        ReflectivityDataset::tiny(8, 42).unwrap(),
+        iters.clone(),
+        ExecPolicy::Serial,
+        NetModel::blue_waters(),
+    );
+    for policy in [ServePolicy::WaitForFrame, ServePolicy::BestEffort] {
+        let sink = FrameSink::new(Arc::new(MemStore::new()), "reuse", CodecKind::Fpz);
+        let params = StagedParams::new(2, 2, BackpressurePolicy::Block)
+            .with_sim_compute(5.0)
+            .with_persist(sink);
+        let config = PipelineConfig::default()
+            .with_fixed_percent(40.0)
+            .with_staged(params);
+        let serve = ServeParams::new(3, 5, policy).with_think_time(0.1);
+
+        let first = prepared.run_staged_serving(config.clone(), &iters, &serve);
+        // Interleave a synchronous run over the same session + cache.
+        let sync = prepared.run(PipelineConfig::default().with_fixed_percent(40.0), &iters);
+        assert_eq!(sync.len(), iters.len());
+        let second = prepared.run_staged_serving(config, &iters, &serve);
+        assert_serving_bit_identical(&first, &second, "session reuse");
+    }
 }
 
 /// Under pressure (no solver compute, depth-1 queues) the policies
