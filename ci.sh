@@ -19,6 +19,11 @@ cargo test -q
 echo "==> cargo test --workspace -q (every crate's suite)"
 cargo test --workspace -q
 
+echo "==> shard container suite (partial reads + adversarial inputs)"
+# Covered by the workspace run above, but named explicitly so a failure
+# in the shard layer is impossible to miss in the CI log.
+cargo test -q -p apc-store --test sharding --test shard_adversarial
+
 echo "==> rustdoc lint (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

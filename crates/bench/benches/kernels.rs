@@ -19,8 +19,8 @@
 //! 3. **Store read vs in-memory generation** — one rank's per-iteration
 //!    block input produced by (a) the synthetic simulation and (b) an
 //!    `apc-store` chunked dataset under each codec (memory- and
-//!    disk-backed), with stored sizes and a bit-exactness check for the
-//!    lossless codecs.
+//!    disk-backed, one-file-per-chunk and shard-container layouts), with
+//!    stored sizes and a bit-exactness check for the lossless codecs.
 //! 4. **Staged vs synchronous pipeline** — the dedicated-core staging mode
 //!    on a tiny dataset, with both wall seconds and the headline virtual
 //!    quantities (sync pipeline time vs staged sim-visible time).
@@ -36,7 +36,8 @@ use std::time::Instant;
 
 use apc_bench::harness::print_table;
 use apc_cm1::{
-    open_dataset, write_dataset, write_dataset_to, ReflectivityDataset, StormModel, DBZ_ISOVALUE,
+    open_dataset, write_dataset, write_dataset_sharded, write_dataset_sharded_to, write_dataset_to,
+    ReflectivityDataset, StormModel, DBZ_ISOVALUE,
 };
 use apc_comm::{sort, NetModel, Runtime};
 use apc_compress::{probe_ratios, FloatCodec, Fpz, Lz77, Zfpx};
@@ -470,6 +471,58 @@ fn bench_store_read(rec: &mut Recorder) {
         String::from("-"),
     ]);
     let _ = std::fs::remove_dir_all(&dir);
+
+    // The shard layout: same data packed into shard containers, read back
+    // through byte-range partial reads (layout auto-detected from meta).
+    const CHUNKS_PER_SHARD: usize = 16;
+    let shard_mem = write_dataset_sharded_to(
+        &dataset,
+        &[it],
+        MemStore::new(),
+        CodecKind::Fpz,
+        CHUNKS_PER_SHARD,
+    )
+    .expect("write sharded mem store");
+    assert_eq!(
+        shard_mem.read_rank_blocks(it, 0).expect("read"),
+        generated,
+        "sharded mem read must be bit-exact"
+    );
+    let stored = shard_mem.backend().inner().nbytes();
+    let t_shard_mem = time_median(runs, || shard_mem.read_rank_blocks(it, 0).expect("read"));
+    rec.wall("store/shard_mem_read/fpz", t_shard_mem);
+    rows.push(vec![
+        format!("sharded mem / fpz ({CHUNKS_PER_SHARD}/shard)"),
+        format!("{:.3}", t_shard_mem * 1e3),
+        format!("{:.2}", stored as f64 / 1e6),
+        format!("{:.3}", stored as f64 / raw_bytes as f64),
+    ]);
+
+    let shard_dir = std::env::temp_dir().join("apc_kernels_bench_store_shard");
+    let _ = std::fs::remove_dir_all(&shard_dir);
+    write_dataset_sharded(
+        &dataset,
+        &[it],
+        &shard_dir,
+        CodecKind::Fpz,
+        CHUNKS_PER_SHARD,
+    )
+    .expect("write sharded dir store");
+    let stored = open_dataset(&shard_dir).expect("reopen sharded dir store");
+    assert_eq!(
+        stored.rank_blocks(it, 0).expect("read"),
+        generated,
+        "sharded dir read must be bit-exact"
+    );
+    let t_shard_dir = time_median(runs, || stored.rank_blocks(it, 0).expect("read"));
+    rec.wall("store/shard_dir_read/fpz", t_shard_dir);
+    rows.push(vec![
+        format!("sharded dir / fpz ({CHUNKS_PER_SHARD}/shard)"),
+        format!("{:.3}", t_shard_dir * 1e3),
+        String::from("-"),
+        String::from("-"),
+    ]);
+    let _ = std::fs::remove_dir_all(&shard_dir);
 
     print_table(
         "block input: store read vs in-memory generation (one rank, one iteration)",

@@ -18,12 +18,15 @@
 //! * `APC_STORE_ITERS` — how many equally-spaced iterations to store
 //!   (default 12, matching the quick-scale adaptation runs);
 //! * `APC_CODEC` — `fpz` (default), `raw`, `lz`, or `zfpx[:tolerance]`
-//!   (lossy; replay is then only approximately the in-memory result).
+//!   (lossy; replay is then only approximately the in-memory result);
+//! * `APC_SHARD_CHUNKS` — when set to `n` ≥ 1, pack chunks `n` at a time
+//!   into shard containers instead of one file per chunk. The layout is
+//!   recorded in `meta.json`, so readers need no flag to replay it.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
-use apc_cm1::{write_dataset, ReflectivityDataset};
+use apc_cm1::{write_dataset, write_dataset_sharded, ReflectivityDataset};
 use apc_store::CodecKind;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -81,6 +84,14 @@ fn main() {
     let seed = env_usize("APC_SEED", 42) as u64;
     let n_iters = env_usize("APC_STORE_ITERS", 12);
     let codec = env_codec();
+    let shard_chunks = std::env::var("APC_SHARD_CHUNKS").ok().map(|s| {
+        let n = s
+            .trim()
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("APC_SHARD_CHUNKS must be an integer, got {s:?}"));
+        assert!(n >= 1, "APC_SHARD_CHUNKS must be >= 1, got {n}");
+        n
+    });
 
     let geom = std::env::var("APC_GEOM").unwrap_or_else(|_| "paper".into());
     let dataset = match geom.as_str() {
@@ -94,8 +105,12 @@ fn main() {
 
     let d = dataset.decomp();
     let raw_bytes = d.domain().len() as u64 * 4 * iterations.len() as u64;
+    let layout = match shard_chunks {
+        Some(n) => format!("{n} chunks/shard"),
+        None => "one file per chunk".into(),
+    };
     println!(
-        "writing {} iterations of {} ({} ranks, {} blocks of {}) with codec {} -> {}",
+        "writing {} iterations of {} ({} ranks, {} blocks of {}) with codec {} ({layout}) -> {}",
         iterations.len(),
         d.domain(),
         d.nranks(),
@@ -106,7 +121,15 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    write_dataset(&dataset, &iterations, &dir, codec).expect("write dataset");
+    match shard_chunks {
+        Some(n) => {
+            write_dataset_sharded(&dataset, &iterations, &dir, codec, n)
+                .expect("write sharded dataset");
+        }
+        None => {
+            write_dataset(&dataset, &iterations, &dir, codec).expect("write dataset");
+        }
+    }
     let secs = t0.elapsed().as_secs_f64();
 
     let stored_bytes = dir_size(&dir);

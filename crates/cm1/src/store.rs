@@ -20,11 +20,50 @@ use std::path::Path;
 
 use apc_grid::{Block, BlockData, BlockId, DomainDecomp, RectilinearCoords};
 use apc_store::{
-    ChunkedDataset, CodecKind, DatasetMeta, DirStore, DynChunkedDataset, StoreBackend, StoreError,
+    ChunkedDataset, CodecKind, DatasetMeta, DirStore, DynChunkedDataset, ShardedStore,
+    StoreBackend, StoreError,
 };
 
 use crate::dataset::ReflectivityDataset;
 use crate::storm::StormModel;
+
+fn dataset_meta(
+    dataset: &ReflectivityDataset,
+    iterations: &[usize],
+    codec: CodecKind,
+    shard_chunks: Option<usize>,
+) -> DatasetMeta {
+    let decomp = dataset.decomp();
+    let mut iters: Vec<usize> = iterations.to_vec();
+    iters.sort_unstable();
+    iters.dedup();
+    DatasetMeta {
+        domain: decomp.domain(),
+        chunk: decomp.block_dims(),
+        procs: decomp.procs(),
+        codec,
+        seed: dataset.storm().seed,
+        iterations: iters,
+        shard_chunks,
+    }
+}
+
+fn write_chunks<B: StoreBackend>(
+    store: &ChunkedDataset<B>,
+    dataset: &ReflectivityDataset,
+) -> Result<(), StoreError> {
+    let decomp = dataset.decomp();
+    for &it in store.iterations() {
+        for id in decomp.all_blocks() {
+            let block = dataset.block(it, id);
+            let BlockData::Full(samples) = &block.data else {
+                unreachable!("dataset blocks are always full")
+            };
+            store.write_chunk(it, id, samples)?;
+        }
+    }
+    Ok(())
+}
 
 /// Write `iterations` of `dataset` into `backend` as a chunked dataset,
 /// one chunk per block, compressed with `codec`. Blocks are generated one
@@ -35,28 +74,29 @@ pub fn write_dataset_to<B: StoreBackend>(
     backend: B,
     codec: CodecKind,
 ) -> Result<ChunkedDataset<B>, StoreError> {
-    let decomp = dataset.decomp();
-    let mut iters: Vec<usize> = iterations.to_vec();
-    iters.sort_unstable();
-    iters.dedup();
-    let meta = DatasetMeta {
-        domain: decomp.domain(),
-        chunk: decomp.block_dims(),
-        procs: decomp.procs(),
-        codec,
-        seed: dataset.storm().seed,
-        iterations: iters.clone(),
-    };
+    let meta = dataset_meta(dataset, iterations, codec, None);
     let store = ChunkedDataset::create(backend, meta)?;
-    for &it in &iters {
-        for id in decomp.all_blocks() {
-            let block = dataset.block(it, id);
-            let BlockData::Full(samples) = &block.data else {
-                unreachable!("dataset blocks are always full")
-            };
-            store.write_chunk(it, id, samples)?;
-        }
-    }
+    write_chunks(&store, dataset)?;
+    Ok(store)
+}
+
+/// [`write_dataset_to`] with the shard layout: chunks are packed
+/// `chunks_per_shard` at a time into shard containers, and the layout is
+/// recorded in the metadata so `open_auto` / [`open_dataset`] readers
+/// transparently read back through byte ranges.
+pub fn write_dataset_sharded_to<B: StoreBackend>(
+    dataset: &ReflectivityDataset,
+    iterations: &[usize],
+    backend: B,
+    codec: CodecKind,
+    chunks_per_shard: usize,
+) -> Result<ChunkedDataset<ShardedStore<B>>, StoreError> {
+    let meta = dataset_meta(dataset, iterations, codec, Some(chunks_per_shard));
+    let store = ChunkedDataset::create(ShardedStore::new(backend, chunks_per_shard), meta)?;
+    write_chunks(&store, dataset)?;
+    // Seal the partial tail shard of each iteration now, so readers never
+    // depend on the writer staying alive.
+    store.backend().flush()?;
     Ok(store)
 }
 
@@ -70,6 +110,25 @@ pub fn write_dataset(
     codec: CodecKind,
 ) -> Result<ChunkedDataset<DirStore>, StoreError> {
     write_dataset_to(dataset, iterations, DirStore::create(dir)?, codec)
+}
+
+/// [`write_dataset_sharded_to`] targeting a directory on disk: the
+/// directory holds `meta.json` plus one shard container per
+/// `chunks_per_shard` chunks instead of one file each.
+pub fn write_dataset_sharded(
+    dataset: &ReflectivityDataset,
+    iterations: &[usize],
+    dir: &Path,
+    codec: CodecKind,
+    chunks_per_shard: usize,
+) -> Result<ChunkedDataset<ShardedStore<DirStore>>, StoreError> {
+    write_dataset_sharded_to(
+        dataset,
+        iterations,
+        DirStore::create(dir)?,
+        codec,
+        chunks_per_shard,
+    )
 }
 
 /// Reopen a stored dataset directory written by [`write_dataset`].
@@ -91,9 +150,11 @@ pub struct StoredTimeSeries {
 
 impl StoredTimeSeries {
     /// Open over any (type-erased) backend; `MemStore`-backed tests and
-    /// `DirStore`-backed experiments share this path.
+    /// `DirStore`-backed experiments share this path. The chunk layout
+    /// recorded in the metadata is honored transparently: sharded
+    /// datasets read back through shard byte ranges, plain ones as-is.
     pub fn from_backend(backend: Box<dyn StoreBackend>) -> Result<Self, StoreError> {
-        let store = ChunkedDataset::open(backend)?;
+        let store = ChunkedDataset::open_auto(backend)?;
         let geometry =
             ReflectivityDataset::new(*store.decomp(), StormModel::new(store.meta().seed));
         Ok(Self { store, geometry })
@@ -250,5 +311,30 @@ mod tests {
     #[test]
     fn open_missing_dir_is_error() {
         assert!(open_dataset(&tmp_dir("never-written")).is_err());
+    }
+
+    #[test]
+    fn sharded_disk_roundtrip_matches_generated_blocks() {
+        let dataset = ReflectivityDataset::tiny(4, 55).unwrap();
+        let dir = tmp_dir("sharded-roundtrip");
+        // 128 blocks per iteration, 48 per shard → 2 full + 1 tail shard.
+        write_dataset_sharded(&dataset, &[100, 300], &dir, CodecKind::Fpz, 48).unwrap();
+        // The chunk directory holds shard containers, not per-chunk files.
+        assert!(dir.join("c/000100/s000000").is_file());
+        assert!(!dir.join("c/000100/000000").is_file());
+
+        // open_dataset sees the recorded layout and reads through it.
+        let stored = open_dataset(&dir).unwrap();
+        assert_eq!(stored.store().meta().shard_chunks, Some(48));
+        assert_eq!(stored.iterations(), &[100, 300]);
+        for &it in &[100usize, 300] {
+            for rank in 0..4 {
+                assert_eq!(
+                    stored.rank_blocks(it, rank).unwrap(),
+                    dataset.rank_blocks(it, rank),
+                    "iter {it} rank {rank}"
+                );
+            }
+        }
     }
 }

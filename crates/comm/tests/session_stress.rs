@@ -269,6 +269,79 @@ fn client_panic_mid_request_fails_the_server_not_strands_it() {
     assert_eq!(out, vec![0, 1]);
 }
 
+/// The sharded-store failure story: ranks read their chunks out of one
+/// shared shard container via byte-range partial reads, then meet in a
+/// barrier. One rank panics mid-read — after fetching its bytes but
+/// before the rendezvous — so its peers are stranded in the barrier.
+/// The `APC_RECV_TIMEOUT` deadlock machinery must fail them within the
+/// timeout, the panic must poison the session, and a fresh session must
+/// replay the **same shard files** successfully: shard state lives in
+/// the store, not the session, so rank death never corrupts it.
+#[test]
+fn rank_panic_mid_shard_read_poisons_and_recovers() {
+    use apc_store::{DirStore, ShardReader, ShardWriter};
+
+    const NRANKS: usize = 4;
+    let root = std::env::temp_dir()
+        .join("apc_session_stress_tests")
+        .join("shard-read-panic");
+    let _ = std::fs::remove_dir_all(&root);
+    let store = DirStore::create(&root).unwrap();
+    let mut writer = ShardWriter::new();
+    let payload_of = |r: usize| vec![r as u8 ^ 0x5C; 512];
+    for r in 0..NRANKS {
+        writer
+            .append(&format!("c/000100/{r:06}"), &payload_of(r))
+            .unwrap();
+    }
+    writer.write_to(&store, "c/000100/s000000").unwrap();
+
+    let runtime = Runtime::new(NRANKS, NetModel::free()).deadlock_timeout(TIMEOUT);
+    let mut session = runtime.session();
+
+    let read_own_chunk = |r: usize| {
+        let reader = ShardReader::open(&store, "c/000100/s000000").unwrap();
+        reader.read_range(&format!("c/000100/{r:06}")).unwrap()
+    };
+
+    let t0 = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        session.run(|rank| {
+            let r = rank.rank();
+            let bytes = read_own_chunk(r);
+            if r == 2 {
+                // Mid-read: the bytes are in hand but the barrier that
+                // publishes them never happens — peers strand there.
+                panic!("rank {r} died mid-shard-read");
+            }
+            rank.barrier();
+            bytes
+        })
+    }));
+    assert!(result.is_err(), "the run must fail, not complete");
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "stranded peers must fail within the deadlock timeout"
+    );
+    assert!(
+        session.is_poisoned(),
+        "a mid-read panic poisons the session"
+    );
+
+    // Recovery against the *same* shard files: the panic left the
+    // container untouched, so a fresh session reads every chunk.
+    drop(session);
+    let mut fresh = runtime.session();
+    let out = fresh.run(|rank| {
+        let bytes = read_own_chunk(rank.rank());
+        rank.barrier();
+        bytes
+    });
+    for (r, bytes) in out.iter().enumerate() {
+        assert_eq!(*bytes, payload_of(r), "rank {r} chunk damaged by the panic");
+    }
+}
+
 #[test]
 fn fresh_session_recovers_after_a_poisoned_one() {
     // The recovery story: a poisoned session is dropped (joining its

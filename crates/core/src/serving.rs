@@ -574,6 +574,7 @@ where
             height: gb.ny,
             codec: sink.codec(),
             iterations: iterations.to_vec(),
+            shard_chunks: sink.shard_chunks(),
         })
         .expect("write the run manifest");
 
@@ -623,6 +624,10 @@ where
             ServingRankLog::Client(logs, finish)
         }
     });
+
+    // Seal any partially-filled shard groups now that every stager is
+    // done, so external readers (`open_run`) see the complete run.
+    sink.flush().expect("seal the run's tail shards");
 
     let mut staged_logs: Vec<RankLog<SimAux, StageOut>> = Vec::with_capacity(n_sim + n_stage);
     let mut servers = Vec::with_capacity(n_stage);
@@ -696,10 +701,23 @@ mod tests {
         policy: ServePolicy,
         cache_frames: usize,
     ) -> (ServingRun, Arc<dyn StoreBackend>, Vec<usize>) {
+        tiny_serving_with(policy, cache_frames, None)
+    }
+
+    /// [`tiny_serving`] with a frame layout choice: `Some(n)` persists
+    /// through a sharded sink, `n` frames per shard container.
+    fn tiny_serving_with(
+        policy: ServePolicy,
+        cache_frames: usize,
+        shard: Option<usize>,
+    ) -> (ServingRun, Arc<dyn StoreBackend>, Vec<usize>) {
         let dataset = ReflectivityDataset::tiny(8, 42).unwrap();
         let iters = dataset.sample_iterations(4);
         let backend: Arc<dyn StoreBackend> = Arc::new(MemStore::new());
-        let sink = FrameSink::new(Arc::clone(&backend), "test", CodecKind::Fpz);
+        let sink = match shard {
+            Some(n) => FrameSink::sharded(Arc::clone(&backend), "test", CodecKind::Fpz, n),
+            None => FrameSink::new(Arc::clone(&backend), "test", CodecKind::Fpz),
+        };
         let params = StagedParams::new(2, 2, BackpressurePolicy::Block)
             .with_sim_compute(5.0)
             .with_persist(sink);
@@ -749,6 +767,40 @@ mod tests {
                 assert_eq!(
                     (frame.width as usize, frame.height as usize),
                     (manifest.width, manifest.height)
+                );
+            }
+        }
+    }
+
+    /// The layout below the sink must be invisible to the run: a sharded
+    /// sink serves byte-identical frames with identical request traffic,
+    /// latencies and cache behavior, because the encoded streams (and so
+    /// every virtual-cost charge) are the same bytes either way. Only the
+    /// store's key population differs.
+    #[test]
+    fn sharded_sink_serves_byte_identically() {
+        let (plain, plain_backend, iters) = tiny_serving_with(ServePolicy::BestEffort, 4, None);
+        let (sharded, sharded_backend, _) = tiny_serving_with(ServePolicy::BestEffort, 4, Some(3));
+        assert_eq!(plain.requests, sharded.requests);
+        assert_eq!(plain.frames_served(), sharded.frames_served());
+        assert_eq!(plain.cache_hit_rate(), sharded.cache_hit_rate());
+        assert_eq!(plain.client_finish, sharded.client_finish);
+
+        // The raw sharded backend holds containers, not frame keys…
+        assert!(!sharded_backend
+            .contains(&apc_serve::store::frame_key("test", iters[0] as u64, 0))
+            .unwrap());
+        // …but open_run reads back streams byte-identical to the plain run.
+        let (reader, manifest) = apc_serve::store::open_run(sharded_backend, "test").unwrap();
+        assert_eq!(manifest.shard_chunks, Some(3));
+        assert_eq!(manifest.iterations, iters);
+        let plain_store = FrameStore::new(&*plain_backend, "test");
+        for &it in &iters {
+            for stager in 0..2u32 {
+                assert_eq!(
+                    reader.encoded(it as u64, stager).unwrap(),
+                    plain_store.encoded(it as u64, stager).unwrap(),
+                    "iteration {it} stager {stager}"
                 );
             }
         }

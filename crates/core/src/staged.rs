@@ -219,6 +219,7 @@ where
                 height: gb.ny,
                 codec: sink.codec(),
                 iterations: iterations.to_vec(),
+                shard_chunks: sink.shard_chunks(),
             })
             .expect("write the run manifest");
     }
@@ -228,6 +229,11 @@ where
             rank, &spec, &params, config, decomp, coords, &iters, blocks, None,
         )
     });
+    if let Some(sink) = &params.persist {
+        // Seal partially-filled shard groups so a stored run is complete
+        // the moment the run call returns.
+        sink.flush().expect("seal the run's tail shards");
+    }
     merge_logs(&spec, iterations, logs)
 }
 

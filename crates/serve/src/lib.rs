@@ -89,6 +89,7 @@ impl From<apc_store::StoreError> for ServeError {
                 "pixel payload holds {got} samples, frame header promises {expected}"
             )),
             apc_store::StoreError::BadMeta(m) => ServeError::Corrupt(m),
+            apc_store::StoreError::Shard(m) => ServeError::Corrupt(format!("shard container: {m}")),
             other => ServeError::Store(other),
         }
     }

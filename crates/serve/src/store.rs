@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use apc_store::json::{parse_object, Value};
-use apc_store::{CodecKind, StoreBackend};
+use apc_store::{CodecKind, ShardedStore, StoreBackend};
 
 use crate::frame::Frame;
 use crate::ServeError;
@@ -62,9 +62,31 @@ pub struct RunManifest {
     pub codec: CodecKind,
     /// Simulation iterations the run renders, strictly increasing.
     pub iterations: Vec<usize>,
+    /// Frame layout: `None` means one store key per frame; `Some(n)`
+    /// means frames are packed `n` per shard container and readers must
+    /// go through a [`ShardedStore`] wrap of the backend (see
+    /// [`open_run`]).
+    pub shard_chunks: Option<usize>,
 }
 
 impl RunManifest {
+    /// Every frame key of the run, in replay order: manifest iteration
+    /// order (numeric, the writer's), stagers within an iteration.
+    ///
+    /// This — not lexicographic key order — is the run's ordering
+    /// contract. The zero-padding in [`frame_key`] makes *typical* keys
+    /// sort correctly as strings, but it saturates (iteration 1 000 000
+    /// sorts before 999 999), so readers must iterate the manifest, never
+    /// a sorted key listing.
+    pub fn frame_keys(&self) -> Vec<String> {
+        let mut keys = Vec::with_capacity(self.iterations.len() * self.n_stagers);
+        for &it in &self.iterations {
+            for stager in 0..self.n_stagers {
+                keys.push(frame_key(&self.run_id, it as u64, stager as u32));
+            }
+        }
+        keys
+    }
     pub fn to_json(&self) -> String {
         let iters: Vec<String> = self.iterations.iter().map(|i| i.to_string()).collect();
         let mut s = String::new();
@@ -78,6 +100,9 @@ impl RunManifest {
         s.push_str(&format!("  \"codec\": \"{}\",\n", self.codec.name()));
         if let Some(tol) = self.codec.tolerance() {
             s.push_str(&format!("  \"tolerance\": {tol},\n"));
+        }
+        if let Some(n) = self.shard_chunks {
+            s.push_str(&format!("  \"shard_chunks\": {n},\n"));
         }
         s.push_str(&format!("  \"iterations\": [{}]\n", iters.join(", ")));
         s.push('}');
@@ -147,6 +172,15 @@ impl RunManifest {
                 "manifest iterations must be strictly increasing".into(),
             ));
         }
+        let shard_chunks = match fields.iter().find(|(k, _)| k == "shard_chunks") {
+            Some((_, Value::Int(n))) if *n >= 1 => Some(*n as usize),
+            Some((_, other)) => {
+                return Err(ServeError::Corrupt(format!(
+                    "bad shard_chunks field {other:?}"
+                )))
+            }
+            None => None,
+        };
         Ok(Self {
             run_id: string("run_id")?,
             n_stagers: int("n_stagers")?,
@@ -154,6 +188,7 @@ impl RunManifest {
             height: int("height")?,
             codec,
             iterations,
+            shard_chunks,
         })
     }
 }
@@ -229,6 +264,23 @@ impl<B: StoreBackend> FrameStore<B> {
     }
 }
 
+/// Open a completed run for reading, honoring the frame layout its
+/// manifest records: sharded runs get the backend wrapped in a
+/// [`ShardedStore`] (frame reads become shard byte-range reads), plain
+/// runs open as-is. The layout probe is safe either way because
+/// `manifest.json` always passes through a `ShardedStore` unsharded.
+pub fn open_run(
+    backend: Arc<dyn StoreBackend>,
+    run_id: &str,
+) -> Result<(FrameStore<Arc<dyn StoreBackend>>, RunManifest), ServeError> {
+    let manifest = FrameStore::new(Arc::clone(&backend), run_id).manifest()?;
+    let reader: Arc<dyn StoreBackend> = match manifest.shard_chunks {
+        Some(n) => Arc::new(ShardedStore::new(backend, n)),
+        None => backend,
+    };
+    Ok((FrameStore::new(reader, run_id), manifest))
+}
+
 /// The cloneable write handle the staged executor threads through
 /// `StagedParams::persist`: a shared backend, a run id, and the codec to
 /// write frames with. Every stager clones the handle and writes its own
@@ -236,6 +288,9 @@ impl<B: StoreBackend> FrameStore<B> {
 #[derive(Clone)]
 pub struct FrameSink {
     backend: Arc<dyn StoreBackend>,
+    /// Typed handle onto the same object as `backend` when the sink is
+    /// sharded, so [`FrameSink::flush`] can seal tail shards.
+    sharded: Option<Arc<ShardedStore<Arc<dyn StoreBackend>>>>,
     run_id: String,
     codec: CodecKind,
 }
@@ -245,6 +300,28 @@ impl FrameSink {
         validate_run_id(run_id);
         Self {
             backend,
+            sharded: None,
+            run_id: run_id.to_owned(),
+            codec,
+        }
+    }
+
+    /// A sink that packs frames `chunks_per_shard` at a time into shard
+    /// containers on `backend`. Frames stay readable through the sink
+    /// (and its [`FrameSink::store`] views) while buffered; call
+    /// [`FrameSink::flush`] once the run completes so external readers
+    /// ([`open_run`]) see sealed shards.
+    pub fn sharded(
+        backend: Arc<dyn StoreBackend>,
+        run_id: &str,
+        codec: CodecKind,
+        chunks_per_shard: usize,
+    ) -> Self {
+        validate_run_id(run_id);
+        let sharded = Arc::new(ShardedStore::new(backend, chunks_per_shard));
+        Self {
+            backend: Arc::clone(&sharded) as Arc<dyn StoreBackend>,
+            sharded: Some(sharded),
             run_id: run_id.to_owned(),
             codec,
         }
@@ -256,6 +333,21 @@ impl FrameSink {
 
     pub fn codec(&self) -> CodecKind {
         self.codec
+    }
+
+    /// Frames per shard container, or `None` for one key per frame —
+    /// what the run driver records in the [`RunManifest`].
+    pub fn shard_chunks(&self) -> Option<usize> {
+        self.sharded.as_ref().map(|s| s.chunks_per_shard())
+    }
+
+    /// Seal any partially-filled shard groups. A no-op for unsharded
+    /// sinks, so run drivers call it unconditionally at end of run.
+    pub fn flush(&self) -> Result<(), ServeError> {
+        match &self.sharded {
+            Some(s) => Ok(s.flush()?),
+            None => Ok(()),
+        }
     }
 
     pub fn backend(&self) -> &Arc<dyn StoreBackend> {
@@ -394,9 +486,54 @@ mod tests {
             height: 8,
             codec: CodecKind::Lz,
             iterations: vec![100, 250, 400],
+            shard_chunks: None,
         };
         store.put_manifest(&manifest).unwrap();
         assert_eq!(store.manifest().unwrap(), manifest);
+        // The shard layout round-trips too (and stays None when absent).
+        let sharded = RunManifest {
+            shard_chunks: Some(16),
+            ..manifest
+        };
+        store.put_manifest(&sharded).unwrap();
+        assert_eq!(store.manifest().unwrap().shard_chunks, Some(16));
+    }
+
+    /// The `{iteration:06}`/`{stager:04}` padding saturates: beyond it,
+    /// keys stay unique and readable but no longer sort numerically as
+    /// strings. The manifest's `frame_keys` is the ordering contract.
+    #[test]
+    fn frame_keys_past_padding_stay_unique_and_ordered_by_manifest() {
+        // Boundary: padding exactly exhausted / exceeded.
+        assert_eq!(frame_key("r", 999_999, 9_999), "f/r/999999/9999");
+        assert_eq!(frame_key("r", 1_000_000, 10_000), "f/r/1000000/10000");
+        assert_ne!(frame_key("r", 1_000_000, 0), frame_key("r", 100_000, 0));
+
+        // Frames at and past the boundary round-trip through the store.
+        let store = FrameStore::new(MemStore::new(), "r");
+        for (it, stager) in [(999_999, 9_999), (1_000_000, 10_000), (1_000_001, 0)] {
+            let frame = Frame::new(it, stager, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+            store.put_frame(&frame, CodecKind::Raw).unwrap();
+            assert_eq!(store.get_frame(it, stager).unwrap(), frame);
+        }
+
+        // Lexicographic key order breaks exactly there ("1000000" sorts
+        // before "999999")…
+        let manifest = RunManifest {
+            run_id: "r".into(),
+            n_stagers: 1,
+            width: 2,
+            height: 2,
+            codec: CodecKind::Raw,
+            iterations: vec![999_999, 1_000_000],
+            shard_chunks: None,
+        };
+        let keys = manifest.frame_keys();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_ne!(keys, sorted, "padding saturation breaks string order");
+        // …while the manifest's explicit order follows the iterations.
+        assert_eq!(keys, ["f/r/999999/0000", "f/r/1000000/0000"]);
     }
 
     #[test]
@@ -429,6 +566,60 @@ mod tests {
         assert_eq!(sink, sink.clone(), "clones compare equal");
         let other = FrameSink::new(Arc::new(MemStore::new()), "run", CodecKind::Fpz);
         assert_ne!(sink, other, "different backends are different sinks");
+    }
+
+    #[test]
+    fn sharded_sink_roundtrips_and_open_run_follows_the_manifest() {
+        let inner: Arc<dyn StoreBackend> = Arc::new(MemStore::new());
+        let sink = FrameSink::sharded(Arc::clone(&inner), "run", CodecKind::Fpz, 4);
+        assert_eq!(sink.shard_chunks(), Some(4));
+        let manifest = RunManifest {
+            run_id: "run".into(),
+            n_stagers: 2,
+            width: 6,
+            height: 4,
+            codec: CodecKind::Fpz,
+            iterations: vec![100, 200, 300],
+            shard_chunks: sink.shard_chunks(),
+        };
+        sink.store().put_manifest(&manifest).unwrap();
+        let mut streams = Vec::new();
+        for &it in &manifest.iterations {
+            for stager in 0..manifest.n_stagers as u32 {
+                let frame = sample_frame(it as u64, stager);
+                streams.push(sink.persist_stream(&frame));
+                // Buffered frames are immediately readable through the
+                // sink — the serving cache-miss path depends on this.
+                assert_eq!(sink.store().get_frame(it as u64, stager).unwrap(), frame);
+            }
+        }
+        sink.flush().unwrap();
+
+        // The raw backend holds shard containers, not per-frame keys.
+        assert!(!inner.contains(&frame_key("run", 100, 0)).unwrap());
+        assert!(inner.contains("f/run/000100/s000000").unwrap());
+
+        // A fresh reader over the raw backend follows the manifest.
+        let (store, read_back) = open_run(Arc::clone(&inner), "run").unwrap();
+        assert_eq!(read_back, manifest);
+        for (key, want) in manifest.frame_keys().iter().zip(&streams) {
+            assert_eq!(&store.backend().get(key).unwrap(), want, "{key}");
+        }
+        // And an unsharded sink round-trips through the same open_run.
+        let plain: Arc<dyn StoreBackend> = Arc::new(MemStore::new());
+        let sink = FrameSink::new(Arc::clone(&plain), "run", CodecKind::Fpz);
+        sink.store()
+            .put_manifest(&RunManifest {
+                iterations: vec![100],
+                shard_chunks: None,
+                ..manifest
+            })
+            .unwrap();
+        sink.persist(&sample_frame(100, 0));
+        sink.flush().unwrap(); // no-op
+        let (store, m) = open_run(plain, "run").unwrap();
+        assert_eq!(m.shard_chunks, None);
+        assert_eq!(store.get_frame(100, 0).unwrap(), sample_frame(100, 0));
     }
 
     #[test]

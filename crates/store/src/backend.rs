@@ -6,43 +6,79 @@
 //! happen concurrently from the rank threads of a session run.
 
 use std::collections::HashMap;
-use std::io::ErrorKind;
+use std::io::{ErrorKind, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 use crate::StoreError;
 
+/// Validate and extract `offset..offset + len` of `bytes` — the shared
+/// bounds arithmetic of every in-memory [`StoreBackend::get_range`].
+pub fn slice_range(bytes: &[u8], key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+    let size = bytes.len() as u64;
+    let end = offset.checked_add(len).filter(|&e| e <= size);
+    match end {
+        Some(end) => Ok(bytes[offset as usize..end as usize].to_vec()),
+        None => Err(StoreError::Range {
+            key: key.to_owned(),
+            offset,
+            len,
+            size,
+        }),
+    }
+}
+
 /// A flat key → bytes store. `get` on a missing key is
 /// [`StoreError::NotFound`]; use [`StoreBackend::contains`] to probe.
+///
+/// Byte-range reads ([`StoreBackend::get_range`] / [`StoreBackend::size`])
+/// have `get`-based defaults so every backend supports them, but a real
+/// backend should override both with genuine partial I/O — the shard
+/// container ([`crate::ShardReader`]) depends on range reads touching only
+/// the requested bytes, not the whole shard.
 pub trait StoreBackend: Send + Sync {
     fn put(&self, key: &str, bytes: &[u8]) -> Result<(), StoreError>;
     fn get(&self, key: &str) -> Result<Vec<u8>, StoreError>;
     fn contains(&self, key: &str) -> Result<bool, StoreError>;
+
+    /// Read exactly `len` bytes of `key` starting at `offset`. A range
+    /// extending past the value is [`StoreError::Range`], never a short
+    /// read.
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+        slice_range(&self.get(key)?, key, offset, len)
+    }
+
+    /// Total byte length of the value stored at `key`.
+    fn size(&self, key: &str) -> Result<u64, StoreError> {
+        Ok(self.get(key)?.len() as u64)
+    }
 }
 
-impl<B: StoreBackend + ?Sized> StoreBackend for Box<B> {
-    fn put(&self, key: &str, bytes: &[u8]) -> Result<(), StoreError> {
-        (**self).put(key, bytes)
-    }
-    fn get(&self, key: &str) -> Result<Vec<u8>, StoreError> {
-        (**self).get(key)
-    }
-    fn contains(&self, key: &str) -> Result<bool, StoreError> {
-        (**self).contains(key)
-    }
+macro_rules! forward_backend {
+    ($wrapper:ty) => {
+        impl<B: StoreBackend + ?Sized> StoreBackend for $wrapper {
+            fn put(&self, key: &str, bytes: &[u8]) -> Result<(), StoreError> {
+                (**self).put(key, bytes)
+            }
+            fn get(&self, key: &str) -> Result<Vec<u8>, StoreError> {
+                (**self).get(key)
+            }
+            fn contains(&self, key: &str) -> Result<bool, StoreError> {
+                (**self).contains(key)
+            }
+            fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+                (**self).get_range(key, offset, len)
+            }
+            fn size(&self, key: &str) -> Result<u64, StoreError> {
+                (**self).size(key)
+            }
+        }
+    };
 }
 
-impl<B: StoreBackend + ?Sized> StoreBackend for &B {
-    fn put(&self, key: &str, bytes: &[u8]) -> Result<(), StoreError> {
-        (**self).put(key, bytes)
-    }
-    fn get(&self, key: &str) -> Result<Vec<u8>, StoreError> {
-        (**self).get(key)
-    }
-    fn contains(&self, key: &str) -> Result<bool, StoreError> {
-        (**self).contains(key)
-    }
-}
+forward_backend!(Box<B>);
+forward_backend!(Arc<B>);
+forward_backend!(&B);
 
 /// On-disk backend: one file per key under a root directory.
 ///
@@ -123,6 +159,38 @@ impl StoreBackend for DirStore {
     fn contains(&self, key: &str) -> Result<bool, StoreError> {
         Ok(self.path_of(key).is_file())
     }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+        // Genuine partial I/O: seek + exact read, never the whole file.
+        let mut file = match std::fs::File::open(self.path_of(key)) {
+            Ok(f) => f,
+            Err(e) if e.kind() == ErrorKind::NotFound => {
+                return Err(StoreError::NotFound(key.to_owned()))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let size = file.metadata()?.len();
+        if offset.checked_add(len).filter(|&end| end <= size).is_none() {
+            return Err(StoreError::Range {
+                key: key.to_owned(),
+                offset,
+                len,
+                size,
+            });
+        }
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len as usize];
+        file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn size(&self, key: &str) -> Result<u64, StoreError> {
+        match std::fs::metadata(self.path_of(key)) {
+            Ok(m) => Ok(m.len()),
+            Err(e) if e.kind() == ErrorKind::NotFound => Err(StoreError::NotFound(key.to_owned())),
+            Err(e) => Err(e.into()),
+        }
+    }
 }
 
 /// In-memory backend for tests and benchmarks: a `HashMap` behind an
@@ -177,6 +245,22 @@ impl StoreBackend for MemStore {
 
     fn contains(&self, key: &str) -> Result<bool, StoreError> {
         Ok(self.map.read().expect("mem store lock").contains_key(key))
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+        // Slice under the read lock: no full-value clone for range reads.
+        let map = self.map.read().expect("mem store lock");
+        let bytes = map
+            .get(key)
+            .ok_or_else(|| StoreError::NotFound(key.to_owned()))?;
+        slice_range(bytes, key, offset, len)
+    }
+
+    fn size(&self, key: &str) -> Result<u64, StoreError> {
+        let map = self.map.read().expect("mem store lock");
+        map.get(key)
+            .map(|b| b.len() as u64)
+            .ok_or_else(|| StoreError::NotFound(key.to_owned()))
     }
 }
 

@@ -4,6 +4,7 @@ use apc_grid::{Block, BlockData, BlockId, Dims3, DomainDecomp};
 
 use crate::backend::StoreBackend;
 use crate::meta::{DatasetMeta, META_KEY};
+use crate::shard::ShardedStore;
 use crate::StoreError;
 
 /// A stored time series of chunked 3D `f32` arrays.
@@ -58,6 +59,24 @@ impl<B: StoreBackend> ChunkedDataset<B> {
             meta,
             decomp,
         })
+    }
+
+    /// Open honoring the chunk layout recorded in the metadata: a
+    /// `shard_chunks` field wraps the backend in a [`ShardedStore`] so
+    /// chunk reads become shard byte-range reads, while a plain layout
+    /// opens the backend as-is. Callers that don't know (or care) how a
+    /// dataset was written use this instead of [`ChunkedDataset::open`].
+    pub fn open_auto(backend: B) -> Result<DynChunkedDataset, StoreError>
+    where
+        B: 'static,
+    {
+        // meta.json passes through a ShardedStore untouched, so probing
+        // the layout through the raw backend is always correct.
+        let shard_chunks = ChunkedDataset::open(&backend)?.meta().shard_chunks;
+        match shard_chunks {
+            Some(n) => ChunkedDataset::open(Box::new(ShardedStore::new(backend, n)) as _),
+            None => ChunkedDataset::open(Box::new(backend) as _),
+        }
     }
 
     pub fn meta(&self) -> &DatasetMeta {
@@ -176,6 +195,7 @@ mod tests {
             codec,
             seed: 9,
             iterations: vec![10, 20],
+            shard_chunks: None,
         }
     }
 
@@ -266,6 +286,48 @@ mod tests {
         let dims = store.chunk_dims();
         store.write_chunk(10, 0, &chunk_data(dims, 1.0)).unwrap();
         assert_eq!(store.read_chunk(10, 0).unwrap(), chunk_data(dims, 1.0));
+    }
+
+    #[test]
+    fn open_auto_follows_the_recorded_layout() {
+        // Write sharded: the meta records shard_chunks and the chunks
+        // land inside shard containers rather than one key each.
+        let meta = DatasetMeta {
+            shard_chunks: Some(3),
+            ..tiny_meta(CodecKind::Fpz)
+        };
+        let inner = std::sync::Arc::new(MemStore::new());
+        let sharded = ShardedStore::new(std::sync::Arc::clone(&inner), 3);
+        let store = ChunkedDataset::create(sharded, meta).unwrap();
+        let dims = store.chunk_dims();
+        for &it in &[10usize, 20] {
+            for id in store.decomp().all_blocks() {
+                store
+                    .write_chunk(it, id, &chunk_data(dims, (it + id as usize) as f32))
+                    .unwrap();
+            }
+        }
+        store.backend().flush().unwrap();
+        assert!(!inner.contains("c/000010/000000").unwrap());
+        assert!(inner.contains("c/000010/s000000").unwrap());
+
+        // open_auto on the *raw* backend reads through the shards…
+        let auto = ChunkedDataset::open_auto(std::sync::Arc::clone(&inner)).unwrap();
+        assert_eq!(auto.meta().shard_chunks, Some(3));
+        for id in auto.decomp().all_blocks() {
+            assert_eq!(
+                auto.read_chunk(20, id).unwrap(),
+                chunk_data(dims, (20 + id as usize) as f32)
+            );
+        }
+        assert!(auto.iteration_complete(10).unwrap());
+
+        // …and on an unsharded dataset it opens plain.
+        let plain = ChunkedDataset::create(MemStore::new(), tiny_meta(CodecKind::Raw)).unwrap();
+        plain.write_chunk(10, 0, &chunk_data(dims, 1.0)).unwrap();
+        let auto = ChunkedDataset::open_auto(plain.backend).unwrap();
+        assert_eq!(auto.meta().shard_chunks, None);
+        assert_eq!(auto.read_chunk(10, 0).unwrap(), chunk_data(dims, 1.0));
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub struct DatasetMeta {
     pub seed: u64,
     /// Simulation iterations stored, strictly increasing.
     pub iterations: Vec<usize>,
+    /// Chunk layout: `None` means one store key per chunk; `Some(n)`
+    /// means chunks are packed `n` per shard container and readers must
+    /// go through a [`crate::ShardedStore`] wrap of the backend.
+    pub shard_chunks: Option<usize>,
 }
 
 impl DatasetMeta {
@@ -59,6 +63,9 @@ impl DatasetMeta {
         s.push_str(&format!("  \"codec\": \"{}\",\n", self.codec.name()));
         if let Some(tol) = self.codec.tolerance() {
             s.push_str(&format!("  \"tolerance\": {tol},\n"));
+        }
+        if let Some(n) = self.shard_chunks {
+            s.push_str(&format!("  \"shard_chunks\": {n},\n"));
         }
         s.push_str(&format!("  \"seed\": {},\n", self.seed));
         s.push_str(&format!("  \"iterations\": [{}]\n", iters.join(", ")));
@@ -134,6 +141,15 @@ impl DatasetMeta {
                 "iterations must be strictly increasing".to_owned(),
             ));
         }
+        let shard_chunks = match fields.iter().find(|(k, _)| k == "shard_chunks") {
+            Some((_, Value::Int(n))) if *n >= 1 => Some(*n as usize),
+            Some((_, other)) => {
+                return Err(StoreError::BadMeta(format!(
+                    "bad shard_chunks field {other:?}"
+                )))
+            }
+            None => None,
+        };
         Ok(Self {
             domain,
             chunk,
@@ -141,6 +157,7 @@ impl DatasetMeta {
             codec,
             seed,
             iterations,
+            shard_chunks,
         })
     }
 }
@@ -157,7 +174,34 @@ mod tests {
             codec: CodecKind::Fpz,
             seed: 42,
             iterations: vec![100, 250, 400],
+            shard_chunks: None,
         }
+    }
+
+    #[test]
+    fn json_roundtrip_with_shard_layout() {
+        let meta = DatasetMeta {
+            shard_chunks: Some(64),
+            ..sample()
+        };
+        let back = DatasetMeta::from_json(&meta.to_json()).unwrap();
+        assert_eq!(back, meta);
+        assert_eq!(back.shard_chunks, Some(64));
+        // Absent field stays None (documents from older writers).
+        assert_eq!(
+            DatasetMeta::from_json(&sample().to_json())
+                .unwrap()
+                .shard_chunks,
+            None
+        );
+        // A nonsense layout is rejected, not clamped.
+        let bad = sample()
+            .to_json()
+            .replace("\"seed\"", "\"shard_chunks\": 0,\n  \"seed\"");
+        assert!(matches!(
+            DatasetMeta::from_json(&bad),
+            Err(StoreError::BadMeta(_))
+        ));
     }
 
     #[test]
