@@ -10,6 +10,13 @@ cargo fmt --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
+echo "==> apc-lint (in-tree determinism & safety lint, deny-by-default)"
+# Wall-clock reads, hash-order iteration, unannotated unwraps, NaN-unsafe
+# comparators, raw thread spawns, and the reserved-tag layout. Diagnostics
+# are file:line: rule: message; suppress a site with a reasoned
+# `// apc-lint: allow(<rule>): <reason>`. See README "Static analysis".
+cargo run -q -p apc-lint
+
 echo "==> cargo build --release"
 cargo build --release
 

@@ -56,7 +56,7 @@ fn time_median<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
             t0.elapsed().as_secs_f64()
         })
         .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
 }
 
@@ -626,7 +626,7 @@ fn bench_distributed_sort(rec: &mut Recorder) {
             })
             .collect()
     };
-    let cmp = |a: &(u32, f64), b: &(u32, f64)| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0));
+    let cmp = |a: &(u32, f64), b: &(u32, f64)| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0));
     let t_gsb = time_median(5, || {
         Runtime::new(8, NetModel::blue_waters())
             .run(|rank| sort::gather_sort_broadcast(rank, make_input(rank.rank()), cmp).len())

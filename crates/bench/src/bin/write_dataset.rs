@@ -120,6 +120,7 @@ fn main() {
         dir.display(),
     );
 
+    // apc-lint: allow(wall-clock): measuring the harness's real elapsed time is this bench's purpose
     let t0 = Instant::now();
     match shard_chunks {
         Some(n) => {

@@ -1,5 +1,6 @@
 //! Ablations of design choices the paper discusses in text (DESIGN.md §4).
 
+// apc-lint: allow-file(unwrap-in-lib): bench harness — panicking on a bad run or I/O error is the failure mode we want
 use std::time::Instant;
 
 use apc_cm1::ReflectivityDataset;
@@ -33,6 +34,7 @@ pub fn entropy_bins(scale: &Scale) {
     let mut csv = Vec::new();
     for bins in [32usize, 256, 1024] {
         let e = Entropy::with_bins(bins);
+        // apc-lint: allow(wall-clock): measuring the harness's real elapsed time is this bench's purpose
         let t0 = Instant::now();
         let scores: Vec<f64> = blocks
             .iter()
@@ -40,7 +42,7 @@ pub fn entropy_bins(scale: &Scale) {
             .collect();
         let wall = t0.elapsed().as_secs_f64();
         let mut distinct = scores.clone();
-        distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        distinct.sort_by(f64::total_cmp);
         distinct.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
         let rho = spearman(&scores, &reference);
         rows.push(vec![

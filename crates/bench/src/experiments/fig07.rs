@@ -6,6 +6,7 @@
 //! whose load only shrinks once the percentage reaches their blocks — and
 //! because most blocks are transparent to the isosurface anyway (§V-D).
 
+// apc-lint: allow-file(unwrap-in-lib): bench harness — panicking on a bad run or I/O error is the failure mode we want
 use apc_core::PipelineConfig;
 
 use crate::experiments::Ctx;
@@ -45,12 +46,7 @@ pub fn run(ctx: &Ctx, scale: &Scale) {
         let at = |p: f64| {
             series
                 .iter()
-                .min_by(|a, b| {
-                    (a.0 - p)
-                        .abs()
-                        .partial_cmp(&(b.0 - p).abs())
-                        .expect("finite")
-                })
+                .min_by(|a, b| (a.0 - p).abs().total_cmp(&(b.0 - p).abs()))
                 .expect("non-empty sweep")
                 .1
         };

@@ -7,6 +7,7 @@
 //! to the paper's per-core workload). The paper's own numbers are printed
 //! alongside for comparison.
 
+// apc-lint: allow-file(unwrap-in-lib): bench harness — panicking on a bad run or I/O error is the failure mode we want
 use std::time::Instant;
 
 use apc_cm1::ReflectivityDataset;
@@ -45,6 +46,7 @@ pub fn run(scale: &Scale) {
     let mut csv = Vec::new();
     for metric in standard_six() {
         // Real kernel throughput on this machine.
+        // apc-lint: allow(wall-clock): measuring the harness's real elapsed time is this bench's purpose
         let t0 = Instant::now();
         let mut sink = 0.0;
         for b in &sample {

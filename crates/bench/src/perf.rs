@@ -22,6 +22,7 @@
 //! clocks on shared CI are noisy); the gate exists to catch step-change
 //! regressions, not percent-level drift.
 
+// apc-lint: allow-file(unwrap-in-lib): bench harness — panicking on a bad run or I/O error is the failure mode we want
 use std::fmt::Write as _;
 
 /// Default slowdown factor that fails the gate.

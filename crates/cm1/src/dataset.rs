@@ -135,6 +135,7 @@ impl ReflectivityDataset {
                         ext.hi.2 - sub.lo.2,
                     ),
                 );
+                // apc-lint: allow(unwrap-in-lib): block extents are produced by partitioning this same subdomain
                 let data = field.extract(local).expect("block inside subdomain");
                 Block {
                     id,

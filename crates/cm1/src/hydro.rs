@@ -77,6 +77,7 @@ pub fn reflectivity_from_hydrometeors_at(h: &Hydrometeors, heights: &[f32]) -> F
         // 1e-6 mm⁶/m³ floor ⇒ −60 dBZ, the radar sensitivity floor.
         out.push(10.0 * zsum.max(1e-6).log10());
     }
+    // apc-lint: allow(unwrap-in-lib): `out` is filled by one push per grid cell of `dims`
     Field3::from_vec(dims, out).expect("capacity matches dims")
 }
 

@@ -243,8 +243,11 @@ impl StormModel {
             }
         }
         Hydrometeors {
+            // apc-lint: allow(unwrap-in-lib): each vec gets one push per grid cell of `dims`
             qr: Field3::from_vec(dims, qr).expect("capacity matches dims"),
+            // apc-lint: allow(unwrap-in-lib): each vec gets one push per grid cell of `dims`
             qs: Field3::from_vec(dims, qs).expect("capacity matches dims"),
+            // apc-lint: allow(unwrap-in-lib): each vec gets one push per grid cell of `dims`
             qg: Field3::from_vec(dims, qg).expect("capacity matches dims"),
         }
     }

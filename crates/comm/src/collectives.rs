@@ -20,16 +20,19 @@ impl Rank {
     /// another run can never be mistaken for this run's data.
     fn rendezvous<I: Clone + Send + 'static>(&mut self, x: I) -> (Vec<I>, f64) {
         {
+            // apc-lint: allow(unwrap-in-lib): mutex poisoning means another rank already panicked; propagate the abort
             let mut slots = self.shared.slots.lock().unwrap();
             debug_assert!(slots[self.id].is_none(), "collective slot already full");
             slots[self.id] = Some((self.epoch, self.clock, Box::new(x) as Box<dyn Any + Send>));
         }
         self.shared.barrier.wait();
         let (vals, max_clock) = {
+            // apc-lint: allow(unwrap-in-lib): mutex poisoning means another rank already panicked; propagate the abort
             let slots = self.shared.slots.lock().unwrap();
             let mut max_clock = f64::MIN;
             let mut vals = Vec::with_capacity(slots.len());
             for slot in slots.iter() {
+                // apc-lint: allow(unwrap-in-lib): the barrier above guarantees every rank deposited its slot
                 let (epoch, t, payload) = slot.as_ref().expect("missing collective contribution");
                 assert_eq!(
                     *epoch, self.epoch,
@@ -39,6 +42,7 @@ impl Rank {
                 vals.push(
                     payload
                         .downcast_ref::<I>()
+                        // apc-lint: allow(unwrap-in-lib): SPMD contract — every rank calls the same collective with the same type
                         .expect("collective type mismatch across ranks")
                         .clone(),
                 );
@@ -47,6 +51,7 @@ impl Rank {
         };
         self.shared.barrier.wait();
         // Everyone has read; reclaim our own slot for the next collective.
+        // apc-lint: allow(unwrap-in-lib): mutex poisoning means another rank already panicked; propagate the abort
         self.shared.slots.lock().unwrap()[self.id] = None;
         (vals, max_clock)
     }
@@ -76,6 +81,7 @@ impl Rank {
             .into_iter()
             .nth(root)
             .flatten()
+            // apc-lint: allow(unwrap-in-lib): asserted above — the root passed Some and root < nranks
             .expect("root supplied no value");
         self.clock = max_clock + self.net().broadcast(n, out.nbytes());
         out
@@ -126,6 +132,7 @@ impl Rank {
             .into_iter()
             .nth(root)
             .flatten()
+            // apc-lint: allow(unwrap-in-lib): asserted above — the root passed Some and root < nranks
             .expect("root supplied values");
         // Validate *after* the rendezvous so a bad argument panics on every
         // rank together instead of deadlocking the barrier.
@@ -133,6 +140,7 @@ impl Rank {
         // Tree scatter moves ~the full payload out of the root.
         let total: usize = all.iter().map(Meter::nbytes).sum();
         self.clock = max_clock + self.net().allgather(n, total);
+        // apc-lint: allow(unwrap-in-lib): the length assert above guarantees an element at self.id
         all.into_iter().nth(self.id).expect("one value per rank")
     }
 
@@ -152,6 +160,7 @@ impl Rank {
             return None;
         }
         let mut it = vals.into_iter();
+        // apc-lint: allow(unwrap-in-lib): a runtime always has at least one rank
         let first = it.next().expect("reduce over empty group");
         Some(it.fold(first, {
             let mut op = op;
@@ -171,6 +180,7 @@ impl Rank {
         let (vals, max_clock) = self.rendezvous(value);
         self.clock = max_clock + self.net().allreduce(n, bytes);
         let mut it = vals.into_iter();
+        // apc-lint: allow(unwrap-in-lib): a runtime always has at least one rank
         let first = it.next().expect("allreduce over empty group");
         it.fold(first, {
             let mut op = op;

@@ -78,6 +78,7 @@ impl Rank {
         };
         self.senders[dst]
             .send(env)
+            // apc-lint: allow(unwrap-in-lib): a dropped receiver means the destination rank panicked; propagate the abort
             .expect("destination rank hung up");
     }
 
@@ -116,6 +117,7 @@ impl Rank {
         let arrival = env.ts + self.net().p2p(env.bytes);
         let bytes = env.bytes;
         let msg = *env.payload.downcast::<M>().unwrap_or_else(|_| {
+            // apc-lint: allow(unwrap-in-lib): a tag/type mismatch is a protocol bug in rank code, not recoverable input
             panic!(
                 "rank {} received type mismatch from rank {src} tag {tag:?} \
                  (expected {})",

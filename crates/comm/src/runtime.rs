@@ -47,6 +47,7 @@ pub fn parse_recv_timeout(var: Option<&str>) -> Duration {
         None => RECV_TIMEOUT_DEFAULT,
         Some(s) => {
             let secs: f64 = s.trim().parse().unwrap_or_else(|_| {
+                // apc-lint: allow(unwrap-in-lib): documented contract — a garbage timeout value must fail loudly, not default
                 panic!("APC_RECV_TIMEOUT must be a number of seconds, got {s:?}")
             });
             assert!(
@@ -92,6 +93,7 @@ impl TimeoutBarrier {
     }
 
     pub fn wait(&self) {
+        // apc-lint: allow(unwrap-in-lib): barrier mutex poisoning means a rank already panicked; propagate the abort
         let mut state = self.state.lock().unwrap();
         let generation = state.1;
         state.0 += 1;
@@ -101,9 +103,13 @@ impl TimeoutBarrier {
             self.cvar.notify_all();
             return;
         }
+        // apc-lint: allow(wall-clock): deadlock-timeout machinery only — the real clock bounds how long we
+        // wait for dead peers and never reaches virtual time or results
         let deadline = Instant::now() + self.timeout;
         while state.1 == generation {
+            // apc-lint: allow(wall-clock): deadlock-timeout machinery (see above)
             let remaining = deadline.saturating_duration_since(Instant::now());
+            // apc-lint: allow(unwrap-in-lib): condvar mutex poisoning means a rank already panicked; propagate the abort
             let (guard, result) = self.cvar.wait_timeout(state, remaining).unwrap();
             state = guard;
             if result.timed_out() && state.1 == generation {
@@ -111,6 +117,7 @@ impl TimeoutBarrier {
                 // Release the lock before unwinding so fellow waiters see
                 // their own timeout diagnostic, not a poisoned mutex.
                 drop(state);
+                // apc-lint: allow(unwrap-in-lib): a barrier deadlock is unrecoverable; the panic is the diagnostic
                 panic!(
                     "deadlocked in a collective barrier after {:.1} s: only {arrived} \
                      of {} ranks arrived (a peer died or diverged)",
@@ -243,6 +250,7 @@ impl Runtime {
                         }
                     }
                 })
+                // apc-lint: allow(unwrap-in-lib): OS refusing to spawn a rank thread is unrecoverable at session start
                 .expect("failed to spawn rank thread");
             job_txs.push(job_tx);
             status_rxs.push(status_rx);
@@ -423,10 +431,12 @@ impl Session {
         }
         if dispatch_failed {
             self.poisoned = true;
+            // apc-lint: allow(unwrap-in-lib): a dead rank thread poisons the session; failing the run loudly is the contract
             panic!("a rank thread died outside a run; session unusable");
         }
         results
             .into_iter()
+            // apc-lint: allow(unwrap-in-lib): the panic/dispatch checks above returned early on any failure
             .map(|r| r.expect("every rank reported success, so every slot is filled"))
             .collect()
     }
@@ -536,6 +546,7 @@ impl Rank {
             .iter()
             .position(|e| e.src == src && e.tag == tag && e.epoch == self.epoch)
         {
+            // apc-lint: allow(unwrap-in-lib): `pos` came from `position` on this same stash two lines up
             return self.stash.remove(pos).unwrap();
         }
         loop {
@@ -553,6 +564,7 @@ impl Rank {
                     }
                     self.stash.push_back(env);
                 }
+                // apc-lint: allow(unwrap-in-lib): a recv deadlock is unrecoverable; the panic is the diagnostic
                 Err(_) => panic!(
                     "rank {} deadlocked waiting for message (src={src}, tag={tag:?}); \
                      {} stashed envelopes",

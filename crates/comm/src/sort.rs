@@ -148,7 +148,7 @@ mod tests {
 
     fn cmp_pairs(a: &(u32, f64), b: &(u32, f64)) -> Ordering {
         // Increasing score; ties broken by id (paper §IV-C).
-        a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0))
+        a.1.total_cmp(&b.1).then(a.0.cmp(&b.0))
     }
 
     fn assert_sorted(v: &[(u32, f64)]) {

@@ -37,6 +37,7 @@ impl BitWriter {
             }
             let free = 8 - self.used;
             let take = free.min(n);
+            // apc-lint: allow(unwrap-in-lib): the `used == 0` branch above just pushed a byte
             let last = self.buf.last_mut().expect("buffer non-empty");
             *last |= ((value & ((1u64 << take) - 1)) as u8) << self.used;
             self.used = (self.used + take) % 8;

@@ -330,7 +330,7 @@ mod tests {
                 settled.push(base(p));
             }
         }
-        settled.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        settled.sort_by(f64::total_cmp);
         let median = settled[settled.len() / 2];
         let err = (median - 30.0).abs() / 30.0;
         assert!(

@@ -24,7 +24,7 @@ pub(crate) const REDUCE_COST_PER_BLOCK: f64 = 2.0e-6;
 /// collision-free within one dataset. A sweep that varies the isovalue —
 /// or a cache accidentally shared between two datasets — therefore gets a
 /// clean miss instead of silently stale stats.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct StatsKey {
     iteration: usize,
     block: apc_grid::BlockId,
@@ -67,7 +67,7 @@ fn block_fingerprint(samples: &[f32], b: &Block) -> u64 {
 /// identical with or without the cache; only wall-clock time changes.
 #[derive(Debug, Default)]
 pub struct StatsCache {
-    map: std::sync::Mutex<std::collections::HashMap<StatsKey, IsoStats>>,
+    map: std::sync::Mutex<std::collections::BTreeMap<StatsKey, IsoStats>>,
 }
 
 impl StatsCache {
@@ -76,14 +76,17 @@ impl StatsCache {
     }
 
     fn get(&self, key: StatsKey) -> Option<IsoStats> {
+        // apc-lint: allow(unwrap-in-lib): mutex poisoning means a rank already panicked; propagate
         self.map.lock().unwrap().get(&key).copied()
     }
 
     fn put(&self, key: StatsKey, stats: IsoStats) {
+        // apc-lint: allow(unwrap-in-lib): mutex poisoning means a rank already panicked; propagate
         self.map.lock().unwrap().insert(key, stats);
     }
 
     pub fn len(&self) -> usize {
+        // apc-lint: allow(unwrap-in-lib): mutex poisoning means a rank already panicked; propagate
         self.map.lock().unwrap().len()
     }
 
@@ -163,6 +166,7 @@ impl Pipeline {
              crate::staged (the experiment drivers dispatch on config.mode)"
         );
         let scorer = apc_metrics::by_name(&config.metric)
+            // apc-lint: allow(unwrap-in-lib): misconfiguration caught at construction, before any rank spawns
             .unwrap_or_else(|| panic!("unknown metric {:?}", config.metric));
         let controller = config
             .target_time
@@ -442,7 +446,7 @@ mod tests {
         // the post-warmup *median*, which the paper's "converge toward a
         // specified run time" claim is about.
         let mut post: Vec<f64> = reports[4..].iter().map(|r| r.t_total).collect();
-        post.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        post.sort_by(f64::total_cmp);
         let median = post[post.len() / 2];
         let err = (median - target).abs() / target;
         assert!(

@@ -17,7 +17,7 @@
 //!   codec the reports are byte-identical to the preloaded path (pinned
 //!   by the `store_roundtrip` integration test).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use apc_cm1::{ReflectivityDataset, StoredTimeSeries};
@@ -35,7 +35,7 @@ use crate::staged::{run_staged_in_session, StagedRun};
 /// Where a [`Prepared`]'s blocks come from.
 enum BlockSource {
     /// Everything generated up front, keyed by `(iteration, rank)`.
-    Preloaded(HashMap<(usize, usize), Vec<Block>>),
+    Preloaded(BTreeMap<(usize, usize), Vec<Block>>),
     /// Lazy per-rank chunk reads from a stored dataset (boxed: the stored
     /// handle is much larger than the map header).
     Store(Box<StoredTimeSeries>),
@@ -74,6 +74,7 @@ impl Prepared {
     /// here).
     pub fn with_exec(nranks: usize, seed: u64, iterations: Vec<usize>, exec: ExecPolicy) -> Self {
         let dataset =
+            // apc-lint: allow(unwrap-in-lib): geometry misconfiguration caught at preparation time
             ReflectivityDataset::paper_scaled(nranks, seed).expect("paper-scaled decomposition");
         Self::from_dataset(
             dataset,
@@ -97,7 +98,7 @@ impl Prepared {
         // duplicate-free timeline; enforce it here once.
         iterations.sort_unstable();
         iterations.dedup();
-        let mut blocks = HashMap::new();
+        let mut blocks = BTreeMap::new();
         for &it in &iterations {
             for rank in 0..nranks {
                 blocks.insert((it, rank), dataset.rank_blocks(it, rank));
@@ -177,6 +178,7 @@ impl Prepared {
     ) -> Vec<Vec<IterationReport>> {
         let configs: Vec<PipelineConfig> =
             configs.iter().map(|c| self.instrument(c.clone())).collect();
+        // apc-lint: allow(unwrap-in-lib): session mutex poisoning means an earlier sweep panicked; propagate
         let mut session = self.session.lock().expect("an earlier sweep panicked");
         run_sweep_in_session(
             &mut session,
@@ -197,6 +199,7 @@ impl Prepared {
     pub fn run_staged(&self, config: PipelineConfig, iterations: &[usize]) -> StagedRun {
         let mut config = self.instrument(config);
         config.exec = config.exec.clamp_for_ranks(self.dataset.decomp().nranks());
+        // apc-lint: allow(unwrap-in-lib): session mutex poisoning means an earlier sweep panicked; propagate
         let mut session = self.session.lock().expect("an earlier sweep panicked");
         run_staged_in_session(
             &mut session,
@@ -224,6 +227,7 @@ impl Prepared {
     ) -> ServingRun {
         let mut config = self.instrument(config);
         config.exec = config.exec.clamp_for_ranks(self.dataset.decomp().nranks());
+        // apc-lint: allow(unwrap-in-lib): session mutex poisoning means an earlier sweep panicked; propagate
         let mut session = self.session.lock().expect("an earlier sweep panicked");
         run_staged_serving_in_session(
             &mut session,
@@ -270,9 +274,11 @@ impl Prepared {
         match &self.source {
             BlockSource::Preloaded(blocks) => blocks
                 .get(&(it, rank))
+                // apc-lint: allow(unwrap-in-lib): caller asked for an unprepared iteration — a driver bug, not input
                 .unwrap_or_else(|| panic!("iteration {it} not prepared"))
                 .clone(),
             BlockSource::Store(stored) => stored.rank_blocks(it, rank).unwrap_or_else(|e| {
+                // apc-lint: allow(unwrap-in-lib): documented contract — a failed chunk read panics the owning rank and poisons the session
                 panic!("store read failed for iteration {it} rank {rank}: {e}")
             }),
         }

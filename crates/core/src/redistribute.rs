@@ -73,6 +73,7 @@ pub fn exchange(rank: &mut Rank, held: Vec<Block>, assign: &[usize]) -> Vec<Bloc
     let mut blocks: Vec<Block> = incoming
         .into_iter()
         .flatten()
+        // apc-lint: allow(unwrap-in-lib): the bytes came from an in-process peer's `encode`; a decode failure is a codec bug, not input
         .map(|buf| Block::decode(&buf).expect("peer sent a malformed block"))
         .collect();
     blocks.sort_by_key(|b| b.id);

@@ -2,7 +2,7 @@
 //! (paper §IV-C).
 
 use std::cmp::Ordering;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use apc_comm::Meter;
 use apc_grid::BlockId;
@@ -42,8 +42,9 @@ pub fn reduction_count(n: usize, percent: f64) -> usize {
 }
 
 /// The ids of the `percent%` lowest-scored blocks of a globally-sorted
-/// list (ascending — the head of the list is reduced).
-pub fn reduction_set(sorted: &[ScoredBlock], percent: f64) -> HashSet<BlockId> {
+/// list (ascending — the head of the list is reduced). A `BTreeSet` so
+/// any caller that iterates it sees a deterministic id order.
+pub fn reduction_set(sorted: &[ScoredBlock], percent: f64) -> BTreeSet<BlockId> {
     let k = reduction_count(sorted.len(), percent);
     sorted[..k].iter().map(|s| s.id).collect()
 }

@@ -444,6 +444,7 @@ impl<'a> StagerServe<'a> {
                         .store()
                         .encoded(it, self.slot)
                         .unwrap_or_else(|e| {
+                            // apc-lint: allow(unwrap-in-lib): inside a rank program a failed store read fails the run loudly (poisons the session)
                             panic!(
                                 "stager {} failed to read back frame (iteration {it}): {e}",
                                 self.slot
@@ -493,6 +494,7 @@ fn client_program(
             // Decode end to end: a frame that survived store + wire must
             // parse back; a corrupt one fails the run loudly.
             let frame = Frame::decode(&served.stream)
+                // apc-lint: allow(unwrap-in-lib): end-to-end check in a rank program — a corrupt frame fails the run loudly
                 .unwrap_or_else(|e| panic!("client {client} received an undecodable frame: {e}"));
             assert_eq!(frame.stager, server_slot, "frame from the wrong stager");
             assert_eq!(frame.iteration, served.iteration, "frame key mismatch");
@@ -545,12 +547,14 @@ where
     let params = match &config.mode {
         InSituMode::Staged(p) => p.clone(),
         InSituMode::Synchronous => {
+            // apc-lint: allow(unwrap-in-lib): misconfiguration caught at entry, before any rank spawns
             panic!("run_staged_serving_in_session needs an InSituMode::Staged config")
         }
     };
     let sink = params
         .persist
         .clone()
+        // apc-lint: allow(unwrap-in-lib): misconfiguration caught at entry, before any rank spawns
         .expect("serving needs StagedParams::persist — attach a FrameSink");
     let nranks = session.nranks();
     assert_eq!(
@@ -576,6 +580,7 @@ where
             iterations: iterations.to_vec(),
             shard_chunks: sink.shard_chunks(),
         })
+        // apc-lint: allow(unwrap-in-lib): driver-level setup — a manifest write failure fails the run before it starts
         .expect("write the run manifest");
 
     let iters = iterations.to_vec();
@@ -627,6 +632,7 @@ where
 
     // Seal any partially-filled shard groups now that every stager is
     // done, so external readers (`open_run`) see the complete run.
+    // apc-lint: allow(unwrap-in-lib): driver-level teardown — failing to seal the run is unrecoverable and must be loud
     sink.flush().expect("seal the run's tail shards");
 
     let mut staged_logs: Vec<RankLog<SimAux, StageOut>> = Vec::with_capacity(n_sim + n_stage);

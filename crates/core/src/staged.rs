@@ -34,7 +34,7 @@
 //! repeated runs and execution policies exactly like synchronous ones
 //! (`tests/staged_determinism.rs` pins this).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use apc_comm::{Rank, Session};
 use apc_grid::{Block, BlockId, DomainDecomp, RectilinearCoords};
@@ -194,6 +194,7 @@ where
     let params = match &config.mode {
         InSituMode::Staged(p) => p.clone(),
         InSituMode::Synchronous => {
+            // apc-lint: allow(unwrap-in-lib): misconfiguration caught at entry, before any rank spawns
             panic!("run_staged_in_session needs an InSituMode::Staged config")
         }
     };
@@ -221,6 +222,7 @@ where
                 iterations: iterations.to_vec(),
                 shard_chunks: sink.shard_chunks(),
             })
+            // apc-lint: allow(unwrap-in-lib): driver-level setup — a manifest write failure fails the run before it starts
             .expect("write the run manifest");
     }
     let iters = iterations.to_vec();
@@ -232,6 +234,7 @@ where
     if let Some(sink) = &params.persist {
         // Seal partially-filled shard groups so a stored run is complete
         // the moment the run call returns.
+        // apc-lint: allow(unwrap-in-lib): driver-level teardown — failing to seal the run is unrecoverable and must be loud
         sink.flush().expect("seal the run's tail shards");
     }
     merge_logs(&spec, iterations, logs)
@@ -277,6 +280,7 @@ where
     F: Fn(usize, usize) -> Vec<Block> + Sync,
 {
     let scorer = apc_metrics::by_name(&config.metric)
+        // apc-lint: allow(unwrap-in-lib): misconfiguration caught before the pipeline moves any data
         .unwrap_or_else(|| panic!("unknown metric {:?}", config.metric));
     let n_sim = spec.partition.n_sim();
     let n_stage = spec.partition.n_stage();
@@ -318,7 +322,7 @@ where
             let t1 = rank.clock();
             let mut blocks_prereduced = 0;
             if params.pre_reduce_percent > 0.0 {
-                let to_reduce: HashSet<BlockId> = reduction_set(&order, params.pre_reduce_percent);
+                let to_reduce: BTreeSet<BlockId> = reduction_set(&order, params.pre_reduce_percent);
                 for b in &mut held {
                     if to_reduce.contains(&b.id) && !b.is_reduced() {
                         b.downsample(config.reduce_keep);
@@ -332,7 +336,7 @@ where
             // Score-aware dealing: highest-scored block to stager 0, next
             // to stager 1, ... — every stager gets a balanced share of the
             // expensive blocks.
-            let by_id: HashMap<BlockId, &Block> = held.iter().map(|b| (b.id, b)).collect();
+            let by_id: BTreeMap<BlockId, &Block> = held.iter().map(|b| (b.id, b)).collect();
             let mut batches: Vec<Slice> = (0..n_stage).map(|_| Vec::new()).collect();
             for (pos, sb) in order.iter().rev().enumerate() {
                 let b = by_id[&sb.id];
@@ -354,6 +358,7 @@ where
             let mut entries: Vec<ScoredBlock> = Vec::new();
             for (_slot, slice) in parts {
                 for (buf, score) in slice {
+                    // apc-lint: allow(unwrap-in-lib): the bytes came from an in-process peer's `encode`; a decode failure is a codec bug, not input
                     let b = Block::decode(&buf).expect("simulation rank sent a malformed block");
                     entries.push(ScoredBlock { id: b.id, score });
                     held.push(b);

@@ -91,8 +91,11 @@ impl RectilinearCoords {
         (
             [self.x[0], self.y[0], self.z[0]],
             [
+                // apc-lint: allow(unwrap-in-lib): the constructor rejects empty axes
                 *self.x.last().unwrap(),
+                // apc-lint: allow(unwrap-in-lib): the constructor rejects empty axes
                 *self.y.last().unwrap(),
+                // apc-lint: allow(unwrap-in-lib): the constructor rejects empty axes
                 *self.z.last().unwrap(),
             ],
         )

@@ -1,0 +1,163 @@
+//! `apc-lint` — in-tree determinism & safety lint for the apc workspace.
+//!
+//! The whole reproduction rests on one invariant — runs replay
+//! **byte-identically in virtual time** — and this crate guards it
+//! *statically*, before a nondeterminism bug can reach a pinned fixture.
+//! It is a zero-dependency, hand-rolled analyzer (lexer in
+//! [`lexer`], rules in [`rules`], the semantic tag-range check in
+//! [`tagrange`]) run from CI as `cargo run -p apc-lint`.
+//!
+//! Rules (see [`rules::RULES`] or `cargo run -p apc-lint -- --list`):
+//!
+//! | rule | guards against |
+//! |------|----------------|
+//! | `wall-clock` | real-clock reads outside the timeout machinery |
+//! | `hash-iter` | hash-order iteration reaching output |
+//! | `unwrap-in-lib` | panics on corrupt/adversarial input in libraries |
+//! | `float-ord` | NaN-unsafe sort comparators (the PR-2 bug class) |
+//! | `raw-spawn` | threads created behind the deterministic runtime's back |
+//! | `tag-range` | reserved message-tag range collisions in apc-comm |
+//!
+//! Violations are suppressed in place, never globally:
+//!
+//! ```text
+//! // apc-lint: allow(wall-clock): deadline for the deadlock watchdog
+//! // apc-lint: allow-file(unwrap-in-lib): bench harness; panic on I/O error is the failure mode we want
+//! ```
+//!
+//! A directive on its own line applies to the next code line; a trailing
+//! directive applies to its own line; the reason is mandatory and an
+//! unknown rule name or missing reason is itself a violation
+//! (`allow-syntax`).
+
+pub mod lexer;
+pub mod rules;
+pub mod tagrange;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{check_source, classify, FileClass, RuleInfo, Violation, RULES};
+pub use tagrange::check_tag_layout;
+
+/// Result of scanning a workspace tree.
+#[derive(Debug)]
+pub struct Report {
+    /// All violations, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files actually scanned (diagnostics).
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Scan the workspace rooted at `root`: every `.rs` file under `crates/`,
+/// `src/`, `tests/` and `examples/` goes through the textual rules, and
+/// the tag-range check runs over `crates/comm/src/{p2p,bounded}.rs`.
+/// Files are visited in sorted order so the report is deterministic.
+pub fn scan_workspace(root: &Path) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut files_scanned = 0usize;
+    for path in &files {
+        let rel = relative(root, path);
+        if classify(&rel) == FileClass::Skip {
+            continue;
+        }
+        let src =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        files_scanned += 1;
+        violations.extend(check_source(&rel, &src));
+    }
+
+    let p2p = root.join("crates/comm/src/p2p.rs");
+    let bounded = root.join("crates/comm/src/bounded.rs");
+    match (
+        std::fs::read_to_string(&p2p),
+        std::fs::read_to_string(&bounded),
+    ) {
+        (Ok(p), Ok(b)) => violations.extend(check_tag_layout(&p, &b)),
+        _ => violations.push(Violation {
+            file: "crates/comm/src/p2p.rs".to_owned(),
+            line: 1,
+            rule: "tag-range",
+            message: "cannot read crates/comm/src/{p2p,bounded}.rs for the tag-range check"
+                .to_owned(),
+        }),
+    }
+
+    violations.sort_by(|a, b| {
+        (&a.file, a.line, a.rule)
+            .cmp(&(&b.file, b.line, b.rule))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    Ok(Report {
+        violations,
+        files_scanned,
+    })
+}
+
+/// Locate the workspace root from the compiled-in manifest dir, so
+/// `cargo run -p apc-lint` works from any cwd inside the repo.
+pub fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn collect_rs_files(dir: &Path, into: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs_files(&path, into)?;
+        } else if name.ends_with(".rs") {
+            into.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Minimal JSON string escape for the `--json` output mode (hand-rolled,
+/// like everything else in this crate).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

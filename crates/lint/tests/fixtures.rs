@@ -1,0 +1,160 @@
+//! Fixture-driven checks of every lint rule: each rule has a flagged
+//! snippet, a clean snippet, and a snippet silenced by a reasoned
+//! `// apc-lint: allow(...)` — plus a tag-layout collision that must
+//! fail. The fixture directory itself is classified `Skip`, so the
+//! workspace scan never trips over these deliberately-bad files.
+
+use apc_lint::{check_source, check_tag_layout, Violation, RULES};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Run a fixture as if it were library source in a non-exempt crate.
+fn check_as_lib(name: &str) -> Vec<Violation> {
+    check_source("crates/demo/src/lib.rs", &fixture(name))
+}
+
+fn rules_hit(violations: &[Violation]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = violations.iter().map(|v| v.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn wall_clock_fixtures() {
+    let bad = check_as_lib("wall_clock_bad.rs");
+    assert_eq!(rules_hit(&bad), ["wall-clock"], "{bad:?}");
+    assert_eq!(bad.len(), 2, "Instant::now and SystemTime::now: {bad:?}");
+    assert_eq!(bad[0].line, 3);
+    assert!(check_as_lib("wall_clock_clean.rs").is_empty());
+    assert!(check_as_lib("wall_clock_allowed.rs").is_empty());
+}
+
+#[test]
+fn hash_iter_fixtures() {
+    let bad = check_as_lib("hash_iter_bad.rs");
+    assert_eq!(rules_hit(&bad), ["hash-iter"], "{bad:?}");
+    assert!(check_as_lib("hash_iter_clean.rs").is_empty());
+    assert!(check_as_lib("hash_iter_allowed.rs").is_empty());
+}
+
+#[test]
+fn unwrap_in_lib_fixtures() {
+    let bad = check_as_lib("unwrap_bad.rs");
+    assert_eq!(rules_hit(&bad), ["unwrap-in-lib"], "{bad:?}");
+    assert_eq!(bad.len(), 3, "unwrap, expect and panic!: {bad:?}");
+    assert!(check_as_lib("unwrap_clean.rs").is_empty());
+    assert!(check_as_lib("unwrap_allowed.rs").is_empty());
+}
+
+#[test]
+fn unwrap_rule_is_scoped_to_library_code() {
+    // The same flagged snippet is legal in a test or bench file.
+    let src = fixture("unwrap_bad.rs");
+    assert!(check_source("crates/demo/tests/it.rs", &src).is_empty());
+    assert!(check_source("crates/demo/benches/b.rs", &src).is_empty());
+}
+
+#[test]
+fn float_ord_fixtures() {
+    // The comparator sites also trip unwrap-in-lib (correctly: both rules
+    // object to the same `.unwrap()`); count the float-ord hits alone.
+    let bad = check_as_lib("float_ord_bad.rs");
+    let float_ord = bad.iter().filter(|v| v.rule == "float-ord").count();
+    assert_eq!(float_ord, 2, "unwrap and expect forms: {bad:?}");
+    assert!(check_as_lib("float_ord_clean.rs").is_empty());
+    assert!(check_as_lib("float_ord_allowed.rs").is_empty());
+}
+
+#[test]
+fn float_ord_applies_even_in_tests() {
+    // A NaN-panicking comparator is a determinism bug wherever it lives.
+    let bad = check_source("crates/demo/tests/it.rs", &fixture("float_ord_bad.rs"));
+    assert_eq!(rules_hit(&bad), ["float-ord"], "{bad:?}");
+}
+
+#[test]
+fn raw_spawn_fixtures() {
+    let bad = check_as_lib("raw_spawn_bad.rs");
+    assert_eq!(rules_hit(&bad), ["raw-spawn"], "{bad:?}");
+    assert_eq!(bad.len(), 2, "spawn and Builder::new().spawn: {bad:?}");
+    assert!(check_as_lib("raw_spawn_clean.rs").is_empty());
+    assert!(check_as_lib("raw_spawn_allowed.rs").is_empty());
+}
+
+#[test]
+fn raw_spawn_exempts_the_threading_crates() {
+    let src = fixture("raw_spawn_bad.rs");
+    assert!(check_source("crates/par/src/exec.rs", &src).is_empty());
+    assert!(check_source("crates/comm/src/runtime.rs", &src).is_empty());
+}
+
+#[test]
+fn tag_layout_good_fixture_passes() {
+    let src = fixture("tag_layout_good.rs");
+    let violations = check_tag_layout(&src, &src);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn tag_layout_collision_fixture_fails() {
+    let src = fixture("tag_layout_collision.rs");
+    let violations = check_tag_layout(&src, &src);
+    assert!(
+        violations.iter().any(|v| v.rule == "tag-range"),
+        "SERVE band inside the STAGE band must be reported: {violations:?}"
+    );
+}
+
+#[test]
+fn malformed_allows_are_violations() {
+    let bad = check_as_lib("allow_syntax_bad.rs");
+    assert_eq!(rules_hit(&bad), ["allow-syntax"], "{bad:?}");
+    assert_eq!(bad.len(), 2, "missing reason + unknown rule: {bad:?}");
+}
+
+#[test]
+fn every_rule_has_bad_and_clean_coverage() {
+    // Guard against adding a rule without fixture coverage: each rule name
+    // must appear in at least one fixture file name.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("fixture dir")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    for rule in RULES {
+        let stem = match rule.name {
+            "tag-range" => "tag_layout".to_owned(),
+            "unwrap-in-lib" => "unwrap".to_owned(),
+            name => name.replace('-', "_"),
+        };
+        for suffix in ["_bad.rs", "_clean.rs"] {
+            // tag-range fixtures use good/collision instead of clean/bad.
+            let candidates = if rule.name == "tag-range" {
+                vec![
+                    "tag_layout_good.rs".to_owned(),
+                    "tag_layout_collision.rs".to_owned(),
+                ]
+            } else {
+                vec![format!("{stem}{suffix}")]
+            };
+            for c in &candidates {
+                assert!(
+                    names.contains(c),
+                    "missing fixture {c} for rule {}",
+                    rule.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: a partial_cmp comparator suppressed with reasoned allows
+//! (both rules object to the same `.unwrap()`, so both are silenced).
+pub fn sort_positive(v: &mut [f64]) {
+    debug_assert!(v.iter().all(|x| x.is_finite()));
+    // apc-lint: allow(float-ord): inputs asserted finite one line up
+    // apc-lint: allow(unwrap-in-lib): inputs asserted finite one line up
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

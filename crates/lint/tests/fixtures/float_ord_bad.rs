@@ -1,0 +1,10 @@
+//! Fixture: partial_cmp().unwrap() comparators must be flagged.
+pub fn sort_scores(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn max_score(v: &[f64]) -> Option<f64> {
+    v.iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).expect("no NaN"))
+}

@@ -1,0 +1,8 @@
+//! Fixture: total_cmp comparators — nothing to flag.
+pub fn sort_scores(v: &mut [f64]) {
+    v.sort_by(f64::total_cmp);
+}
+
+pub fn handled(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some()
+}

@@ -1,0 +1,7 @@
+//! Fixture: hash maps suppressed file-wide with a reasoned allow-file.
+// apc-lint: allow-file(hash-iter): keyed lookups only; iteration order never escapes
+use std::collections::HashMap;
+
+pub struct Cache {
+    map: HashMap<u64, Vec<u8>>,
+}

@@ -1,0 +1,10 @@
+//! Fixture: hash collections in library code must be flagged.
+use std::collections::HashMap;
+
+pub struct Index {
+    by_key: HashMap<String, u64>,
+}
+
+pub fn names(idx: &Index) -> Vec<&String> {
+    idx.by_key.keys().collect()
+}

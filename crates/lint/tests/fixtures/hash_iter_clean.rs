@@ -1,0 +1,6 @@
+//! Fixture: ordered collections — nothing to flag.
+use std::collections::BTreeMap;
+
+pub struct Index {
+    by_key: BTreeMap<String, u64>,
+}

@@ -1,0 +1,5 @@
+//! Fixture: a raw spawn suppressed with a reasoned allow.
+pub fn watchdog(f: impl FnOnce() + Send + 'static) {
+    // apc-lint: allow(raw-spawn): detached watchdog; joins nothing and touches no virtual time
+    std::thread::spawn(f);
+}

@@ -1,0 +1,8 @@
+//! Fixture: raw thread spawns outside apc-par/apc-comm must be flagged.
+pub fn fire_and_forget(f: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(f);
+}
+
+pub fn named(f: impl FnOnce() + Send + 'static) -> std::io::Result<()> {
+    std::thread::Builder::new().spawn(f).map(|_| ())
+}

@@ -1,0 +1,4 @@
+//! Fixture: no thread machinery — nothing to flag.
+pub fn run_inline(f: impl FnOnce()) {
+    f();
+}

@@ -1,0 +1,5 @@
+//! Fixture: an expect suppressed with a reasoned allow.
+pub fn last_byte(buf: &[u8]) -> u8 {
+    // apc-lint: allow(unwrap-in-lib): caller guarantees a non-empty buffer
+    *buf.last().expect("non-empty")
+}

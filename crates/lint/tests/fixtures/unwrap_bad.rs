@@ -1,0 +1,12 @@
+//! Fixture: unwrap/expect/panic in library code must be flagged.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.expect("a value")
+}
+
+pub fn never() {
+    panic!("unreachable");
+}

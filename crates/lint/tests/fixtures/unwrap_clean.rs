@@ -1,0 +1,21 @@
+//! Fixture: typed errors and non-matching names — nothing to flag.
+pub fn first(v: &[u32]) -> Result<u32, String> {
+    v.first().copied().ok_or_else(|| "empty".to_owned())
+}
+
+pub fn defaulted(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+pub fn or_else(v: Option<u32>) -> u32 {
+    v.unwrap_or_else(|| 7)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: a wall-clock read suppressed with a reasoned allow.
+pub fn deadline(timeout: std::time::Duration) -> std::time::Instant {
+    // apc-lint: allow(wall-clock): timeout machinery only; never reaches virtual time
+    std::time::Instant::now() + timeout
+}

@@ -1,0 +1,8 @@
+//! Fixture: wall-clock reads in library code must be flagged.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

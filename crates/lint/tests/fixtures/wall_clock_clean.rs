@@ -1,0 +1,4 @@
+//! Fixture: virtual-time arithmetic only — nothing to flag.
+pub fn advance(clock: f64, dt: f64) -> f64 {
+    clock + dt
+}

@@ -6,12 +6,10 @@
 /// position block `b` takes in the sorted order.
 pub fn ranks_by_score(scores: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[a]
-            .partial_cmp(&scores[b])
-            .expect("scores must not be NaN")
-            .then(a.cmp(&b))
-    });
+    // total_cmp, not partial_cmp().unwrap(): a NaN score must produce a
+    // deterministic rank order, never a panic mid-analysis (the same bug
+    // class as the PR-2 `score_order` fix).
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
     let mut ranks = vec![0usize; scores.len()];
     for (rank, &block) in order.iter().enumerate() {
         ranks[block] = rank;
@@ -86,5 +84,18 @@ mod tests {
     fn degenerate_lengths() {
         assert_eq!(spearman(&[], &[]), 1.0);
         assert_eq!(spearman(&[1.0], &[2.0]), 1.0);
+    }
+
+    /// Regression for the float-ord lint class (the PR-2 `score_order`
+    /// NaN bug): a NaN score must not panic the rank sort and must land
+    /// in a deterministic position (total_cmp puts positive NaN last).
+    #[test]
+    fn nan_scores_rank_deterministically_without_panicking() {
+        let scores = [0.5, f64::NAN, -0.5, f64::NAN, 0.0];
+        let ranks = ranks_by_score(&scores);
+        assert_eq!(ranks, ranks_by_score(&scores), "must be deterministic");
+        // Non-NaN blocks keep their relative order below the NaNs; NaN
+        // ties break by block index.
+        assert_eq!(ranks, vec![2, 3, 0, 4, 1]);
     }
 }

@@ -8,7 +8,7 @@
 //! depends only on the access sequence, never on wall-clock, so serving
 //! runs replay deterministically.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Cache key: `(iteration, stager)` — the frame coordinate within a run.
 pub type FrameKey = (u64, u32);
@@ -17,7 +17,7 @@ pub type FrameKey = (u64, u32);
 #[derive(Debug)]
 pub struct FrameCache {
     capacity: usize,
-    map: HashMap<FrameKey, Vec<u8>>,
+    map: BTreeMap<FrameKey, Vec<u8>>,
     /// Keys from least- to most-recently used.
     order: VecDeque<FrameKey>,
     hits: usize,
@@ -31,7 +31,7 @@ impl FrameCache {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             order: VecDeque::new(),
             hits: 0,
             misses: 0,
@@ -76,6 +76,7 @@ impl FrameCache {
         if self.map.insert(key, stream).is_none() {
             self.order.push_back(key);
             if self.order.len() > self.capacity {
+                // apc-lint: allow(unwrap-in-lib): order.len() > capacity >= 1 on this branch, so the deque is non-empty
                 let evicted = self.order.pop_front().expect("order tracks map");
                 self.map.remove(&evicted);
             }

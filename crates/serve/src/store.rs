@@ -377,6 +377,7 @@ impl FrameSink {
                 &stream,
             )
             .unwrap_or_else(|e| {
+                // apc-lint: allow(unwrap-in-lib): documented contract — a failed write fails the run loudly and poisons the session
                 panic!(
                     "failed to persist frame (run {}, iteration {}, stager {}): {e}",
                     self.run_id, frame.iteration, frame.stager

@@ -5,10 +5,10 @@
 //! methods take `&self` and every backend is `Sync`, because chunk reads
 //! happen concurrently from the rank threads of a session run.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::StoreError;
 
@@ -124,16 +124,17 @@ impl DirStore {
 impl StoreBackend for DirStore {
     fn put(&self, key: &str, bytes: &[u8]) -> Result<(), StoreError> {
         let path = self.path_of(key);
+        let Some(file_name) = path.file_name().map(ToOwned::to_owned) else {
+            // A key like ".." or "a/.." has no final path segment to write
+            // to; reject before touching the filesystem.
+            return Err(StoreError::BadKey(key.to_owned()));
+        };
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
         // Write-then-rename so a key is either absent or complete: an
         // interrupted writer (kill, ENOSPC) must not leave a truncated
         // chunk that `contains` would report as present.
-        let file_name = path
-            .file_name()
-            .expect("keys have a final segment")
-            .to_owned();
         let mut tmp_name = std::ffi::OsString::from(".");
         tmp_name.push(&file_name);
         tmp_name.push(".tmp");
@@ -193,11 +194,12 @@ impl StoreBackend for DirStore {
     }
 }
 
-/// In-memory backend for tests and benchmarks: a `HashMap` behind an
-/// `RwLock` (many concurrent readers, exclusive writers).
+/// In-memory backend for tests and benchmarks: a `BTreeMap` behind an
+/// `RwLock` (many concurrent readers, exclusive writers; deterministic
+/// key order for diagnostics that iterate).
 #[derive(Debug, Default)]
 pub struct MemStore {
-    map: RwLock<HashMap<String, Vec<u8>>>,
+    map: RwLock<BTreeMap<String, Vec<u8>>>,
 }
 
 impl MemStore {
@@ -205,9 +207,19 @@ impl MemStore {
         Self::default()
     }
 
+    /// Read the map even if a writer panicked mid-`put`: values are plain
+    /// byte vectors, so a poisoned lock cannot expose a torn invariant.
+    fn read_map(&self) -> RwLockReadGuard<'_, BTreeMap<String, Vec<u8>>> {
+        self.map.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_map(&self) -> RwLockWriteGuard<'_, BTreeMap<String, Vec<u8>>> {
+        self.map.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Number of stored keys (diagnostics).
     pub fn len(&self) -> usize {
-        self.map.read().expect("mem store lock").len()
+        self.read_map().len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -216,40 +228,30 @@ impl MemStore {
 
     /// Total stored bytes over all keys (compression diagnostics).
     pub fn nbytes(&self) -> usize {
-        self.map
-            .read()
-            .expect("mem store lock")
-            .values()
-            .map(Vec::len)
-            .sum()
+        self.read_map().values().map(Vec::len).sum()
     }
 }
 
 impl StoreBackend for MemStore {
     fn put(&self, key: &str, bytes: &[u8]) -> Result<(), StoreError> {
-        self.map
-            .write()
-            .expect("mem store lock")
-            .insert(key.to_owned(), bytes.to_vec());
+        self.write_map().insert(key.to_owned(), bytes.to_vec());
         Ok(())
     }
 
     fn get(&self, key: &str) -> Result<Vec<u8>, StoreError> {
-        self.map
-            .read()
-            .expect("mem store lock")
+        self.read_map()
             .get(key)
             .cloned()
             .ok_or_else(|| StoreError::NotFound(key.to_owned()))
     }
 
     fn contains(&self, key: &str) -> Result<bool, StoreError> {
-        Ok(self.map.read().expect("mem store lock").contains_key(key))
+        Ok(self.read_map().contains_key(key))
     }
 
     fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
         // Slice under the read lock: no full-value clone for range reads.
-        let map = self.map.read().expect("mem store lock");
+        let map = self.read_map();
         let bytes = map
             .get(key)
             .ok_or_else(|| StoreError::NotFound(key.to_owned()))?;
@@ -257,7 +259,7 @@ impl StoreBackend for MemStore {
     }
 
     fn size(&self, key: &str) -> Result<u64, StoreError> {
-        let map = self.map.read().expect("mem store lock");
+        let map = self.read_map();
         map.get(key)
             .map(|b| b.len() as u64)
             .ok_or_else(|| StoreError::NotFound(key.to_owned()))
@@ -301,6 +303,24 @@ mod tests {
         // Reopen sees the same content.
         let again = DirStore::open(&root).unwrap();
         assert_eq!(again.get("a/b").unwrap(), b"rewritten");
+    }
+
+    #[test]
+    fn dir_store_put_rejects_segmentless_keys() {
+        let root = std::env::temp_dir()
+            .join("apc_store_backend_tests")
+            .join("badkey");
+        let _ = std::fs::remove_dir_all(&root);
+        let store = DirStore::create(&root).unwrap();
+        // `..` as the final component leaves no file name to write to; the
+        // put must fail typed, not panic or escape the root.
+        for key in ["..", "a/.."] {
+            assert!(
+                matches!(store.put(key, b"x"), Err(StoreError::BadKey(_))),
+                "key {key:?} must be rejected"
+            );
+        }
+        assert_eq!(std::fs::read_dir(&root).unwrap().count(), 0);
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub fn parse_object(text: &str) -> Result<Vec<(String, Value)>, String> {
         pos: 0,
     };
     p.skip_ws();
-    p.expect(b'{')?;
+    p.expect_byte(b'{')?;
     let mut fields = Vec::new();
     p.skip_ws();
     if p.peek() == Some(b'}') {
@@ -34,7 +34,7 @@ pub fn parse_object(text: &str) -> Result<Vec<(String, Value)>, String> {
             p.skip_ws();
             let key = p.string()?;
             p.skip_ws();
-            p.expect(b':')?;
+            p.expect_byte(b':')?;
             p.skip_ws();
             let value = p.value()?;
             fields.push((key, value));
@@ -75,7 +75,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, want: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, want: u8) -> Result<(), String> {
         match self.next() {
             Some(b) if b == want => Ok(()),
             other => Err(format!("expected {:?}, got {other:?}", want as char)),
@@ -85,7 +85,7 @@ impl Parser<'_> {
     /// A string literal (no escape sequences — keys and codec names never
     /// need them; a backslash is rejected loudly).
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let start = self.pos;
         loop {
             match self.next() {

@@ -41,7 +41,7 @@
 //! [`StoreError::Shard`], never a panic (`shard_adversarial` integration
 //! tests pin this).
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use crate::backend::slice_range;
@@ -84,7 +84,7 @@ pub fn shard_key_of(key: &str, chunks_per_shard: usize) -> Option<String> {
 pub struct ShardWriter {
     payload: Vec<u8>,
     entries: Vec<(String, u64, u64)>,
-    keys: HashSet<String>,
+    keys: BTreeSet<String>,
 }
 
 impl ShardWriter {
@@ -166,7 +166,7 @@ impl ShardWriter {
 struct ShardIndex {
     /// Entries in index order (the writer's append order).
     entries: Vec<(String, u64, u64)>,
-    by_key: HashMap<String, (u64, u64)>,
+    by_key: BTreeMap<String, (u64, u64)>,
 }
 
 impl ShardIndex {
@@ -193,6 +193,7 @@ impl ShardIndex {
                 format_args!("unsupported shard version {}", footer[15]),
             ));
         }
+        // apc-lint: allow(unwrap-in-lib): footer is FOOTER_LEN bytes by the read above; the 8-byte sub-slice is infallible
         let index_len = u64::from_le_bytes(footer[..8].try_into().expect("8-byte slice"));
         if index_len == 0 {
             return Err(shard_err(shard_key, "zero-entry shard"));
@@ -210,7 +211,7 @@ impl ShardIndex {
 
     fn parse(index: &[u8], payload_end: u64, shard_key: &str) -> Result<ShardIndex, StoreError> {
         let mut entries = Vec::new();
-        let mut by_key = HashMap::new();
+        let mut by_key = BTreeMap::new();
         let mut cur = 0usize;
         let take = |cur: &mut usize, n: usize| -> Result<std::ops::Range<usize>, StoreError> {
             let end = cur
@@ -223,6 +224,7 @@ impl ShardIndex {
         };
         while cur < index.len() {
             let key_len =
+                // apc-lint: allow(unwrap-in-lib): `take` returned exactly 2 bytes; the convert is infallible
                 u16::from_le_bytes(index[take(&mut cur, 2)?].try_into().expect("2 bytes")) as usize;
             if key_len == 0 {
                 return Err(shard_err(shard_key, "index entry with an empty key"));
@@ -230,7 +232,9 @@ impl ShardIndex {
             let key = std::str::from_utf8(&index[take(&mut cur, key_len)?])
                 .map_err(|_| shard_err(shard_key, "index entry key is not UTF-8"))?
                 .to_owned();
+            // apc-lint: allow(unwrap-in-lib): `take` returned exactly 8 bytes; the convert is infallible
             let offset = u64::from_le_bytes(index[take(&mut cur, 8)?].try_into().expect("8 bytes"));
+            // apc-lint: allow(unwrap-in-lib): `take` returned exactly 8 bytes; the convert is infallible
             let len = u64::from_le_bytes(index[take(&mut cur, 8)?].try_into().expect("8 bytes"));
             if offset
                 .checked_add(len)
@@ -321,7 +325,7 @@ impl<'a, B: StoreBackend + ?Sized> ShardReader<'a, B> {
     }
 }
 
-type Pending = HashMap<String, Vec<(String, Vec<u8>)>>;
+type Pending = BTreeMap<String, Vec<(String, Vec<u8>)>>;
 
 /// A [`StoreBackend`] adapter that packs numeric-tailed keys into shard
 /// containers, `chunks_per_shard` at a time, while non-numeric keys
@@ -342,7 +346,7 @@ pub struct ShardedStore<B: StoreBackend> {
     inner: B,
     chunks_per_shard: usize,
     pending: Mutex<Pending>,
-    indexes: RwLock<HashMap<String, Arc<ShardIndex>>>,
+    indexes: RwLock<BTreeMap<String, Arc<ShardIndex>>>,
 }
 
 impl<B: StoreBackend> ShardedStore<B> {
@@ -352,8 +356,8 @@ impl<B: StoreBackend> ShardedStore<B> {
         Self {
             inner,
             chunks_per_shard,
-            pending: Mutex::new(HashMap::new()),
-            indexes: RwLock::new(HashMap::new()),
+            pending: Mutex::new(BTreeMap::new()),
+            indexes: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -468,6 +472,7 @@ impl<B: StoreBackend> StoreBackend for ShardedStore<B> {
             None => group.push((key.to_owned(), bytes.to_vec())),
         }
         if group.len() >= self.chunks_per_shard {
+            // apc-lint: allow(unwrap-in-lib): the group was inserted two lines up under this same lock guard
             let items = pending.remove(&sk).expect("group just filled");
             self.seal(&sk, items)?;
         }

@@ -55,7 +55,7 @@ fn main() {
         img.write_pgm(&path).expect("write scoremap");
         let top = scores
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("blocks scored");
         let (bi, bj, bk) = dataset.decomp().block_coords(top.0);
         println!(
