@@ -31,6 +31,14 @@ echo "==> shard container suite (partial reads + adversarial inputs)"
 # in the shard layer is impossible to miss in the CI log.
 cargo test -q -p apc-store --test sharding --test shard_adversarial
 
+echo "==> chunk cache suite (LRU/readahead units + cache-on/off properties)"
+# Also covered by the runs above; named explicitly because the cache's
+# transparency contract (byte-identical replay with the cache on vs off,
+# Serial vs Threads) is a PR-8 acceptance pin.
+cargo test -q -p apc-store --lib cache
+cargo test -q --test properties -- cached_backend_is_transparent_under_random_traffic \
+  cache_and_prefetch_do_not_perturb_replay
+
 echo "==> rustdoc lint (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

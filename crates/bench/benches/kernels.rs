@@ -36,8 +36,8 @@ use std::time::Instant;
 
 use apc_bench::harness::print_table;
 use apc_cm1::{
-    open_dataset, write_dataset, write_dataset_sharded, write_dataset_sharded_to, write_dataset_to,
-    ReflectivityDataset, StormModel, DBZ_ISOVALUE,
+    open_dataset, open_dataset_cached, write_dataset, write_dataset_sharded,
+    write_dataset_sharded_to, write_dataset_to, ReflectivityDataset, StormModel, DBZ_ISOVALUE,
 };
 use apc_comm::{sort, NetModel, Runtime};
 use apc_compress::{probe_ratios, FloatCodec, Fpz, Lz77, Zfpx};
@@ -524,12 +524,85 @@ fn bench_store_read(rec: &mut Recorder) {
     ]);
     let _ = std::fs::remove_dir_all(&shard_dir);
 
+    // The chunk cache + readahead over the same sharded dir layout. Cold
+    // = first touch through an emptied cache (range reads + insert
+    // bookkeeping); warm = repeat reads answered from memory (no disk, no
+    // shard index, no range syscalls — only the fpz decode remains);
+    // prefetch_seq = a sequential sweep over every iteration, where
+    // readahead keeps the next iteration's chunks one step ahead of
+    // demand. Cold and warm use the *last* iteration (no successor), so
+    // their timings measure the cache itself, not prefetch I/O.
+    let iters3 = dataset.sample_iterations(3);
+    let cache_dir = std::env::temp_dir().join("apc_kernels_bench_store_cached");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    write_dataset_sharded(
+        &dataset,
+        &iters3,
+        &cache_dir,
+        CodecKind::Fpz,
+        CHUNKS_PER_SHARD,
+    )
+    .expect("write cached-bench dir store");
+    let cached = open_dataset_cached(&cache_dir, 8 << 20).expect("reopen cached dir store");
+    for &i in &iters3 {
+        assert_eq!(
+            cached.rank_blocks(i, 0).expect("read"),
+            dataset.rank_blocks(i, 0),
+            "cached read must be bit-exact (iteration {i})"
+        );
+    }
+    let it_last = *iters3.last().expect("three iterations");
+    let t_cold = time_median(runs, || {
+        cached.cache_clear();
+        cached.rank_blocks(it_last, 0).expect("read")
+    });
+    rec.wall("store/cached_read_cold", t_cold);
+    rows.push(vec![
+        "cached dir / fpz (cold)".into(),
+        format!("{:.3}", t_cold * 1e3),
+        String::from("-"),
+        String::from("-"),
+    ]);
+    cached.cache_clear();
+    let _ = cached.rank_blocks(it_last, 0).expect("warmup read");
+    let t_warm = time_median(runs, || cached.rank_blocks(it_last, 0).expect("read"));
+    rec.wall("store/cached_read_warm", t_warm);
+    rows.push(vec![
+        "cached dir / fpz (warm)".into(),
+        format!("{:.3}", t_warm * 1e3),
+        String::from("-"),
+        String::from("-"),
+    ]);
+    let t_seq = time_median(runs, || {
+        cached.cache_clear();
+        for &i in &iters3 {
+            cached.rank_blocks(i, 0).expect("read");
+        }
+    });
+    rec.wall("store/prefetch_seq", t_seq);
+    rows.push(vec![
+        format!("cached dir / fpz (seq sweep, {} iters)", iters3.len()),
+        format!("{:.3}", t_seq * 1e3),
+        String::from("-"),
+        String::from("-"),
+    ]);
+    let cache_stats = cached.cache_stats().expect("cached open reports stats");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
     print_table(
         "block input: store read vs in-memory generation (one rank, one iteration)",
         &["source", "ms/rank", "stored MB (all ranks)", "ratio"],
         &rows,
     );
     println!("store reads bit-exact vs generation for every lossless codec ✓");
+    println!(
+        "cached warm read {:.2}x vs uncached sharded dir; readahead over the \
+         sweep: {} prefetched, {} used, {} wasted",
+        t_shard_dir / t_warm.max(1e-12),
+        cache_stats.prefetched,
+        cache_stats.prefetch_used,
+        cache_stats.prefetched - cache_stats.prefetch_used
+    );
 }
 
 fn bench_metrics(rec: &mut Recorder) {

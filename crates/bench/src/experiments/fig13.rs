@@ -72,7 +72,7 @@ pub fn run(ctx: &Ctx, scale: &Scale) {
             .with_persist(sink);
         let serve = ServeParams::new(clients, 8, policy)
             .with_think_time(1.0)
-            .with_cache_frames(4);
+            .with_cache_bytes(256 << 10);
         prepared.run_staged_serving(base.clone().with_staged(params), &iters, &serve)
     };
 

@@ -20,8 +20,8 @@ use std::path::Path;
 
 use apc_grid::{Block, BlockData, BlockId, DomainDecomp, RectilinearCoords};
 use apc_store::{
-    ChunkedDataset, CodecKind, DatasetMeta, DirStore, DynChunkedDataset, ShardedStore,
-    StoreBackend, StoreError,
+    CacheStats, ChunkedDataset, CodecKind, DatasetMeta, DirStore, DynChunkedDataset, ShardedStore,
+    SharedCachedBackend, StoreBackend, StoreError,
 };
 
 use crate::dataset::ReflectivityDataset;
@@ -136,6 +136,12 @@ pub fn open_dataset(dir: &Path) -> Result<StoredTimeSeries, StoreError> {
     StoredTimeSeries::from_backend(Box::new(DirStore::open(dir)?))
 }
 
+/// [`open_dataset`] with a chunk cache + iteration-order readahead over
+/// the backend (see [`StoredTimeSeries::from_backend_cached`]).
+pub fn open_dataset_cached(dir: &Path, cache_bytes: usize) -> Result<StoredTimeSeries, StoreError> {
+    StoredTimeSeries::from_backend_cached(Box::new(DirStore::open(dir)?), cache_bytes)
+}
+
 /// A reopened stored time series: chunked block data plus the
 /// deterministic geometry rebuilt from the metadata.
 ///
@@ -146,6 +152,9 @@ pub fn open_dataset(dir: &Path) -> Result<StoredTimeSeries, StoreError> {
 pub struct StoredTimeSeries {
     store: DynChunkedDataset,
     geometry: ReflectivityDataset,
+    /// Present when opened through [`StoredTimeSeries::from_backend_cached`]:
+    /// the caching layer's handle, kept for statistics and cache control.
+    cache: Option<SharedCachedBackend>,
 }
 
 impl StoredTimeSeries {
@@ -157,7 +166,46 @@ impl StoredTimeSeries {
         let store = ChunkedDataset::open_auto(backend)?;
         let geometry =
             ReflectivityDataset::new(*store.decomp(), StormModel::new(store.meta().seed));
-        Ok(Self { store, geometry })
+        Ok(Self {
+            store,
+            geometry,
+            cache: None,
+        })
+    }
+
+    /// [`StoredTimeSeries::from_backend`] with a byte-budgeted chunk
+    /// cache and iteration-order readahead layered over the (possibly
+    /// sharded) backend: repeat reads of a chunk are answered from
+    /// memory, and a sequential replay prefetches the next iteration's
+    /// chunk for the same rank. Replay results are byte-identical to the
+    /// uncached open; only speed and [`StoredTimeSeries::cache_stats`]
+    /// change.
+    pub fn from_backend_cached(
+        backend: Box<dyn StoreBackend>,
+        cache_bytes: usize,
+    ) -> Result<Self, StoreError> {
+        let (store, cache) = ChunkedDataset::open_auto_cached(backend, cache_bytes)?;
+        let geometry =
+            ReflectivityDataset::new(*store.decomp(), StormModel::new(store.meta().seed));
+        Ok(Self {
+            store,
+            geometry,
+            cache: Some(cache),
+        })
+    }
+
+    /// Chunk-cache counters, when this series was opened through
+    /// [`StoredTimeSeries::from_backend_cached`].
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Drop every cached chunk (counters keep counting); no-op without a
+    /// cache. Lets benchmarks measure cold reads from a warm process.
+    pub fn cache_clear(&self) {
+        if let Some(c) = &self.cache {
+            c.clear();
+        }
     }
 
     /// The geometry twin of the stored dataset (decomposition +
@@ -306,6 +354,47 @@ mod tests {
             max_err > 0.0,
             "zfpx at tol {tol} should not be bit-exact here"
         );
+    }
+
+    #[test]
+    fn cached_open_replays_identically_and_prefetches() {
+        let dataset = ReflectivityDataset::tiny(4, 55).unwrap();
+        let dir = tmp_dir("cached-roundtrip");
+        write_dataset_sharded(&dataset, &[100, 200, 300], &dir, CodecKind::Fpz, 48).unwrap();
+
+        let plain = open_dataset(&dir).unwrap();
+        assert!(plain.cache_stats().is_none());
+        let cached = open_dataset_cached(&dir, 8 << 20).unwrap();
+
+        // Sequential replay, every rank: bytes identical to the uncached
+        // open, and readahead keeps pulling the next iteration's chunks.
+        for &it in &[100usize, 200, 300] {
+            for rank in 0..4 {
+                assert_eq!(
+                    cached.rank_blocks(it, rank).unwrap(),
+                    plain.rank_blocks(it, rank).unwrap(),
+                    "iter {it} rank {rank}"
+                );
+            }
+        }
+        let first = cached.cache_stats().unwrap();
+        assert!(first.prefetched > 0, "sequential replay must prefetch");
+        assert!(first.prefetch_used > 0, "prefetched chunks must be used");
+
+        // A second sweep is answered from memory: no new misses.
+        for &it in &[100usize, 200, 300] {
+            for rank in 0..4 {
+                cached.rank_blocks(it, rank).unwrap();
+            }
+        }
+        let second = cached.cache_stats().unwrap();
+        assert_eq!(second.misses, first.misses, "warm sweep must not miss");
+        assert!(second.hits > first.hits);
+
+        // cache_clear drops contents, so the next sweep misses again.
+        cached.cache_clear();
+        cached.rank_blocks(100, 0).unwrap();
+        assert!(cached.cache_stats().unwrap().misses > second.misses);
     }
 
     #[test]

@@ -119,6 +119,12 @@ impl Prepared {
     /// so datasets larger than memory stream through. The prepared
     /// iteration set is exactly the stored one.
     ///
+    /// A series opened through [`apc_cm1::open_dataset_cached`] /
+    /// `StoredTimeSeries::from_backend_cached` layers the shared chunk
+    /// cache + iteration-order readahead under these reads; replay
+    /// results are byte-identical either way (`tests/properties.rs` pins
+    /// this), only read speed changes.
+    ///
     /// A failed chunk read panics inside the owning rank, which fails the
     /// run loudly and poisons the session — the same contract as any rank
     /// panic.

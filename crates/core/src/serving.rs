@@ -7,11 +7,12 @@
 //! additions wired through the stager's per-frame hook:
 //!
 //! * every rendered frame is **persisted** through the config's
-//!   [`FrameSink`] and seeded into the stager's LRU [`FrameCache`];
+//!   [`FrameSink`] and seeded into the stager's byte-bounded LRU
+//!   [`FrameCache`];
 //! * after rendering frame `k`, the stager **serves its clients** up to
-//!   frame `k`'s request quota over `apc_comm`'s request/reply endpoints,
-//!   answering from the cache when it can and charging a virtual
-//!   store-read when it cannot.
+//!   frame `k`'s request quota over `apc_comm`'s request/reply endpoints.
+//!   Virtual read charges are cache-aware: a cache hit costs zero, a miss
+//!   charges the ranged store read of the encoded stream's bytes.
 //!
 //! Client ranks issue a deterministic request mix ([`FrameRequest`]:
 //! `Latest` / `AtIteration` / `Range`, some deliberately targeting frames
@@ -57,8 +58,9 @@ pub struct ServeParams {
     /// Virtual seconds a client waits between a reply and its next
     /// request.
     pub think_time: f64,
-    /// Capacity of each stager's LRU hot-frame cache, in frames.
-    pub cache_frames: usize,
+    /// Byte budget of each stager's LRU hot-frame cache (0 disables
+    /// caching — the uncached baseline).
+    pub cache_bytes: usize,
 }
 
 impl ServeParams {
@@ -73,7 +75,7 @@ impl ServeParams {
             requests_per_client,
             policy,
             think_time: 0.0,
-            cache_frames: 4,
+            cache_bytes: 1 << 20,
         }
     }
 
@@ -87,9 +89,10 @@ impl ServeParams {
         self
     }
 
-    /// Set the per-stager hot-frame cache capacity (0 disables caching).
-    pub fn with_cache_frames(mut self, frames: usize) -> Self {
-        self.cache_frames = frames;
+    /// Set the per-stager hot-frame cache byte budget (0 disables
+    /// caching).
+    pub fn with_cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
         self
     }
 
@@ -292,7 +295,7 @@ impl<'a> StagerServe<'a> {
             sink,
             iterations,
             requests_per_client: serve.requests_per_client,
-            cache: FrameCache::new(serve.cache_frames),
+            cache: FrameCache::new(serve.cache_bytes),
             clients: client_ranks
                 .into_iter()
                 .map(|r| ClientConn {
@@ -429,14 +432,17 @@ impl<'a> StagerServe<'a> {
         }
     }
 
-    /// Assemble a reply, answering each frame from the cache or — with a
-    /// virtual read charge — from the frame store.
+    /// Assemble a reply, answering each frame from the cache or the frame
+    /// store. Virtual read charges are cache-aware: a hit moves no bytes
+    /// and charges nothing; a miss charges the ranged read of exactly the
+    /// encoded stream's bytes (`FrameStore::encoded` reads that byte
+    /// range and nothing more, flat or sharded).
     fn build_reply(&mut self, rank: &mut Rank, exact: bool, idxs: &[usize]) -> FrameReply {
         let mut frames = Vec::with_capacity(idxs.len());
         for &idx in idxs {
             let it = self.iterations[idx] as u64;
             let key = (it, self.slot);
-            let (stream, cache_hit) = match self.cache.get(key) {
+            let (stream, cache_hit) = match self.cache.get(&key) {
                 Some(s) => (s.to_vec(), true),
                 None => {
                     let s = self
@@ -705,16 +711,16 @@ mod tests {
     /// the tiny dataset, returning the run and its backing store.
     fn tiny_serving(
         policy: ServePolicy,
-        cache_frames: usize,
+        cache_bytes: usize,
     ) -> (ServingRun, Arc<dyn StoreBackend>, Vec<usize>) {
-        tiny_serving_with(policy, cache_frames, None)
+        tiny_serving_with(policy, cache_bytes, None)
     }
 
     /// [`tiny_serving`] with a frame layout choice: `Some(n)` persists
     /// through a sharded sink, `n` frames per shard container.
     fn tiny_serving_with(
         policy: ServePolicy,
-        cache_frames: usize,
+        cache_bytes: usize,
         shard: Option<usize>,
     ) -> (ServingRun, Arc<dyn StoreBackend>, Vec<usize>) {
         let dataset = ReflectivityDataset::tiny(8, 42).unwrap();
@@ -733,7 +739,7 @@ mod tests {
             .with_staged(params);
         let serve = ServeParams::new(4, 6, policy)
             .with_think_time(0.1)
-            .with_cache_frames(cache_frames);
+            .with_cache_bytes(cache_bytes);
         let run = run_staged_serving_prepared(
             dataset.decomp(),
             dataset.coords(),
@@ -748,7 +754,7 @@ mod tests {
 
     #[test]
     fn serving_run_persists_and_answers_every_request() {
-        let (run, backend, iters) = tiny_serving(ServePolicy::WaitForFrame, 4);
+        let (run, backend, iters) = tiny_serving(ServePolicy::WaitForFrame, 64 << 10);
         // Every client's every request is logged and carried frames.
         assert_eq!(run.requests.len(), 4 * 6);
         assert!(run.frames_served() > 0);
@@ -785,8 +791,10 @@ mod tests {
     /// store's key population differs.
     #[test]
     fn sharded_sink_serves_byte_identically() {
-        let (plain, plain_backend, iters) = tiny_serving_with(ServePolicy::BestEffort, 4, None);
-        let (sharded, sharded_backend, _) = tiny_serving_with(ServePolicy::BestEffort, 4, Some(3));
+        let (plain, plain_backend, iters) =
+            tiny_serving_with(ServePolicy::BestEffort, 64 << 10, None);
+        let (sharded, sharded_backend, _) =
+            tiny_serving_with(ServePolicy::BestEffort, 64 << 10, Some(3));
         assert_eq!(plain.requests, sharded.requests);
         assert_eq!(plain.frames_served(), sharded.frames_served());
         assert_eq!(plain.cache_hit_rate(), sharded.cache_hit_rate());
@@ -814,7 +822,7 @@ mod tests {
 
     #[test]
     fn wait_for_frame_defers_racing_requests() {
-        let (run, ..) = tiny_serving(ServePolicy::WaitForFrame, 4);
+        let (run, ..) = tiny_serving(ServePolicy::WaitForFrame, 64 << 10);
         assert!(
             run.total_deferred() > 0,
             "the request mix targets frames ahead of production"
@@ -824,7 +832,7 @@ mod tests {
 
     #[test]
     fn best_effort_never_defers_but_substitutes() {
-        let (run, ..) = tiny_serving(ServePolicy::BestEffort, 4);
+        let (run, ..) = tiny_serving(ServePolicy::BestEffort, 64 << 10);
         assert_eq!(run.total_deferred(), 0, "best effort never waits");
         assert!(
             run.total_inexact() > 0,
@@ -834,7 +842,7 @@ mod tests {
 
     #[test]
     fn cache_capacity_drives_hit_rate() {
-        let (cached, ..) = tiny_serving(ServePolicy::BestEffort, 16);
+        let (cached, ..) = tiny_serving(ServePolicy::BestEffort, 1 << 20);
         let (uncached, ..) = tiny_serving(ServePolicy::BestEffort, 0);
         assert!(cached.cache_hit_rate() > 0.0, "a roomy cache must hit");
         assert_eq!(uncached.cache_hit_rate(), 0.0, "no cache, no hits");
@@ -922,10 +930,10 @@ mod tests {
     fn serve_params_builders() {
         let p = ServeParams::new(4, 6, ServePolicy::WaitForFrame)
             .with_think_time(0.25)
-            .with_cache_frames(2);
+            .with_cache_bytes(2048);
         assert_eq!(p.clients, 4);
         assert_eq!(p.requests_per_client, 6);
         assert_eq!(p.think_time, 0.25);
-        assert_eq!(p.cache_frames, 2);
+        assert_eq!(p.cache_bytes, 2048);
     }
 }

@@ -1,112 +1,44 @@
-//! The bounded LRU hot-frame cache a serving stager answers from.
+//! The hot-frame cache a serving stager answers from — since PR 8 a typed
+//! alias of the generalized, byte-bounded chunk cache in
+//! [`apc_store::cache`] (one LRU implementation shared by every reader in
+//! the workspace).
 //!
 //! A stager inserts every frame it renders (the hot path: `Latest`
 //! requests always hit), and requests for older frames fall back to a
 //! store read whose virtual cost the serving executor charges — so the
 //! cache hit rate is directly a virtual-latency lever, which is what the
-//! fig13 experiment measures. Pure map/deque arithmetic: eviction order
-//! depends only on the access sequence, never on wall-clock, so serving
-//! runs replay deterministically.
+//! fig13 experiment measures. Capacity is a *byte budget*, not an entry
+//! count, so a run with large frames stays memory-bounded; recency is
+//! pure sequence-number arithmetic (`O(log n)`, no wall-clock), so
+//! serving runs replay deterministically.
 
-use std::collections::{BTreeMap, VecDeque};
+pub use apc_store::cache::{CacheStats, ChunkCache};
 
 /// Cache key: `(iteration, stager)` — the frame coordinate within a run.
 pub type FrameKey = (u64, u32);
 
-/// A bounded least-recently-used cache of encoded frame streams.
-#[derive(Debug)]
-pub struct FrameCache {
-    capacity: usize,
-    map: BTreeMap<FrameKey, Vec<u8>>,
-    /// Keys from least- to most-recently used.
-    order: VecDeque<FrameKey>,
-    hits: usize,
-    misses: usize,
-}
-
-impl FrameCache {
-    /// A cache holding at most `capacity` frames. Zero capacity is a
-    /// legal degenerate cache that misses everything (used to measure the
-    /// uncached baseline).
-    pub fn new(capacity: usize) -> Self {
-        Self {
-            capacity,
-            map: BTreeMap::new(),
-            order: VecDeque::new(),
-            hits: 0,
-            misses: 0,
-        }
-    }
-
-    pub fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
-    }
-
-    pub fn hits(&self) -> usize {
-        self.hits
-    }
-
-    pub fn misses(&self) -> usize {
-        self.misses
-    }
-
-    /// Look up a frame, counting the hit or miss and refreshing recency
-    /// on a hit.
-    pub fn get(&mut self, key: FrameKey) -> Option<&[u8]> {
-        if self.map.contains_key(&key) {
-            self.hits += 1;
-            self.touch(key);
-            self.map.get(&key).map(Vec::as_slice)
-        } else {
-            self.misses += 1;
-            None
-        }
-    }
-
-    /// Insert (or refresh) a frame, evicting the least-recently-used
-    /// entry when full. Does not count as a hit or miss.
-    pub fn put(&mut self, key: FrameKey, stream: Vec<u8>) {
-        if self.capacity == 0 {
-            return;
-        }
-        if self.map.insert(key, stream).is_none() {
-            self.order.push_back(key);
-            if self.order.len() > self.capacity {
-                // apc-lint: allow(unwrap-in-lib): order.len() > capacity >= 1 on this branch, so the deque is non-empty
-                let evicted = self.order.pop_front().expect("order tracks map");
-                self.map.remove(&evicted);
-            }
-        } else {
-            self.touch(key);
-        }
-    }
-
-    fn touch(&mut self, key: FrameKey) {
-        if let Some(pos) = self.order.iter().position(|&k| k == key) {
-            self.order.remove(pos);
-            self.order.push_back(key);
-        }
-    }
-}
+/// A byte-bounded LRU cache of encoded frame streams
+/// ([`apc_store::cache::ChunkCache`] keyed by [`FrameKey`]).
+pub type FrameCache = ChunkCache<FrameKey>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    // The pre-PR-8 FrameCache semantics, preserved under byte accounting:
+    // with one-byte frames, a budget of N bytes behaves exactly like the
+    // old N-entry capacity.
 
     #[test]
     fn lru_evicts_least_recently_used() {
         let mut cache = FrameCache::new(2);
         cache.put((1, 0), vec![1]);
         cache.put((2, 0), vec![2]);
-        assert_eq!(cache.get((1, 0)), Some(&[1u8][..])); // 1 is now hottest
+        assert_eq!(cache.get(&(1, 0)), Some(&[1u8][..])); // 1 is now hottest
         cache.put((3, 0), vec![3]); // evicts 2
-        assert_eq!(cache.get((2, 0)), None);
-        assert_eq!(cache.get((1, 0)), Some(&[1u8][..]));
-        assert_eq!(cache.get((3, 0)), Some(&[3u8][..]));
+        assert_eq!(cache.get(&(2, 0)), None);
+        assert_eq!(cache.get(&(1, 0)), Some(&[1u8][..]));
+        assert_eq!(cache.get(&(3, 0)), Some(&[3u8][..]));
         assert_eq!((cache.hits(), cache.misses()), (3, 1));
         assert_eq!(cache.len(), 2);
     }
@@ -118,17 +50,28 @@ mod tests {
         cache.put((2, 0), vec![2]);
         cache.put((1, 0), vec![9]); // refresh, 2 becomes coldest
         cache.put((3, 0), vec![3]); // evicts 2
-        assert_eq!(cache.get((1, 0)), Some(&[9u8][..]));
-        assert_eq!(cache.get((2, 0)), None);
+        assert_eq!(cache.get(&(1, 0)), Some(&[9u8][..]));
+        assert_eq!(cache.get(&(2, 0)), None);
         assert_eq!(cache.len(), 2);
     }
 
     #[test]
-    fn zero_capacity_misses_everything() {
+    fn zero_budget_misses_everything() {
         let mut cache = FrameCache::new(0);
         cache.put((1, 0), vec![1]);
         assert!(cache.is_empty());
-        assert_eq!(cache.get((1, 0)), None);
+        assert_eq!(cache.get(&(1, 0)), None);
         assert_eq!((cache.hits(), cache.misses()), (0, 1));
+    }
+
+    #[test]
+    fn frames_are_charged_by_encoded_size() {
+        let mut cache = FrameCache::new(100);
+        cache.put((1, 0), vec![0; 60]);
+        cache.put((2, 0), vec![0; 60]); // 120 > 100: (1,0) evicted
+        assert_eq!(cache.get(&(1, 0)), None);
+        assert!(cache.get(&(2, 0)).is_some());
+        assert_eq!(cache.used_bytes(), 60);
+        assert_eq!(cache.stats().evicted_bytes, 60);
     }
 }

@@ -20,8 +20,10 @@
 //!   a [`ServePolicy`] deciding what happens when a request races frame
 //!   production (wait for the frame, or answer best-effort with the
 //!   newest one available);
-//! * [`FrameCache`] — the bounded LRU hot-frame cache a serving stager
-//!   answers from before falling back to store reads.
+//! * [`FrameCache`] — the byte-bounded LRU hot-frame cache a serving
+//!   stager answers from before falling back to store reads; since PR 8 a
+//!   [`FrameKey`]-typed alias of the generalized
+//!   `apc_store::cache::ChunkCache` every reader shares.
 //!
 //! The crate is deliberately runtime-agnostic: it defines payloads,
 //! persistence and cache arithmetic, all deterministic; the SPMD serving
@@ -45,7 +47,7 @@ pub mod frame;
 pub mod protocol;
 pub mod store;
 
-pub use cache::FrameCache;
+pub use cache::{FrameCache, FrameKey};
 pub use frame::Frame;
 pub use protocol::{FrameReply, FrameRequest, ServePolicy, ServedFrame};
 pub use store::{FrameSink, FrameStore, RunManifest};

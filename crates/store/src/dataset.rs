@@ -1,8 +1,11 @@
 //! The chunked dataset: a time series of 3D arrays over a backend.
 
+use std::sync::Arc;
+
 use apc_grid::{Block, BlockData, BlockId, Dims3, DomainDecomp};
 
 use crate::backend::StoreBackend;
+use crate::cache::{CachedBackend, Readahead, SharedCachedBackend};
 use crate::meta::{DatasetMeta, META_KEY};
 use crate::shard::ShardedStore;
 use crate::StoreError;
@@ -77,6 +80,35 @@ impl<B: StoreBackend> ChunkedDataset<B> {
             Some(n) => ChunkedDataset::open(Box::new(ShardedStore::new(backend, n)) as _),
             None => ChunkedDataset::open(Box::new(backend) as _),
         }
+    }
+
+    /// [`ChunkedDataset::open_auto`] with a chunk cache (and iteration-
+    /// order readahead) layered over the layout adapter: logical chunk
+    /// payloads are cached whole against a `cache_bytes` budget, and a
+    /// sequential replay prefetches the next iteration's chunk for the
+    /// same rank. Also returns the [`CachedBackend`] handle so callers
+    /// can observe hit/miss/prefetch statistics.
+    ///
+    /// The cache sits *above* any [`ShardedStore`], so a warm hit skips
+    /// the shard index and range read entirely, and one cached entry maps
+    /// to one logical chunk regardless of layout.
+    pub fn open_auto_cached(
+        backend: B,
+        cache_bytes: usize,
+    ) -> Result<(DynChunkedDataset, SharedCachedBackend), StoreError>
+    where
+        B: 'static,
+    {
+        let probe = ChunkedDataset::open(&backend)?;
+        let readahead = Readahead::new(probe.meta().iterations.iter().map(|&i| i as u64).collect());
+        let shard_chunks = probe.meta().shard_chunks;
+        let layered: Box<dyn StoreBackend> = match shard_chunks {
+            Some(n) => Box::new(ShardedStore::new(backend, n)),
+            None => Box::new(backend),
+        };
+        let cached = Arc::new(CachedBackend::new(layered, cache_bytes).with_readahead(readahead));
+        let ds = ChunkedDataset::open(Box::new(Arc::clone(&cached)) as Box<dyn StoreBackend>)?;
+        Ok((ds, cached))
     }
 
     pub fn meta(&self) -> &DatasetMeta {

@@ -122,7 +122,7 @@ fn serve_path_ships_the_persisted_bytes() {
     let (best, store_b) = run_with(
         &ServeParams::new(4, 8, ServePolicy::BestEffort)
             .with_think_time(0.1)
-            .with_cache_frames(0),
+            .with_cache_bytes(0),
     );
     assert_eq!(wait.requests.len(), 4 * 8);
     assert!(wait.frames_served() > 0 && best.frames_served() > 0);
@@ -151,6 +151,75 @@ fn serve_path_ships_the_persisted_bytes() {
     let manifest = FrameStore::new(&*store_a, "run").manifest().unwrap();
     assert_eq!(manifest.iterations, iters);
     assert_eq!(manifest.n_stagers, VIZ);
+}
+
+/// PR 8 acceptance pin: serving with the byte-bounded frame cache on vs
+/// off. What is *served and persisted* must be identical bytes — staged
+/// reports, frame streams on the backend, request traffic — while the
+/// virtual read charges are cache-aware (hit = zero charge, miss = the
+/// ranged read), so the uncached run's tail latency can only be equal or
+/// worse. Each configuration additionally replays **byte-identically**
+/// (reports, latencies, and frame bytes) against a rerun of itself.
+#[test]
+fn cache_on_vs_off_serving_is_pinned() {
+    let dataset = ReflectivityDataset::tiny(8, 42).unwrap();
+    let iters = dataset.sample_iterations(3);
+    let run_with = |cache_bytes: usize| {
+        let backend: Arc<dyn StoreBackend> = Arc::new(MemStore::new());
+        let sink = FrameSink::new(Arc::clone(&backend), "run", CodecKind::Fpz);
+        let serve = ServeParams::new(4, 8, ServePolicy::BestEffort)
+            .with_think_time(0.1)
+            .with_cache_bytes(cache_bytes);
+        let run = run_staged_serving_prepared(
+            dataset.decomp(),
+            dataset.coords(),
+            &staged_config(sink),
+            &iters,
+            &serve,
+            NetModel::blue_waters(),
+            |it, rank| dataset.rank_blocks(it, rank),
+        );
+        (run, backend)
+    };
+
+    let (cached, cached_store) = run_with(1 << 20);
+    let (cached2, _) = run_with(1 << 20);
+    let (uncached, uncached_store) = run_with(0);
+    let (uncached2, _) = run_with(0);
+
+    // Replay determinism per configuration: the whole run — reports,
+    // per-request latencies, served frame bytes — is byte-identical.
+    assert_eq!(cached, cached2, "cache-on run must replay identically");
+    assert_eq!(uncached, uncached2, "cache-off run must replay identically");
+
+    // Across configurations, the rendered and persisted frames agree.
+    for &it in &iters {
+        for stager in 0..VIZ as u32 {
+            assert_eq!(
+                cached_store
+                    .get(&frame_key("run", it as u64, stager))
+                    .unwrap(),
+                uncached_store
+                    .get(&frame_key("run", it as u64, stager))
+                    .unwrap(),
+                "the cache must not perturb persisted frames"
+            );
+        }
+    }
+    let reports = |r: &insitu::pipeline::ServingRun| {
+        r.staged.frames.iter().map(|f| f.report).collect::<Vec<_>>()
+    };
+    assert_eq!(reports(&cached), reports(&uncached));
+    assert_eq!(cached.frames_served(), uncached.frames_served());
+    assert_eq!(cached.requests.len(), uncached.requests.len());
+
+    // The cache is purely a virtual-latency lever.
+    assert!(cached.cache_hit_rate() > 0.0);
+    assert_eq!(uncached.cache_hit_rate(), 0.0);
+    assert!(
+        uncached.latency_percentile(99.0) >= cached.latency_percentile(99.0) - 1e-12,
+        "cache misses must not improve tail latency"
+    );
 }
 
 /// One-shot serving (fresh runtime) and in-session serving (a `Prepared`'s

@@ -207,7 +207,9 @@ fn serving_once(policy: ServePolicy, exec: ExecPolicy) -> ServingRun {
         .with_staged(params);
     let serve = ServeParams::new(3, 6, policy)
         .with_think_time(0.1)
-        .with_cache_frames(2);
+        // A deliberately tight byte budget: evictions happen mid-run and
+        // must still replay bit-identically.
+        .with_cache_bytes(2048);
     run_staged_serving_prepared(
         dataset.decomp(),
         dataset.coords(),
