@@ -39,6 +39,14 @@ cargo test -q -p apc-store --lib cache
 cargo test -q --test properties -- cached_backend_is_transparent_under_random_traffic \
   cache_and_prefetch_do_not_perturb_replay
 
+echo "==> replay serving suite (pool routing, stealing, QoS determinism)"
+# Covered by the runs above, but named explicitly: byte-identical replay
+# across exec policies, session reuse, and frame layouts is the PR-9
+# acceptance pin for the standalone replay server pool.
+cargo test -q -p apc-replay
+cargo test -q --test replay_fanout
+cargo test -q -p apc-comm --test session_stress -- replay_server_death stealing_under_churn
+
 echo "==> rustdoc lint (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

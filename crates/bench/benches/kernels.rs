@@ -723,6 +723,67 @@ fn bench_distributed_sort(rec: &mut Recorder) {
     );
 }
 
+fn bench_replay_fanout(rec: &mut Recorder) {
+    // A miniature fig14: 4 replay servers, 16 clients, 8 requests each
+    // over a persisted 8-iteration run — one wall row per routing mode,
+    // with the modeled p99 latency as the virtual column.
+    use std::sync::Arc;
+
+    use apc_core::run_replay_serving;
+    use apc_replay::{synth_run, ArrivalTrace, PoolParams, RouteMode, TraceSpec};
+    use apc_serve::open_run;
+    use apc_store::StoreBackend;
+
+    const RUN_ID: &str = "bench-replay";
+    let iterations: Vec<usize> = (1..=8).map(|i| i * 100).collect();
+    let backend: Arc<dyn StoreBackend> = Arc::new(MemStore::new());
+    synth_run(
+        Arc::clone(&backend),
+        RUN_ID,
+        &iterations,
+        4,
+        16,
+        12,
+        CodecKind::Fpz,
+        None,
+    );
+    let (_, manifest) = open_run(Arc::clone(&backend), RUN_ID).expect("bench fixture opens");
+    let tr = ArrivalTrace::generate(&TraceSpec::new(16, 8, 42), &manifest);
+
+    let mut rows = Vec::new();
+    for (slug, mode) in [
+        ("pinned", RouteMode::Pinned),
+        ("routed", RouteMode::Routed),
+        ("steal", RouteMode::RoutedStealing),
+    ] {
+        let params = PoolParams::new(4, mode).with_cache_bytes(8 << 10);
+        let mut last_p99 = 0.0;
+        let t = time_median(3, || {
+            let out = run_replay_serving(
+                Arc::clone(&backend),
+                RUN_ID,
+                &tr,
+                &params,
+                ExecPolicy::Serial,
+                NetModel::blue_waters(),
+            );
+            last_p99 = out.latency_percentile(99.0);
+            out.requests.len()
+        });
+        rec.wall_and_virtual(&format!("replay/fanout_{slug}"), t, last_p99);
+        rows.push(vec![
+            mode.name().into(),
+            format!("{:.2}", t * 1e3),
+            format!("{last_p99:.4}"),
+        ]);
+    }
+    print_table(
+        "replay fan-out (4 servers, 16 clients, 128 requests)",
+        &["mode", "wall ms", "p99 virtual s"],
+        &rows,
+    );
+}
+
 fn main() {
     let t0 = Instant::now();
     let mut rec = Recorder::default();
@@ -735,6 +796,7 @@ fn main() {
     bench_codecs(&mut rec);
     bench_isosurface_and_storm(&mut rec);
     bench_distributed_sort(&mut rec);
+    bench_replay_fanout(&mut rec);
     let json = rec.write_json();
     println!("\nperf trajectory: {}", json.display());
     println!(

@@ -1,0 +1,10 @@
+//! Fig 14: standalone replay server pool under client fan-out — routing,
+//! request stealing, and QoS tiers over a persisted run.
+
+use apc_bench::experiments;
+use apc_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    experiments::fig14::run(&scale);
+}

@@ -14,6 +14,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
+pub mod fig14;
 pub mod table1;
 
 pub use context::Ctx;

@@ -365,3 +365,120 @@ fn fresh_session_recovers_after_a_poisoned_one() {
     let sums = fresh.run(|rank| rank.allreduce(1u64, |a, b| a + b));
     assert_eq!(sums, vec![3; 3]);
 }
+
+/// The replay-pool failure story: a replay server dies mid-request (after
+/// receiving a request, before replying), stranding every client waiting
+/// on its replies. The `APC_RECV_TIMEOUT` machinery must fail the
+/// stranded ranks within the timeout, the panic must poison the session —
+/// and because the run lives in the store, not the session, a fresh
+/// session must replay the same trace byte-identically, twice.
+#[test]
+fn replay_server_death_mid_request_poisons_and_fresh_session_replays() {
+    use std::sync::Arc;
+
+    use apc_core::run_replay_serving_in_session;
+    use apc_replay::{small_run, ArrivalTrace, PoolParams, ReplayFault, RouteMode, TraceSpec};
+    use apc_store::{MemStore, StoreBackend};
+
+    let backend: Arc<dyn StoreBackend> = Arc::new(MemStore::new());
+    let manifest = small_run(Arc::clone(&backend), "stress-replay");
+    let trace = ArrivalTrace::generate(&TraceSpec::new(6, 6, 17), &manifest);
+    let nranks = 4 + trace.clients;
+    let runtime = Runtime::new(nranks, NetModel::free()).deadlock_timeout(TIMEOUT);
+
+    let faulty = PoolParams::new(4, RouteMode::RoutedStealing).with_fault(ReplayFault {
+        server: 1,
+        after_requests: 2,
+    });
+    let mut session = runtime.session();
+    let t0 = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_replay_serving_in_session(
+            &mut session,
+            Arc::clone(&backend),
+            "stress-replay",
+            &trace,
+            &faulty,
+            apc_par::ExecPolicy::Serial,
+        )
+    }));
+    assert!(
+        result.is_err(),
+        "the faulted replay must fail, not complete"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "stranded replay clients must fail within the deadlock timeout"
+    );
+    assert!(
+        session.is_poisoned(),
+        "a dead replay server poisons the session"
+    );
+    drop(session); // must join cleanly, not hang
+
+    // Fresh sessions over the same persisted run replay identically: the
+    // panic touched session state only, never the store.
+    let sound = PoolParams::new(4, RouteMode::RoutedStealing);
+    let replay = |_: usize| {
+        let mut fresh = runtime.session();
+        run_replay_serving_in_session(
+            &mut fresh,
+            Arc::clone(&backend),
+            "stress-replay",
+            &trace,
+            &sound,
+            apc_par::ExecPolicy::Serial,
+        )
+    };
+    let a = replay(0);
+    let b = replay(1);
+    assert_eq!(a, b, "fresh sessions must replay byte-identically");
+    assert_eq!(
+        a.requests.len(),
+        trace.len(),
+        "the recovered replay answers every recorded arrival"
+    );
+}
+
+/// Stealing under churn: the same bursty trace replayed many times over
+/// one reused session, alternating `Serial` and `Threads(8)` for the
+/// resolution pass, must produce one byte-identical result — stealing
+/// decisions come from the recorded plan, never from thread timing.
+#[test]
+fn stealing_under_churn_is_byte_identical_across_exec_policies() {
+    use std::sync::Arc;
+
+    use apc_core::run_replay_serving_in_session;
+    use apc_replay::{small_run, ArrivalTrace, PoolParams, RouteMode, TraceSpec};
+    use apc_store::{MemStore, StoreBackend};
+
+    let backend: Arc<dyn StoreBackend> = Arc::new(MemStore::new());
+    let manifest = small_run(Arc::clone(&backend), "stress-churn");
+    // Hard bursts so the plan actually steals.
+    let spec = TraceSpec::new(16, 8, 29).with_intervals(1e-2, 5e-4);
+    let trace = ArrivalTrace::generate(&spec, &manifest);
+    let params = PoolParams::new(4, RouteMode::RoutedStealing);
+    let runtime = Runtime::new(4 + trace.clients, NetModel::free()).deadlock_timeout(TIMEOUT);
+    let mut session = runtime.session();
+
+    let mut runs = Vec::new();
+    for i in 0..4 {
+        let exec = if i % 2 == 0 {
+            apc_par::ExecPolicy::Serial
+        } else {
+            apc_par::ExecPolicy::Threads(8)
+        };
+        runs.push(run_replay_serving_in_session(
+            &mut session,
+            Arc::clone(&backend),
+            "stress-churn",
+            &trace,
+            &params,
+            exec,
+        ));
+    }
+    assert!(runs[0].stolen_total > 0, "burst load must trigger steals");
+    for (i, run) in runs.iter().enumerate().skip(1) {
+        assert_eq!(&runs[0], run, "run {i} diverged under churn");
+    }
+}

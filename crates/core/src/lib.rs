@@ -59,6 +59,7 @@ pub mod driver;
 pub mod pipeline;
 pub mod prepared;
 pub mod redistribute;
+pub mod replay_serving;
 pub mod report;
 pub mod selection;
 pub mod serving;
@@ -75,6 +76,10 @@ pub use driver::{
 };
 pub use pipeline::{Pipeline, StatsCache};
 pub use prepared::{spaced_subset, Prepared};
+pub use replay_serving::{
+    run_replay_serving, run_replay_serving_in_session, ReplayRequestLog, ReplayRun,
+    ReplayServerStats,
+};
 pub use report::IterationReport;
 pub use selection::{reduction_set, ScoredBlock};
 pub use serving::{

@@ -1,0 +1,462 @@
+//! The replay-serving executor: a pool of server ranks answering client
+//! ranks out of a *persisted* run — zero live sim or stage ranks in the
+//! session.
+//!
+//! [`run_replay_serving_in_session`] splits the session's ranks two ways
+//! — `[replay servers][clients]` — and realizes a pre-computed
+//! [`PoolPlan`] over `apc_comm`'s request/reply endpoints:
+//!
+//! * every server opens the same completed run ([`open_run`]; flat or
+//!   sharded) behind its **own** [`CachedBackend`], so the pool's cache
+//!   behavior is per-rank and attributable;
+//! * clients post their recorded [`ArrivalTrace`] arrivals eagerly (the
+//!   runtime's sends never block), each encoded through the
+//!   [`FrameRequest`] wire codec, to the server the plan assigned;
+//! * each server walks its planned service order, *attributing* every
+//!   step to the next unconsumed request of that step's (client, server)
+//!   pair — per-pair issue order is the wire contract, the plan's
+//!   cross-client interleaving decides cache and queueing behavior;
+//! * virtual charges are explicit: `service_base` per request,
+//!   `steal_overhead` on stolen requests, and a storage-tier read cost
+//!   (`miss_read + read_per_byte × bytes`) per cache-missed frame. Cache
+//!   hits move no bytes and charge nothing.
+//!
+//! **Why this cannot deadlock, and why it replays bit-identically.**
+//! Clients send *all* requests before receiving anything, so no server
+//! ever blocks on a request that depends on a reply. Servers receive in
+//! plan order (a pure function of the recorded trace), clients receive
+//! pair-by-pair in issue order, and every quantity is virtual-time
+//! arithmetic over deterministic inputs — so a replay run is a pure
+//! function of `(trace, params, manifest)`, byte-stable across OS
+//! scheduling, [`ExecPolicy`], and session reuse.
+
+use std::sync::Arc;
+
+use apc_comm::{NetModel, Rank, ServeClient, ServeServer, Session};
+use apc_par::{par_map, ExecPolicy};
+use apc_replay::{resolve, ArrivalTrace, PoolParams, PoolPlan, QosTier, Resolution};
+use apc_serve::{frame_key, open_run, Frame, FrameReply, FrameRequest, FrameStore, ServedFrame};
+use apc_store::{CacheStats, CachedBackend, StoreBackend};
+
+/// One replayed request as the client experienced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayRequestLog {
+    /// Trace slot (canonical arrival order).
+    pub slot: usize,
+    /// Issuing client.
+    pub client: usize,
+    /// The issuing client's tier.
+    pub tier: QosTier,
+    pub request: FrameRequest,
+    /// The routed primary server.
+    pub primary: usize,
+    /// The server that actually answered.
+    pub executor: usize,
+    /// Whether a steal moved the request off its primary.
+    pub stolen: bool,
+    /// Frames the reply carried.
+    pub frames: usize,
+    /// Of those, how many were answered from the executor's cache.
+    pub cache_hits: usize,
+    /// Whether the reply answered the request exactly as asked.
+    pub exact: bool,
+    /// Virtual seconds from the recorded arrival to the reply's arrival
+    /// back at the client — queueing, stealing, service and store reads
+    /// included.
+    pub latency: f64,
+}
+
+/// Per-server totals of a replay run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReplayServerStats {
+    /// Requests this server answered.
+    pub requests: usize,
+    /// Frame payloads it shipped.
+    pub frames_served: usize,
+    /// Requests it executed that a steal moved onto it.
+    pub stolen: usize,
+    /// Of its requests, how many came from premium-tier clients.
+    pub premium: usize,
+    /// The server's full per-rank cache counters ([`CachedBackend`]).
+    pub cache: CacheStats,
+    /// The server's final virtual clock.
+    pub finish: f64,
+}
+
+/// A completed replay run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayRun {
+    /// Every request, in trace-slot order.
+    pub requests: Vec<ReplayRequestLog>,
+    /// Per-server totals, in server-rank order.
+    pub servers: Vec<ReplayServerStats>,
+    /// Each client's final virtual clock, in client-slot order.
+    pub client_finish: Vec<f64>,
+    /// Requests a steal moved off their primary.
+    pub stolen_total: usize,
+}
+
+impl ReplayRun {
+    /// Total frame payloads served.
+    pub fn frames_served(&self) -> usize {
+        self.servers.iter().map(|s| s.frames_served).sum()
+    }
+
+    /// Pool-wide cache hit rate over frame reads (0 when nothing was
+    /// read).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits: usize = self.servers.iter().map(|s| s.cache.hits).sum();
+        let misses: usize = self.servers.iter().map(|s| s.cache.misses).sum();
+        if hits + misses == 0 {
+            return 0.0;
+        }
+        hits as f64 / (hits + misses) as f64
+    }
+
+    /// Requests answered inexactly (substituted, `NotYet`, or
+    /// `NoSuchIteration`).
+    pub fn total_inexact(&self) -> usize {
+        self.requests.iter().filter(|r| !r.exact).count()
+    }
+
+    /// The `p`-th percentile (0–100) of virtual service latency over all
+    /// requests.
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        percentile(self.requests.iter().map(|r| r.latency), p)
+    }
+
+    /// The `p`-th percentile of latency over one tier's requests.
+    pub fn tier_latency_percentile(&self, tier: QosTier, p: f64) -> f64 {
+        percentile(
+            self.requests
+                .iter()
+                .filter(|r| r.tier == tier)
+                .map(|r| r.latency),
+            p,
+        )
+    }
+}
+
+fn percentile(lats: impl Iterator<Item = f64>, p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    let mut lat: Vec<f64> = lats.collect();
+    if lat.is_empty() {
+        return 0.0;
+    }
+    lat.sort_by(f64::total_cmp);
+    let idx = ((p / 100.0) * (lat.len() - 1) as f64).round() as usize;
+    lat[idx]
+}
+
+/// Per-rank result (internal).
+enum ReplayRankOut {
+    Server(ReplayServerStats),
+    Client(Vec<ReplayRequestLog>, f64),
+}
+
+/// Replay-serve a persisted run over a caller-owned [`Session`]. The
+/// session's ranks split `[params.nservers servers][trace.clients
+/// clients]` — nothing else; the producing simulation is long gone.
+///
+/// `exec` parallelizes the pre-session resolution/cost pass
+/// ([`par_map`]); the run's observables are byte-identical across
+/// policies (guarded by `tests/replay_fanout.rs`).
+pub fn run_replay_serving_in_session(
+    session: &mut Session,
+    backend: Arc<dyn StoreBackend>,
+    run_id: &str,
+    trace: &ArrivalTrace,
+    params: &PoolParams,
+    exec: ExecPolicy,
+) -> ReplayRun {
+    let nservers = params.nservers;
+    assert_eq!(
+        session.nranks(),
+        nservers + trace.clients,
+        "session ranks must split [servers][clients] exactly"
+    );
+    let (store, manifest) = open_run(backend, run_id)
+        // apc-lint: allow(unwrap-in-lib): driver-level setup — an unopenable run fails before any rank spawns
+        .unwrap_or_else(|e| panic!("replay pool failed to open run {run_id:?}: {e}"));
+    let reader: Arc<dyn StoreBackend> = Arc::clone(store.backend());
+
+    // Resolve every arrival and estimate its service cost (pessimistic
+    // all-miss store reads) under the caller's ExecPolicy. par_map
+    // returns results in input order, so the pass is policy-invariant.
+    let resolved: Vec<(Resolution, f64)> = par_map(exec, &trace.arrivals, |a| {
+        let res = resolve(a.request, a.stager, a.tier, &manifest.iterations);
+        let mut cost = params.service_base;
+        for &(it, st) in res.keys() {
+            let bytes = reader.size(&frame_key(run_id, it, st)).unwrap_or(0);
+            cost += params.miss_read + params.read_per_byte * bytes as f64;
+        }
+        (res, cost)
+    });
+    let est_cost: Vec<f64> = resolved.iter().map(|(_, c)| *c).collect();
+    let plan = PoolPlan::plan(trace, params, &manifest.iterations, &est_cost);
+
+    // Per-(server, client) slot lists in issue order — the wire contract
+    // both send and receive loops follow — plus each client's own issue
+    // order. Built in O(N log N), not via per-pair scans.
+    let mut by_client: Vec<Vec<(usize, usize)>> = vec![Vec::new(); trace.clients];
+    for a in &trace.arrivals {
+        by_client[a.client].push((a.index, a.slot));
+    }
+    for v in &mut by_client {
+        v.sort_unstable();
+    }
+    let client_issue: Vec<Vec<usize>> = by_client
+        .iter()
+        .map(|v| v.iter().map(|&(_, s)| s).collect())
+        .collect();
+    let mut pair_slots: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); trace.clients]; nservers];
+    for issue in &client_issue {
+        for &slot in issue {
+            let a = &trace.arrivals[slot];
+            pair_slots[plan.assignments[slot].executor][a.client].push(slot);
+        }
+    }
+
+    let outs: Vec<ReplayRankOut> = session.run(|rank| {
+        let r = rank.rank();
+        if r < nservers {
+            ReplayRankOut::Server(server_program(
+                rank,
+                r,
+                run_id,
+                &reader,
+                trace,
+                params,
+                &plan,
+                &resolved,
+                &pair_slots[r],
+            ))
+        } else {
+            let c = r - nservers;
+            let (logs, finish) = client_program(
+                rank,
+                c,
+                nservers,
+                trace,
+                &manifest.iterations,
+                &plan,
+                &client_issue[c],
+                &pair_slots,
+            );
+            ReplayRankOut::Client(logs, finish)
+        }
+    });
+
+    let mut servers = Vec::with_capacity(nservers);
+    let mut requests = vec![None; trace.len()];
+    let mut client_finish = Vec::with_capacity(trace.clients);
+    for out in outs {
+        match out {
+            ReplayRankOut::Server(stats) => servers.push(stats),
+            ReplayRankOut::Client(logs, finish) => {
+                for log in logs {
+                    requests[log.slot] = Some(log);
+                }
+                client_finish.push(finish);
+            }
+        }
+    }
+    ReplayRun {
+        requests: requests
+            .into_iter()
+            .map(|r| {
+                // apc-lint: allow(unwrap-in-lib): every trace slot is owned by exactly one client rank
+                r.expect("every trace slot logged")
+            })
+            .collect(),
+        servers,
+        client_finish,
+        stolen_total: plan.stolen_total,
+    }
+}
+
+/// One-shot replay run: spawns its own session (small rank stacks — the
+/// fan-out benches run thousands of client ranks) and tears it down.
+pub fn run_replay_serving(
+    backend: Arc<dyn StoreBackend>,
+    run_id: &str,
+    trace: &ArrivalTrace,
+    params: &PoolParams,
+    exec: ExecPolicy,
+    net: NetModel,
+) -> ReplayRun {
+    let mut session = apc_comm::Runtime::new(params.nservers + trace.clients, net)
+        .stack_size(512 << 10)
+        .session();
+    run_replay_serving_in_session(&mut session, backend, run_id, trace, params, exec)
+}
+
+/// The SPMD program of one replay server rank.
+#[allow(clippy::too_many_arguments)]
+fn server_program(
+    rank: &mut Rank,
+    s: usize,
+    run_id: &str,
+    reader: &Arc<dyn StoreBackend>,
+    trace: &ArrivalTrace,
+    params: &PoolParams,
+    plan: &PoolPlan,
+    resolved: &[(Resolution, f64)],
+    my_pairs: &[Vec<usize>],
+) -> ReplayServerStats {
+    // Each server fronts the shared run reader with its own cache: hit
+    // rates are per-rank observables, and eviction pressure on one server
+    // never disturbs another.
+    let cached = CachedBackend::new(Arc::clone(reader), params.cache_bytes);
+    let store = FrameStore::new(&cached, run_id);
+    let mut eps: Vec<Option<ServeServer>> = (0..trace.clients).map(|_| None).collect();
+    let mut cursor = vec![0usize; trace.clients];
+    let mut stats = ReplayServerStats::default();
+
+    for &planned in &plan.server_order[s] {
+        // Attribute this service step to the next unconsumed request of
+        // the planned slot's client — per-pair issue order is the wire
+        // contract (see the module docs).
+        let c = trace.arrivals[planned].client;
+        let slot = my_pairs[c][cursor[c]];
+        cursor[c] += 1;
+        let a = &trace.arrivals[slot];
+        let asg = &plan.assignments[slot];
+        debug_assert_eq!(asg.executor, s);
+
+        let ep = eps[c].get_or_insert_with(|| ServeServer::new(params.nservers + c, 0));
+        let wire: Vec<u8> = ep.recv_request(rank).msg;
+        // The wire codec is the trust boundary: decode totally, then pin
+        // the decoded request to the recorded trace.
+        let request = FrameRequest::decode(&wire)
+            // apc-lint: allow(unwrap-in-lib): inside a rank program a corrupt request fails the replay loudly (poisons the session)
+            .unwrap_or_else(|e| panic!("replay server {s} received a corrupt request: {e}"));
+        assert_eq!(request, a.request, "wire request diverged from the trace");
+
+        if let Some(f) = params.fault {
+            if f.server == s && stats.requests == f.after_requests {
+                // apc-lint: allow(unwrap-in-lib): deliberate fault injection for the session-stress suites
+                panic!("replay server {s} dying mid-request (fault injection)");
+            }
+        }
+
+        if asg.stolen {
+            rank.advance(params.steal_overhead);
+            stats.stolen += 1;
+        }
+        rank.advance(params.service_base);
+        if a.tier == QosTier::Premium {
+            stats.premium += 1;
+        }
+
+        let reply = match &resolved[slot].0 {
+            Resolution::Frames { exact, keys } => {
+                let mut frames = Vec::with_capacity(keys.len());
+                for &(it, st) in keys {
+                    let before = cached.stats().misses;
+                    let stream = store.encoded(it, st).unwrap_or_else(|e| {
+                        // apc-lint: allow(unwrap-in-lib): inside a rank program a failed store read fails the replay loudly
+                        panic!("replay server {s} failed to read frame ({it}, {st}): {e}")
+                    });
+                    let hit = cached.stats().misses == before;
+                    if !hit {
+                        // The storage tier is real data movement with its
+                        // own latency floor; a hit moves no bytes.
+                        rank.advance(params.miss_read + params.read_per_byte * stream.len() as f64);
+                    }
+                    frames.push(ServedFrame {
+                        iteration: it,
+                        stager: st,
+                        cache_hit: hit,
+                        stream,
+                    });
+                }
+                stats.frames_served += frames.len();
+                FrameReply::Frames {
+                    exact: *exact,
+                    frames,
+                }
+            }
+            Resolution::NotYet => FrameReply::NotYet,
+            Resolution::NoSuchIteration(it) => FrameReply::NoSuchIteration(*it),
+        };
+        ep.send_reply(rank, reply);
+        stats.requests += 1;
+    }
+
+    debug_assert!(
+        (0..trace.clients).all(|c| cursor[c] == my_pairs[c].len()),
+        "server drained every pair"
+    );
+    stats.cache = cached.stats();
+    stats.finish = rank.clock();
+    stats
+}
+
+/// The SPMD program of one client rank: post every recorded arrival
+/// eagerly, then collect replies pair-by-pair and verify them end to end.
+#[allow(clippy::too_many_arguments)]
+fn client_program(
+    rank: &mut Rank,
+    c: usize,
+    nservers: usize,
+    trace: &ArrivalTrace,
+    iterations: &[usize],
+    plan: &PoolPlan,
+    my_issue: &[usize],
+    pair_slots: &[Vec<Vec<usize>>],
+) -> (Vec<ReplayRequestLog>, f64) {
+    let mut eps: Vec<Option<ServeClient>> = (0..nservers).map(|_| None).collect();
+    // Send phase: entirely eager — the virtual runtime buffers sends, so
+    // posting every request up front is deadlock-free by construction.
+    for &slot in my_issue {
+        let a = &trace.arrivals[slot];
+        rank.merge_clock_to(a.time);
+        let s = plan.assignments[slot].executor;
+        let ep = eps[s].get_or_insert_with(|| ServeClient::new(s, 0));
+        ep.send_request(rank, a.request.encode());
+    }
+    // Receive phase: per pair, replies come back in issue order (the
+    // endpoint is FIFO); across pairs, server-rank order is fixed.
+    let mut logs = Vec::with_capacity(my_issue.len());
+    for (s, ep) in eps.iter_mut().enumerate() {
+        let Some(ep) = ep else { continue };
+        for &slot in &pair_slots[s][c] {
+            let a = &trace.arrivals[slot];
+            let d = ep.recv_reply::<FrameReply>(rank);
+            let reply: &FrameReply = &d.msg;
+            // End-to-end verification: the reply must match the pure
+            // resolution of the recorded request, and every frame must
+            // decode to the key it claims.
+            let expect = resolve(a.request, a.stager, a.tier, iterations);
+            let keys = expect.keys();
+            assert_eq!(reply.frames().len(), keys.len(), "reply frame count");
+            let mut cache_hits = 0;
+            for (served, &(it, st)) in reply.frames().iter().zip(keys) {
+                assert_eq!((served.iteration, served.stager), (it, st), "frame key");
+                let frame = Frame::decode(&served.stream).unwrap_or_else(|e| {
+                    // apc-lint: allow(unwrap-in-lib): end-to-end check in a rank program — a corrupt frame fails the replay loudly
+                    panic!("client {c} received an undecodable frame: {e}")
+                });
+                assert_eq!(frame.iteration, it, "decoded frame iteration");
+                assert_eq!(frame.stager, st, "decoded frame stager");
+                cache_hits += usize::from(served.cache_hit);
+            }
+            let asg = &plan.assignments[slot];
+            logs.push(ReplayRequestLog {
+                slot,
+                client: c,
+                tier: a.tier,
+                request: a.request,
+                primary: asg.primary,
+                executor: asg.executor,
+                stolen: asg.stolen,
+                frames: reply.frames().len(),
+                cache_hits,
+                exact: reply.exact(),
+                latency: d.arrival - a.time,
+            });
+        }
+    }
+    (logs, rank.clock())
+}

@@ -41,6 +41,7 @@ use apc_serve::{
     Frame, FrameCache, FrameReply, FrameRequest, FrameSink, RunManifest, ServePolicy, ServedFrame,
 };
 use apc_stage::{Partition, RankLog, StagedSpec};
+use apc_store::CacheStats;
 
 use crate::config::{InSituMode, PipelineConfig};
 use crate::staged::{merge_logs, rank_program, SimAux, StageOut, StagedRun};
@@ -140,6 +141,11 @@ pub struct ServerStats {
     /// Replies deferred to a later frame (`WaitForFrame` racing
     /// production).
     pub deferred: usize,
+    /// The stager's full per-rank cache counters (insertions, evictions,
+    /// evicted bytes, oversized rejects — not just the hit/miss totals
+    /// above), so policy comparisons can attribute hit-rate differences
+    /// to individual servers.
+    pub cache: CacheStats,
 }
 
 /// A completed serving run: the staged pipeline's own observables plus
@@ -372,6 +378,7 @@ impl<'a> StagerServe<'a> {
         ServerStats {
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
+            cache: self.cache.stats(),
             ..self.stats
         }
     }

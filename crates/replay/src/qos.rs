@@ -1,0 +1,197 @@
+//! QoS-tier request resolution over a *completed* run.
+//!
+//! The live executor's [`apc_serve::ServePolicy`] decides what happens
+//! when a request races frame production. A replay pool serves a run that
+//! already finished, so the race collapses into a simpler question: what
+//! does a request naming an absent iteration get? [`resolve`] answers it
+//! per [`QosTier`]:
+//!
+//! * **Premium** (`WaitForFrame` lineage) — exact frames or a typed
+//!   [`Resolution::NoSuchIteration`]; never a substitute.
+//! * **Free** (`BestEffort` lineage) — the newest frame at or before the
+//!   requested iteration (flagged inexact), or [`Resolution::NotYet`]
+//!   when the request predates the whole run.
+//!
+//! Resolution is pure arithmetic over the manifest's iteration list — no
+//! store reads, no clocks — so the planner and the executor can both call
+//! it and agree byte-for-byte.
+
+use apc_serve::{FrameKey, FrameRequest};
+
+use crate::trace::QosTier;
+
+/// What a request resolves to against a completed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// Frame keys to read and ship, in iteration order. `exact` is false
+    /// when the free tier substituted an older frame.
+    Frames { exact: bool, keys: Vec<FrameKey> },
+    /// Free-tier request predating the run: nothing to substitute.
+    NotYet,
+    /// Premium-tier request naming an iteration the run never rendered.
+    NoSuchIteration(u64),
+}
+
+impl Resolution {
+    /// Keys the resolution ships.
+    pub fn keys(&self) -> &[FrameKey] {
+        match self {
+            Resolution::Frames { keys, .. } => keys,
+            _ => &[],
+        }
+    }
+
+    /// Whether the answer is exactly what was asked.
+    pub fn exact(&self) -> bool {
+        matches!(self, Resolution::Frames { exact: true, .. })
+    }
+}
+
+/// Resolve `request` (targeting `stager`'s frames) for a `tier` client
+/// against the run's sorted iteration list.
+pub fn resolve(
+    request: FrameRequest,
+    stager: u32,
+    tier: QosTier,
+    iterations: &[usize],
+) -> Resolution {
+    assert!(
+        !iterations.is_empty(),
+        "cannot resolve against an empty run"
+    );
+    let last = iterations[iterations.len() - 1] as u64;
+    match request {
+        FrameRequest::Latest => Resolution::Frames {
+            exact: true,
+            keys: vec![(last, stager)],
+        },
+        FrameRequest::AtIteration(it) => {
+            if iterations.binary_search(&(it as usize)).is_ok() {
+                return Resolution::Frames {
+                    exact: true,
+                    keys: vec![(it, stager)],
+                };
+            }
+            match tier {
+                QosTier::Premium => Resolution::NoSuchIteration(it),
+                QosTier::Free => {
+                    // Substitute the newest rendered frame at or before
+                    // the requested iteration.
+                    match iterations.iter().rev().find(|&&x| (x as u64) <= it) {
+                        Some(&x) => Resolution::Frames {
+                            exact: false,
+                            keys: vec![(x as u64, stager)],
+                        },
+                        None => Resolution::NotYet,
+                    }
+                }
+            }
+        }
+        FrameRequest::Range { start, end } => {
+            debug_assert!(start <= end, "protocol decode rejects inverted ranges");
+            let keys: Vec<FrameKey> = iterations
+                .iter()
+                .filter(|&&x| (x as u64) >= start && (x as u64) <= end)
+                .map(|&x| (x as u64, stager))
+                .collect();
+            if keys.is_empty() {
+                return match tier {
+                    QosTier::Premium => Resolution::NoSuchIteration(start),
+                    QosTier::Free => Resolution::NotYet,
+                };
+            }
+            Resolution::Frames { exact: true, keys }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ITERS: &[usize] = &[100, 200, 300, 400];
+
+    #[test]
+    fn latest_is_exact_for_both_tiers() {
+        for tier in [QosTier::Premium, QosTier::Free] {
+            let r = resolve(FrameRequest::Latest, 2, tier, ITERS);
+            assert_eq!(r.keys(), &[(400, 2)]);
+            assert!(r.exact());
+        }
+    }
+
+    #[test]
+    fn in_run_iteration_is_exact_for_both_tiers() {
+        for tier in [QosTier::Premium, QosTier::Free] {
+            let r = resolve(FrameRequest::AtIteration(200), 0, tier, ITERS);
+            assert_eq!(r.keys(), &[(200, 0)]);
+            assert!(r.exact());
+        }
+    }
+
+    #[test]
+    fn absent_iteration_splits_by_tier() {
+        // Premium gets the typed error; Free gets the newest frame at or
+        // before the request, flagged inexact.
+        assert_eq!(
+            resolve(FrameRequest::AtIteration(250), 0, QosTier::Premium, ITERS),
+            Resolution::NoSuchIteration(250)
+        );
+        let r = resolve(FrameRequest::AtIteration(250), 0, QosTier::Free, ITERS);
+        assert_eq!(r.keys(), &[(200, 0)]);
+        assert!(!r.exact());
+        // Past the end of the run, free substitutes the last frame.
+        let r = resolve(FrameRequest::AtIteration(999), 1, QosTier::Free, ITERS);
+        assert_eq!(r.keys(), &[(400, 1)]);
+        assert!(!r.exact());
+    }
+
+    #[test]
+    fn request_predating_the_run_is_notyet_for_free() {
+        assert_eq!(
+            resolve(FrameRequest::AtIteration(50), 0, QosTier::Free, ITERS),
+            Resolution::NotYet
+        );
+        assert_eq!(
+            resolve(FrameRequest::AtIteration(50), 0, QosTier::Premium, ITERS),
+            Resolution::NoSuchIteration(50)
+        );
+    }
+
+    #[test]
+    fn ranges_clip_to_the_run() {
+        let r = resolve(
+            FrameRequest::Range {
+                start: 150,
+                end: 350,
+            },
+            0,
+            QosTier::Premium,
+            ITERS,
+        );
+        assert_eq!(r.keys(), &[(200, 0), (300, 0)]);
+        assert!(r.exact());
+        // Empty intersection follows the tier split.
+        assert_eq!(
+            resolve(
+                FrameRequest::Range {
+                    start: 500,
+                    end: 600
+                },
+                0,
+                QosTier::Premium,
+                ITERS
+            ),
+            Resolution::NoSuchIteration(500)
+        );
+        assert_eq!(
+            resolve(
+                FrameRequest::Range { start: 0, end: 50 },
+                0,
+                QosTier::Free,
+                ITERS
+            ),
+            Resolution::NotYet
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Deterministic request routing across the replay server pool.
+//!
+//! The live serving executor pins each client to one stager (`client %
+//! n_stagers`) because only that stager holds the client's frames. A
+//! replay pool has no such constraint — every server opens the same
+//! persisted run — so the router is free to optimize for cache affinity:
+//! [`rendezvous_server`] gives every frame key a stable *primary* server
+//! via highest-random-weight (rendezvous) hashing. The same key always
+//! lands on the same server regardless of client, so each server's LRU
+//! cache holds a disjoint shard of the hot set instead of every server
+//! holding a copy of all of it.
+//!
+//! Routing is pure arithmetic over `(key, nservers)` — no hash-map
+//! iteration, no global table to keep consistent, and adding a server
+//! only moves the keys that rendezvous onto it.
+
+use apc_par::SplitMix64;
+use apc_serve::{FrameKey, FrameRequest};
+
+use crate::trace::Arrival;
+
+/// How requests map to servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteMode {
+    /// The live-serving coupling, replayed: client `c` always asks server
+    /// `c % nservers`, whatever the key.
+    Pinned,
+    /// Rendezvous-hash the request's frame key to its primary server.
+    Routed,
+    /// [`RouteMode::Routed`] plus virtual-time request stealing: an idle
+    /// server takes queued work from the most-loaded peer (see
+    /// `crate::plan`).
+    RoutedStealing,
+}
+
+impl RouteMode {
+    /// Short stable name for CSV/report rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RouteMode::Pinned => "pinned",
+            RouteMode::Routed => "routed",
+            RouteMode::RoutedStealing => "routed+steal",
+        }
+    }
+
+    /// Whether completion-time stealing is active.
+    pub fn steals(&self) -> bool {
+        matches!(self, RouteMode::RoutedStealing)
+    }
+}
+
+/// Highest-random-weight (rendezvous) hash: the server whose mixed score
+/// for `key` is largest. Stable per key, uniform over servers, and
+/// minimally disruptive when the pool grows.
+pub fn rendezvous_server(key: FrameKey, nservers: usize) -> usize {
+    assert!(nservers >= 1, "need at least one server");
+    let (iteration, stager) = key;
+    let mut best = (0u64, 0usize);
+    for s in 0..nservers {
+        // One SplitMix64 step over the packed (key, server) identity is
+        // a cheap, well-mixed score; ties break to the lowest index.
+        let seed = iteration
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .wrapping_add((stager as u64) << 32)
+            .wrapping_add(s as u64);
+        let score = SplitMix64::new(seed).next_u64();
+        if s == 0 || score > best.0 {
+            best = (score, s);
+        }
+    }
+    best.1
+}
+
+/// The frame key a request routes by: its first (or only) named
+/// iteration, with `Latest` resolving to the run's newest iteration.
+/// Out-of-run iterations still route somewhere stable — the primary
+/// answers the tier-policy miss path too.
+pub fn route_key(request: FrameRequest, stager: u32, iterations: &[usize]) -> FrameKey {
+    assert!(!iterations.is_empty(), "cannot route against an empty run");
+    let it = match request {
+        FrameRequest::Latest => iterations[iterations.len() - 1] as u64,
+        FrameRequest::AtIteration(it) => it,
+        FrameRequest::Range { start, .. } => start,
+    };
+    (it, stager)
+}
+
+/// The primary server of one recorded arrival under `mode`.
+pub fn primary_for(
+    mode: RouteMode,
+    arrival: &Arrival,
+    nservers: usize,
+    iterations: &[usize],
+) -> usize {
+    match mode {
+        RouteMode::Pinned => arrival.client % nservers,
+        RouteMode::Routed | RouteMode::RoutedStealing => rendezvous_server(
+            route_key(arrival.request, arrival.stager, iterations),
+            nservers,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::QosTier;
+
+    #[test]
+    fn rendezvous_is_stable_and_in_range() {
+        for it in 0..64u64 {
+            for stager in 0..4u32 {
+                let s = rendezvous_server((it, stager), 7);
+                assert!(s < 7);
+                assert_eq!(s, rendezvous_server((it, stager), 7));
+            }
+        }
+    }
+
+    #[test]
+    fn rendezvous_spreads_keys_over_servers() {
+        let n = 8;
+        let mut counts = vec![0usize; n];
+        for it in 0..400u64 {
+            for stager in 0..4u32 {
+                counts[rendezvous_server((it, stager), n)] += 1;
+            }
+        }
+        // 1600 keys over 8 servers: each server should hold a meaningful
+        // share — rendezvous hashing is near-uniform.
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > 100, "server {s} holds only {c} of 1600 keys");
+        }
+    }
+
+    #[test]
+    fn growing_the_pool_only_moves_keys_onto_new_servers() {
+        // The rendezvous property: keys either stay put or move to the
+        // newly added server — never between old servers.
+        for it in 0..200u64 {
+            let old = rendezvous_server((it, 0), 4);
+            let new = rendezvous_server((it, 0), 5);
+            assert!(new == old || new == 4, "key {it} moved {old} -> {new}");
+        }
+    }
+
+    #[test]
+    fn route_key_resolves_latest_and_ranges() {
+        let iters = [100usize, 200, 300];
+        assert_eq!(route_key(FrameRequest::Latest, 1, &iters), (300, 1));
+        assert_eq!(
+            route_key(FrameRequest::AtIteration(200), 0, &iters),
+            (200, 0)
+        );
+        assert_eq!(
+            route_key(
+                FrameRequest::Range {
+                    start: 100,
+                    end: 300
+                },
+                2,
+                &iters
+            ),
+            (100, 2)
+        );
+    }
+
+    #[test]
+    fn pinned_mode_reproduces_the_live_coupling() {
+        let iters = [100usize, 200];
+        let a = Arrival {
+            slot: 0,
+            client: 11,
+            index: 0,
+            time: 0.0,
+            tier: QosTier::Free,
+            request: FrameRequest::Latest,
+            stager: 0,
+        };
+        assert_eq!(primary_for(RouteMode::Pinned, &a, 4, &iters), 11 % 4);
+        // Routed ignores the client identity entirely.
+        let b = Arrival { client: 12, ..a };
+        assert_eq!(
+            primary_for(RouteMode::Routed, &a, 4, &iters),
+            primary_for(RouteMode::Routed, &b, 4, &iters)
+        );
+    }
+
+    #[test]
+    fn mode_names_are_stable() {
+        assert_eq!(RouteMode::Pinned.name(), "pinned");
+        assert_eq!(RouteMode::Routed.name(), "routed");
+        assert_eq!(RouteMode::RoutedStealing.name(), "routed+steal");
+        assert!(RouteMode::RoutedStealing.steals());
+        assert!(!RouteMode::Routed.steals());
+    }
+}

@@ -50,7 +50,7 @@ pub mod store;
 pub use cache::{FrameCache, FrameKey};
 pub use frame::Frame;
 pub use protocol::{FrameReply, FrameRequest, ServePolicy, ServedFrame};
-pub use store::{FrameSink, FrameStore, RunManifest};
+pub use store::{frame_key, open_run, FrameSink, FrameStore, RunManifest};
 
 /// Errors of frame persistence and decoding.
 #[derive(Debug)]

@@ -20,6 +20,8 @@
 
 use apc_comm::Meter;
 
+use crate::ServeError;
+
 /// What a client asks a serving stager for. Iterations are simulation
 /// iteration numbers (the frame key), not frame indices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +32,91 @@ pub enum FrameRequest {
     AtIteration(u64),
     /// Every frame in an inclusive iteration window.
     Range { start: u64, end: u64 },
+}
+
+/// Wire tags of the request encoding (one byte, then LE u64 operands).
+const TAG_LATEST: u8 = 1;
+const TAG_AT: u8 = 2;
+const TAG_RANGE: u8 = 3;
+
+impl FrameRequest {
+    /// Serialize to the one-byte-tag + LE-operand wire form. The encoded
+    /// length equals [`Meter::nbytes`], so a request costs on the virtual
+    /// wire exactly what its bytes occupy on a real one.
+    pub fn encode(&self) -> Vec<u8> {
+        match *self {
+            FrameRequest::Latest => vec![TAG_LATEST],
+            FrameRequest::AtIteration(it) => {
+                let mut out = Vec::with_capacity(9);
+                out.push(TAG_AT);
+                out.extend_from_slice(&it.to_le_bytes());
+                out
+            }
+            FrameRequest::Range { start, end } => {
+                let mut out = Vec::with_capacity(17);
+                out.push(TAG_RANGE);
+                out.extend_from_slice(&start.to_le_bytes());
+                out.extend_from_slice(&end.to_le_bytes());
+                out
+            }
+        }
+    }
+
+    /// Parse a request off the wire. Decoding is total — truncated,
+    /// oversized, bit-flipped, or semantically invalid bytes (a `Range`
+    /// with `start > end`, which no well-behaved client can produce) come
+    /// back as [`ServeError::Corrupt`], never as a panic and never as a
+    /// request the server would have to defend against downstream.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        let Some((&tag, rest)) = bytes.split_first() else {
+            return Err(ServeError::Corrupt("empty frame request".into()));
+        };
+        let u64_at = |o: usize| -> Result<u64, ServeError> {
+            rest.get(o..o + 8)
+                .and_then(|s| s.try_into().ok())
+                .map(u64::from_le_bytes)
+                .ok_or_else(|| {
+                    ServeError::Corrupt(format!(
+                        "frame request truncated: {} payload bytes",
+                        rest.len()
+                    ))
+                })
+        };
+        let exact_len = |want: usize| -> Result<(), ServeError> {
+            if rest.len() == want {
+                Ok(())
+            } else {
+                Err(ServeError::Corrupt(format!(
+                    "frame request payload is {} bytes, tag {tag} takes {want}",
+                    rest.len()
+                )))
+            }
+        };
+        match tag {
+            TAG_LATEST => {
+                exact_len(0)?;
+                Ok(FrameRequest::Latest)
+            }
+            TAG_AT => {
+                exact_len(8)?;
+                Ok(FrameRequest::AtIteration(u64_at(0)?))
+            }
+            TAG_RANGE => {
+                exact_len(16)?;
+                let start = u64_at(0)?;
+                let end = u64_at(8)?;
+                if start > end {
+                    return Err(ServeError::Corrupt(format!(
+                        "frame request range is inverted: start {start} > end {end}"
+                    )));
+                }
+                Ok(FrameRequest::Range { start, end })
+            }
+            other => Err(ServeError::Corrupt(format!(
+                "unknown frame request tag {other}"
+            ))),
+        }
+    }
 }
 
 impl Meter for FrameRequest {
@@ -177,5 +264,102 @@ mod tests {
     fn policy_names_are_stable() {
         assert_eq!(ServePolicy::WaitForFrame.name(), "wait-for-frame");
         assert_eq!(ServePolicy::BestEffort.name(), "best-effort");
+    }
+
+    #[test]
+    fn request_codec_round_trips_and_matches_meter() {
+        let cases = [
+            FrameRequest::Latest,
+            FrameRequest::AtIteration(0),
+            FrameRequest::AtIteration(u64::MAX),
+            FrameRequest::Range { start: 0, end: 0 },
+            FrameRequest::Range {
+                start: 7,
+                end: u64::MAX,
+            },
+        ];
+        for req in cases {
+            let wire = req.encode();
+            assert_eq!(wire.len(), req.nbytes(), "{req:?} wire/meter mismatch");
+            assert_eq!(FrameRequest::decode(&wire).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_empty_and_unknown_tags() {
+        assert!(FrameRequest::decode(&[]).is_err());
+        for tag in [0u8, 4, 7, 0xff] {
+            let err = FrameRequest::decode(&[tag]).unwrap_err();
+            assert!(matches!(err, ServeError::Corrupt(_)), "tag {tag}: {err}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_every_truncation() {
+        for req in [
+            FrameRequest::AtIteration(123),
+            FrameRequest::Range { start: 3, end: 9 },
+        ] {
+            let wire = req.encode();
+            for cut in 1..wire.len() {
+                let err = FrameRequest::decode(&wire[..cut]).unwrap_err();
+                assert!(
+                    matches!(err, ServeError::Corrupt(_)),
+                    "{req:?} cut at {cut} must be Corrupt, got {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        for req in [
+            FrameRequest::Latest,
+            FrameRequest::AtIteration(5),
+            FrameRequest::Range { start: 1, end: 2 },
+        ] {
+            let mut wire = req.encode();
+            wire.push(0);
+            let err = FrameRequest::decode(&wire).unwrap_err();
+            assert!(matches!(err, ServeError::Corrupt(_)), "{req:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_inverted_range_as_typed_error() {
+        // A well-formed wire image whose semantics are impossible: the
+        // decoder must hand back a typed error, not a request the server
+        // has to defend against (and certainly not a panic).
+        let mut wire = Vec::new();
+        wire.push(3u8);
+        wire.extend_from_slice(&10u64.to_le_bytes());
+        wire.extend_from_slice(&3u64.to_le_bytes());
+        let err = FrameRequest::decode(&wire).unwrap_err();
+        match err {
+            ServeError::Corrupt(msg) => assert!(msg.contains("inverted"), "{msg}"),
+            other => panic!("expected Corrupt, got {other}"),
+        }
+    }
+
+    #[test]
+    fn decode_survives_single_bit_flips() {
+        // Bit-flipped requests either decode to some valid request or
+        // fail as Corrupt; they never panic. Flipping the tag byte of an
+        // equal-length variant can legitimately produce a different valid
+        // request — the invariant under attack is totality, not detection.
+        for req in [
+            FrameRequest::Latest,
+            FrameRequest::AtIteration(99),
+            FrameRequest::Range { start: 4, end: 40 },
+        ] {
+            let wire = req.encode();
+            for byte in 0..wire.len() {
+                for bit in 0..8 {
+                    let mut flipped = wire.clone();
+                    flipped[byte] ^= 1 << bit;
+                    let _ = FrameRequest::decode(&flipped);
+                }
+            }
+        }
     }
 }

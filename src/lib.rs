@@ -18,6 +18,7 @@ pub use apc_grid as grid;
 pub use apc_metrics as metrics;
 pub use apc_par as par;
 pub use apc_render as render;
+pub use apc_replay as replay;
 pub use apc_serve as serve;
 pub use apc_stage as stage;
 pub use apc_store as store;
