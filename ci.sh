@@ -47,6 +47,16 @@ cargo test -q -p apc-replay
 cargo test -q --test replay_fanout
 cargo test -q -p apc-comm --test session_stress -- replay_server_death stealing_under_churn
 
+echo "==> adaptive serving suite (budget controller, fidelity ladder, wire tag)"
+# Covered by the runs above, but named explicitly: byte-identical replay
+# of the controller trajectory and fidelity mix across exec policies,
+# repeats and session reuse is the PR-10 acceptance pin for
+# performance-constrained serving.
+cargo test -q -p apc-core --lib -- serving controller stats
+cargo test -q -p apc-serve
+cargo test -q --test staged_determinism -- adaptive_serving
+cargo test -q -p apc-comm --test session_stress -- stager_death_mid_degraded_reply
+
 echo "==> rustdoc lint (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

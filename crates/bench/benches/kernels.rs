@@ -784,6 +784,91 @@ fn bench_replay_fanout(rec: &mut Recorder) {
     );
 }
 
+fn bench_adaptive_serving(rec: &mut Recorder) {
+    // A miniature fig15: 4 stagers serving 64 closed-loop clients, fixed
+    // fidelity vs a per-stager latency budget — one wall row per mode,
+    // with the modeled p99 reply latency as the virtual column. The
+    // per-byte wire charge is scaled up so reply size dominates the tail
+    // even at bench scale, giving the fidelity ladder real leverage.
+    use std::sync::Arc;
+
+    use apc_core::{BackpressurePolicy, FrameSink, ServeParams, ServePolicy, StagedParams};
+    use apc_grid::{DomainDecomp, ProcGrid};
+
+    const NSIM: usize = 4;
+    const NSTAGE: usize = 4;
+    const CLIENTS: usize = 64;
+    let n_total = NSIM + NSTAGE + CLIENTS;
+    // One 2x2x8 block per rank (same 1-D decomposition trick as fig15).
+    let decomp = DomainDecomp::new(
+        Dims3::new(2 * n_total, 2, 8),
+        ProcGrid::new(n_total, 1, 1),
+        Dims3::new(2, 2, 8),
+    )
+    .expect("bench decomp");
+    let dataset = ReflectivityDataset::new(decomp, StormModel::new(42));
+    let iters = dataset.sample_iterations(8);
+
+    let mut session = Runtime::new(n_total, NetModel::blue_waters())
+        .stack_size(512 << 10)
+        .session();
+    let mut run_mode = |slug: &str, budget: Option<f64>| -> apc_core::ServingRun {
+        let sink = FrameSink::new(
+            Arc::new(MemStore::new()),
+            &format!("bench-serve-{slug}"),
+            CodecKind::Fpz,
+        );
+        let params = StagedParams::new(NSTAGE, 4, BackpressurePolicy::Block)
+            .with_sim_compute(0.05)
+            .with_persist(sink);
+        let mut config = PipelineConfig::default()
+            .deterministic()
+            .with_fixed_percent(90.0)
+            .with_staged(params);
+        config.cost.base = 0.005;
+        let mut serve = ServeParams::new(CLIENTS, 8, ServePolicy::BestEffort)
+            .with_think_time(0.0)
+            .with_cache_bytes(256 << 10)
+            .with_serve_costs(1e-4, 2e-4);
+        if let Some(b) = budget {
+            serve = serve.with_latency_budget(b);
+        }
+        apc_core::run_staged_serving_in_session(
+            &mut session,
+            dataset.decomp(),
+            dataset.coords(),
+            &config,
+            &iters,
+            &serve,
+            &|it, rank| dataset.rank_blocks(it, rank),
+        )
+    };
+
+    let mut rows = Vec::new();
+    for (slug, budget) in [("fixed", None), ("budget", Some(0.3))] {
+        let mut last_p99 = 0.0;
+        let mut last_mix = String::new();
+        let t = time_median(3, || {
+            let out = run_mode(slug, budget);
+            last_p99 = out.latency_percentile(99.0);
+            last_mix = out.fidelity_mix().summary();
+            out.requests.len()
+        });
+        rec.wall_and_virtual(&format!("serve/adaptive_{slug}"), t, last_p99);
+        rows.push(vec![
+            slug.into(),
+            format!("{:.2}", t * 1e3),
+            format!("{last_p99:.4}"),
+            last_mix.clone(),
+        ]);
+    }
+    print_table(
+        "adaptive serving (4 stagers, 64 clients, 512 requests)",
+        &["mode", "wall ms", "p99 virtual s", "mix f/l/d/h"],
+        &rows,
+    );
+}
+
 fn main() {
     let t0 = Instant::now();
     let mut rec = Recorder::default();
@@ -797,6 +882,7 @@ fn main() {
     bench_isosurface_and_storm(&mut rec);
     bench_distributed_sort(&mut rec);
     bench_replay_fanout(&mut rec);
+    bench_adaptive_serving(&mut rec);
     let json = rec.write_json();
     println!("\nperf trajectory: {}", json.display());
     println!(

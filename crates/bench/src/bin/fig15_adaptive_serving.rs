@@ -1,0 +1,9 @@
+//! Standalone harness for fig15 (adaptive serving under a client ramp).
+
+use apc_bench::experiments;
+use apc_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    experiments::fig15::run(&scale);
+}

@@ -482,3 +482,105 @@ fn stealing_under_churn_is_byte_identical_across_exec_policies() {
         assert_eq!(&runs[0], run, "run {i} diverged under churn");
     }
 }
+
+/// Adaptive-serving death: a stager running a tight latency budget dies
+/// **mid-degraded-reply** — after the reply has been built and pushed
+/// down the fidelity ladder, before the bytes go out — stranding its
+/// clients waiting on replies. The `APC_RECV_TIMEOUT` machinery must
+/// fail the stranded ranks within the timeout and the panic must poison
+/// the session; sound fresh sessions over the same configuration then
+/// run byte-identically, proving the fault touched session state only.
+#[test]
+fn stager_death_mid_degraded_reply_poisons_within_recv_timeout() {
+    use std::sync::Arc;
+
+    use apc_cm1::ReflectivityDataset;
+    use apc_core::{
+        run_staged_serving_in_session, BackpressurePolicy, FrameSink, PipelineConfig, ServeFault,
+        ServeParams, ServePolicy, ServingRun, StagedParams,
+    };
+    use apc_store::{CodecKind, MemStore, StoreBackend};
+
+    // The tight-budget serving fixture: per-reply service cost far above
+    // the latency budget, so the per-stager controller walks the
+    // fidelity ladder and replies are degraded well before the fault
+    // fires. Stager 1 serves clients 1 and 3 (6 requests each): dying
+    // after its 10th request lands deep in the run, when the controller
+    // has long since pushed replies down the ladder.
+    let dataset = ReflectivityDataset::tiny(8, 42).unwrap();
+    let iters = dataset.sample_iterations(4);
+    let serve_base = ServeParams::new(4, 6, ServePolicy::BestEffort)
+        .with_think_time(0.1)
+        .with_cache_bytes(2048)
+        .with_serve_costs(0.05, 1e-4)
+        .with_latency_budget(0.01);
+    let config_for = |backend: &Arc<dyn StoreBackend>| {
+        let sink = FrameSink::new(Arc::clone(backend), "stress-serve", CodecKind::Fpz);
+        let params = StagedParams::new(2, 2, BackpressurePolicy::Block)
+            .with_sim_compute(5.0)
+            .with_persist(sink);
+        PipelineConfig::default()
+            .deterministic()
+            .with_fixed_percent(40.0)
+            .with_staged(params)
+    };
+    let runtime =
+        Runtime::new(dataset.decomp().nranks(), NetModel::blue_waters()).deadlock_timeout(TIMEOUT);
+
+    let faulty = serve_base.with_fault(ServeFault {
+        stager: 1,
+        after_requests: 10,
+    });
+    let backend: Arc<dyn StoreBackend> = Arc::new(MemStore::new());
+    let config = config_for(&backend);
+    let mut session = runtime.session();
+    let t0 = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_staged_serving_in_session(
+            &mut session,
+            dataset.decomp(),
+            dataset.coords(),
+            &config,
+            &iters,
+            &faulty,
+            &|it, rank| dataset.rank_blocks(it, rank),
+        )
+    }));
+    assert!(
+        result.is_err(),
+        "the faulted serving run must fail, not complete"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "stranded serving clients must fail within the deadlock timeout"
+    );
+    assert!(session.is_poisoned(), "a dead stager poisons the session");
+    drop(session); // must join cleanly, not hang
+
+    // The fault touched session state only: sound fresh sessions over
+    // the same configuration serve byte-identically — the same recovery
+    // story as the replay-pool death above.
+    let sound = |_: usize| -> ServingRun {
+        let backend: Arc<dyn StoreBackend> = Arc::new(MemStore::new());
+        let config = config_for(&backend);
+        let mut fresh = runtime.session();
+        let run = run_staged_serving_in_session(
+            &mut fresh,
+            dataset.decomp(),
+            dataset.coords(),
+            &config,
+            &iters,
+            &serve_base,
+            &|it, rank| dataset.rank_blocks(it, rank),
+        );
+        assert!(!fresh.is_poisoned(), "a sound run must not poison");
+        run
+    };
+    let a = sound(0);
+    let b = sound(1);
+    assert_eq!(a, b, "fresh sessions must serve byte-identically");
+    assert!(
+        a.degraded_replies() > 0,
+        "the tight budget must actually degrade replies in the sound runs"
+    );
+}

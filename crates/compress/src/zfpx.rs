@@ -48,6 +48,30 @@ impl Default for Zfpx {
     }
 }
 
+impl Zfpx {
+    /// Map a reduction-pressure percent (0 = no pressure, 100 = shed
+    /// everything) to an absolute tolerance, sweeping two decades
+    /// geometrically: `1e-3 · 10^(p/25)` — 1e-3 (near-lossless for dBZ
+    /// reflectivity) at zero pressure up to 1e-1 at 50 %. Pressure is
+    /// clamped into [0, 100] and non-finite inputs saturate to the
+    /// loosest tolerance, so the adaptive serving controller can feed
+    /// its raw percent output straight in.
+    pub fn graded_tolerance(percent: f64) -> f32 {
+        if !percent.is_finite() {
+            return Self::graded_tolerance(100.0);
+        }
+        let p = percent.clamp(0.0, 100.0);
+        (1e-3 * 10f64.powf(p / 25.0)) as f32
+    }
+
+    /// A codec at the [`Zfpx::graded_tolerance`] for `percent`.
+    pub fn graded(percent: f64) -> Self {
+        Self {
+            tolerance: Self::graded_tolerance(percent),
+        }
+    }
+}
+
 /// Forward 4-point reversible lifting transform.
 #[inline]
 fn lift_fwd(v: &mut [i64; 4]) {
@@ -421,6 +445,27 @@ mod tests {
         let loose = Zfpx { tolerance: 1.0 }.encode(&data, shape).len();
         let tight = Zfpx { tolerance: 1e-3 }.encode(&data, shape).len();
         assert!(tight > loose, "tight {tight} loose {loose}");
+    }
+
+    #[test]
+    fn graded_tolerance_sweeps_two_decades_monotonically() {
+        assert!((Zfpx::graded_tolerance(0.0) - 1e-3).abs() < 1e-9);
+        assert!((Zfpx::graded_tolerance(50.0) - 1e-1).abs() < 1e-6);
+        let mut prev = 0.0f32;
+        for p in 0..=100 {
+            let t = Zfpx::graded_tolerance(p as f64);
+            assert!(t > prev, "tolerance must grow with pressure at {p}%");
+            assert!(t.is_finite() && t > 0.0);
+            prev = t;
+        }
+        // Out-of-range and non-finite pressure saturates, never panics.
+        assert_eq!(Zfpx::graded_tolerance(-5.0), Zfpx::graded_tolerance(0.0));
+        assert_eq!(Zfpx::graded_tolerance(1e9), Zfpx::graded_tolerance(100.0));
+        assert_eq!(
+            Zfpx::graded_tolerance(f64::NAN),
+            Zfpx::graded_tolerance(100.0)
+        );
+        assert_eq!(Zfpx::graded(30.0).tolerance, Zfpx::graded_tolerance(30.0));
     }
 
     #[test]

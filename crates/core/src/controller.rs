@@ -95,7 +95,18 @@ impl BudgetController {
     /// the true `(time, percent)` pair keeps Algorithm 1's linear model
     /// honest.
     pub fn observe_at(&mut self, t: f64, p_used: f64) -> f64 {
-        debug_assert!((0.0..=100.0).contains(&p_used));
+        // Callers can legitimately land on (or, with a buggy boost
+        // policy, beyond) the [0, 100] boundary — `DegradeHarder{boost}`
+        // adds its boost *after* the controller's output. Clamp instead
+        // of asserting so release builds keep Algorithm 1's fit anchored
+        // to a percentage that can exist, and only reject values that
+        // are not numbers at all.
+        debug_assert!(p_used.is_finite(), "observed percent must be finite");
+        let p_used = if p_used.is_finite() {
+            p_used.clamp(0.0, 100.0)
+        } else {
+            100.0
+        };
         let (t_prev, p_prev) = self.prev;
         let next = adapt_percent(self.target, t_prev, p_prev, t, p_used).min(self.max_percent);
         self.prev = (t, p_used);
@@ -113,6 +124,33 @@ mod tests {
     fn first_iteration_runs_unreduced() {
         let c = BudgetController::new(20.0);
         assert_eq!(c.percent(), 0.0);
+    }
+
+    #[test]
+    fn observe_at_clamps_out_of_range_percent() {
+        // `DegradeHarder{boost}` can push the effective percent onto (or,
+        // with an over-eager boost, past) the [0, 100] boundary. The fit
+        // must see the clamped value — identical next-percent to feeding
+        // the boundary directly — rather than an impossible percentage
+        // that would bend Algorithm 1's linear model.
+        let mut boosted = BudgetController::new(20.0);
+        let mut clamped = BudgetController::new(20.0);
+        let over = boosted.observe_at(37.0, 105.0);
+        let at_edge = clamped.observe_at(37.0, 100.0);
+        assert_eq!(over.to_bits(), at_edge.to_bits());
+        assert!((0.0..=100.0).contains(&over));
+
+        let mut below = BudgetController::new(20.0);
+        let mut at_zero = BudgetController::new(20.0);
+        let under = below.observe_at(5.0, -3.0);
+        let zero = at_zero.observe_at(5.0, 0.0);
+        assert_eq!(under.to_bits(), zero.to_bits());
+
+        // The stored history is the clamped pair too: the *next* step's
+        // fit anchors to (t, 100), not (t, 105).
+        let n1 = boosted.observe_at(30.0, 50.0);
+        let n2 = clamped.observe_at(30.0, 50.0);
+        assert_eq!(n1.to_bits(), n2.to_bits());
     }
 
     #[test]

@@ -64,9 +64,12 @@ pub mod report;
 pub mod selection;
 pub mod serving;
 pub mod staged;
+pub mod stats;
 
 pub use apc_par::{ExecPolicy, RecommendedConcurrency};
-pub use apc_serve::{Frame, FrameReply, FrameRequest, FrameSink, FrameStore, ServePolicy};
+pub use apc_serve::{
+    Fidelity, Frame, FrameReply, FrameRequest, FrameSink, FrameStore, ServePolicy,
+};
 pub use apc_stage::BackpressurePolicy;
 pub use config::{InSituMode, PipelineConfig, Redistribution, SortStrategy, StagedParams};
 pub use controller::{adapt_percent, BudgetController};
@@ -83,7 +86,8 @@ pub use replay_serving::{
 pub use report::IterationReport;
 pub use selection::{reduction_set, ScoredBlock};
 pub use serving::{
-    run_staged_serving_in_session, run_staged_serving_prepared, RequestLog, ServeParams,
-    ServerStats, ServingRun,
+    run_staged_serving_in_session, run_staged_serving_prepared, FidelityMix, RequestLog,
+    ServeFault, ServeParams, ServerStats, ServingRun,
 };
 pub use staged::{run_staged_in_session, run_staged_prepared, StagedFrame, StagedRun};
+pub use stats::percentile;

@@ -35,8 +35,12 @@ use std::sync::Arc;
 use apc_comm::{NetModel, Rank, ServeClient, ServeServer, Session};
 use apc_par::{par_map, ExecPolicy};
 use apc_replay::{resolve, ArrivalTrace, PoolParams, PoolPlan, QosTier, Resolution};
-use apc_serve::{frame_key, open_run, Frame, FrameReply, FrameRequest, FrameStore, ServedFrame};
+use apc_serve::{
+    frame_key, open_run, Fidelity, Frame, FrameReply, FrameRequest, FrameStore, ServedFrame,
+};
 use apc_store::{CacheStats, CachedBackend, StoreBackend};
+
+use crate::stats::percentile;
 
 /// One replayed request as the client experienced it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,17 +139,6 @@ impl ReplayRun {
             p,
         )
     }
-}
-
-fn percentile(lats: impl Iterator<Item = f64>, p: f64) -> f64 {
-    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
-    let mut lat: Vec<f64> = lats.collect();
-    if lat.is_empty() {
-        return 0.0;
-    }
-    lat.sort_by(f64::total_cmp);
-    let idx = ((p / 100.0) * (lat.len() - 1) as f64).round() as usize;
-    lat[idx]
 }
 
 /// Per-rank result (internal).
@@ -368,6 +361,9 @@ fn server_program(
                         iteration: it,
                         stager: st,
                         cache_hit: hit,
+                        // The replay pool serves persisted bytes verbatim
+                        // — no budget controller, no degradation.
+                        fidelity: Fidelity::Full,
                         stream,
                     });
                 }
@@ -380,7 +376,10 @@ fn server_program(
             Resolution::NotYet => FrameReply::NotYet,
             Resolution::NoSuchIteration(it) => FrameReply::NoSuchIteration(*it),
         };
-        ep.send_reply(rank, reply);
+        // Replies ride the wire as their encoded bytes — the same codec
+        // boundary the requests cross, charged at exactly the encoded
+        // length.
+        ep.send_reply(rank, reply.encode());
         stats.requests += 1;
     }
 
@@ -423,8 +422,12 @@ fn client_program(
         let Some(ep) = ep else { continue };
         for &slot in &pair_slots[s][c] {
             let a = &trace.arrivals[slot];
-            let d = ep.recv_reply::<FrameReply>(rank);
-            let reply: &FrameReply = &d.msg;
+            let d = ep.recv_reply::<Vec<u8>>(rank);
+            let reply = FrameReply::decode(&d.msg).unwrap_or_else(|e| {
+                // apc-lint: allow(unwrap-in-lib): end-to-end check in a rank program — a corrupt reply fails the replay loudly
+                panic!("client {c} received an undecodable reply: {e}")
+            });
+            let reply = &reply;
             // End-to-end verification: the reply must match the pure
             // resolution of the recorded request, and every frame must
             // decode to the key it claims.

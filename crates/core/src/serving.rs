@@ -35,16 +35,21 @@
 //! `ExecPolicy`, and session reuse (`tests/staged_determinism.rs` pins
 //! this).
 
+use std::collections::VecDeque;
+
 use apc_comm::{Rank, ServeClient, ServeServer, Session};
 use apc_grid::{Block, DomainDecomp, RectilinearCoords};
 use apc_serve::{
-    Frame, FrameCache, FrameReply, FrameRequest, FrameSink, RunManifest, ServePolicy, ServedFrame,
+    degrade_stream, Fidelity, Frame, FrameCache, FrameReply, FrameRequest, FrameSink, RunManifest,
+    ServePolicy, ServedFrame,
 };
 use apc_stage::{Partition, RankLog, StagedSpec};
 use apc_store::CacheStats;
 
 use crate::config::{InSituMode, PipelineConfig};
+use crate::controller::BudgetController;
 use crate::staged::{merge_logs, rank_program, SimAux, StageOut, StagedRun};
+use crate::stats::percentile;
 
 /// Parameters of one serving run: how many client ranks, how hard they
 /// ask, and how the stagers answer.
@@ -62,6 +67,41 @@ pub struct ServeParams {
     /// Byte budget of each stager's LRU hot-frame cache (0 disables
     /// caching — the uncached baseline).
     pub cache_bytes: usize,
+    /// Virtual reply-latency budget. `Some(b)`: every stager runs a
+    /// [`BudgetController`] (paper Algorithm 1, second life) over a
+    /// sliding window of its observed reply latencies and degrades reply
+    /// fidelity ([`Fidelity::for_percent`]) to keep the window's worst
+    /// latency within `b`. The controller's set point is `b / 2`: the
+    /// headroom absorbs the control loop's hunting overshoot so the
+    /// *delivered* tail stays inside `b`. `None`: fixed full fidelity,
+    /// the pre-adaptive behavior.
+    pub latency_budget: Option<f64>,
+    /// Sliding-window length (latency samples) the controller observes.
+    pub budget_window: usize,
+    /// Virtual seconds of per-reply service work on the stager clock.
+    /// Zero (the default) keeps pre-adaptive runs byte-identical.
+    pub service_base: f64,
+    /// Virtual seconds per encoded reply byte on the stager clock — the
+    /// cost the fidelity ladder actually shrinks. Zero by default.
+    pub reply_per_byte: f64,
+    /// Virtual seconds of start stagger per client slot: client `c`
+    /// idles `c · client_ramp` before its first request, so offered load
+    /// ramps up over the run instead of arriving as one t=0 burst. Zero
+    /// (the default) keeps the original all-at-once start.
+    pub client_ramp: f64,
+    /// Deterministic fault injection: the named stager panics mid-reply
+    /// after shipping `after_requests` requests (crash-harness tests).
+    pub fault: Option<ServeFault>,
+}
+
+/// A scripted stager crash: stager `stager` panics while serving its
+/// `after_requests`-th request (0-based), *after* resolving and degrading
+/// the reply but before the bytes reach the client — mirroring
+/// `apc_replay::ReplayFault` for the staged serving executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeFault {
+    pub stager: usize,
+    pub after_requests: usize,
 }
 
 impl ServeParams {
@@ -77,6 +117,12 @@ impl ServeParams {
             policy,
             think_time: 0.0,
             cache_bytes: 1 << 20,
+            latency_budget: None,
+            budget_window: 32,
+            service_base: 0.0,
+            reply_per_byte: 0.0,
+            client_ramp: 0.0,
+            fault: None,
         }
     }
 
@@ -94,6 +140,57 @@ impl ServeParams {
     /// caching).
     pub fn with_cache_bytes(mut self, bytes: usize) -> Self {
         self.cache_bytes = bytes;
+        self
+    }
+
+    /// Enable adaptive serving: run a per-stager [`BudgetController`]
+    /// against this virtual reply-latency budget.
+    pub fn with_latency_budget(mut self, budget: f64) -> Self {
+        assert!(
+            budget.is_finite() && budget > 0.0,
+            "latency budget must be finite and positive"
+        );
+        self.latency_budget = Some(budget);
+        self
+    }
+
+    /// Set the controller's sliding latency-window length.
+    pub fn with_budget_window(mut self, samples: usize) -> Self {
+        assert!(samples >= 1, "the latency window needs at least one slot");
+        self.budget_window = samples;
+        self
+    }
+
+    /// Set the explicit per-reply serve costs: `base` virtual seconds of
+    /// service work plus `per_byte` seconds per encoded reply byte, both
+    /// charged on the stager's clock before the reply is sent. These are
+    /// what make client pressure *cost* something the controller can
+    /// observe; both default to zero so budget-less runs are unchanged.
+    pub fn with_serve_costs(mut self, base: f64, per_byte: f64) -> Self {
+        assert!(
+            base.is_finite() && base >= 0.0 && per_byte.is_finite() && per_byte >= 0.0,
+            "serve costs must be finite and non-negative"
+        );
+        self.service_base = base;
+        self.reply_per_byte = per_byte;
+        self
+    }
+
+    /// Stagger client starts: client `c` idles `c · seconds` before its
+    /// first request, turning the t=0 request burst into a load ramp the
+    /// budget controller can adapt ahead of.
+    pub fn with_client_ramp(mut self, seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "client ramp must be finite and non-negative"
+        );
+        self.client_ramp = seconds;
+        self
+    }
+
+    /// Script a deterministic stager crash (see [`ServeFault`]).
+    pub fn with_fault(mut self, fault: ServeFault) -> Self {
+        self.fault = Some(fault);
         self
     }
 
@@ -126,6 +223,58 @@ pub struct RequestLog {
     /// Virtual seconds from posting the request to holding the reply —
     /// including any production wait a deferred reply absorbed.
     pub latency: f64,
+    /// The most degraded fidelity across the reply's frames
+    /// ([`Fidelity::Full`] for frameless replies): how good an answer the
+    /// client actually got.
+    pub fidelity: Fidelity,
+}
+
+/// How many replies a stager shipped at each rung of the fidelity
+/// ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FidelityMix {
+    pub full: usize,
+    pub lossy: usize,
+    pub dropped: usize,
+    pub header_only: usize,
+}
+
+impl FidelityMix {
+    /// Record one reply shipped at `fidelity`.
+    pub fn count(&mut self, fidelity: Fidelity) {
+        match fidelity {
+            Fidelity::Full => self.full += 1,
+            Fidelity::Lossy { .. } => self.lossy += 1,
+            Fidelity::Dropped { .. } => self.dropped += 1,
+            Fidelity::HeaderOnly => self.header_only += 1,
+        }
+    }
+
+    /// Replies shipped below full fidelity.
+    pub fn degraded(&self) -> usize {
+        self.lossy + self.dropped + self.header_only
+    }
+
+    /// All replies counted.
+    pub fn total(&self) -> usize {
+        self.full + self.degraded()
+    }
+
+    /// Merge another mix into this one.
+    pub fn merge(&mut self, other: &FidelityMix) {
+        self.full += other.full;
+        self.lossy += other.lossy;
+        self.dropped += other.dropped;
+        self.header_only += other.header_only;
+    }
+
+    /// Compact `full/lossy/dropped/header` column for report rows.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.full, self.lossy, self.dropped, self.header_only
+        )
+    }
 }
 
 /// Per-stager serving totals.
@@ -146,6 +295,12 @@ pub struct ServerStats {
     /// above), so policy comparisons can attribute hit-rate differences
     /// to individual servers.
     pub cache: CacheStats,
+    /// Frame-carrying replies by fidelity rung (adaptive serving's
+    /// observable: all-`full` when no budget is set).
+    pub fidelity: FidelityMix,
+    /// The stager's final controller output (0 without a budget): where
+    /// on the ladder the controller settled by end of run.
+    pub final_percent: f64,
 }
 
 /// A completed serving run: the staged pipeline's own observables plus
@@ -191,16 +346,24 @@ impl ServingRun {
         self.requests.iter().filter(|r| !r.exact).count()
     }
 
-    /// The `p`-th percentile (0–100) of virtual service latency.
+    /// The `p`-th percentile (0–100) of virtual service latency, by the
+    /// shared nearest-rank rule ([`crate::stats::percentile`]).
     pub fn latency_percentile(&self, p: f64) -> f64 {
-        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
-        let mut lat: Vec<f64> = self.requests.iter().map(|r| r.latency).collect();
-        if lat.is_empty() {
-            return 0.0;
+        percentile(self.requests.iter().map(|r| r.latency), p)
+    }
+
+    /// Replies by fidelity rung, summed over every stager.
+    pub fn fidelity_mix(&self) -> FidelityMix {
+        let mut mix = FidelityMix::default();
+        for s in &self.servers {
+            mix.merge(&s.fidelity);
         }
-        lat.sort_by(f64::total_cmp);
-        let idx = ((p / 100.0) * (lat.len() - 1) as f64).round() as usize;
-        lat[idx]
+        mix
+    }
+
+    /// Replies shipped below full fidelity.
+    pub fn degraded_replies(&self) -> usize {
+        self.fidelity_mix().degraded()
     }
 
     /// Frames served per virtual second of serving makespan (the last
@@ -266,10 +429,12 @@ struct ClientConn {
     ep: ServeServer,
     /// Requests received from this client so far.
     taken: usize,
-    /// A reply being held until its due frame index is rendered. While
-    /// present the client is blocked on it, so the stager must not expect
-    /// further requests from this client.
-    deferred: Option<(FrameRequest, usize)>,
+    /// A reply being held until its due frame index is rendered, plus
+    /// the request's virtual arrival time (the latency the stager will
+    /// observe includes the production wait). While present the client is
+    /// blocked on it, so the stager must not expect further requests from
+    /// this client.
+    deferred: Option<(FrameRequest, usize, f64)>,
 }
 
 /// Per-stager serving state, driven from the staged executor's per-frame
@@ -283,6 +448,22 @@ pub struct StagerServe<'a> {
     cache: FrameCache,
     clients: Vec<ClientConn>,
     stats: ServerStats,
+    /// Algorithm 1 over reply latency, when a budget is set.
+    budget: Option<BudgetController>,
+    /// Sliding window of the last `window_cap` stager-observed reply
+    /// latencies (send clock − request arrival).
+    window: VecDeque<f64>,
+    window_cap: usize,
+    /// Replies shipped since the controller last observed the window —
+    /// the controller only steps on fresh evidence.
+    served_since_observe: usize,
+    /// Reduction percent currently in effect (what produced `fidelity`).
+    percent_in_effect: f64,
+    /// Ladder rung the next replies ship at.
+    fidelity: Fidelity,
+    service_base: f64,
+    reply_per_byte: f64,
+    fault: Option<ServeFault>,
 }
 
 impl<'a> StagerServe<'a> {
@@ -295,6 +476,13 @@ impl<'a> StagerServe<'a> {
         iterations: &'a [usize],
         client_ranks: Vec<usize>,
     ) -> Self {
+        // The budget is the delivered-tail objective; the controller's
+        // set point sits at half of it. Algorithm 1's two-point fit
+        // overshoots while it hunts (the latency-vs-percent curve is
+        // nonlinear and shifts with load), and the serving tail lands
+        // 1.3–1.7× the set point — the headroom is what keeps the
+        // delivered p99 inside the budget itself.
+        let budget = serve.latency_budget.map(|b| BudgetController::new(b * 0.5));
         Self {
             policy: serve.policy,
             slot,
@@ -311,6 +499,17 @@ impl<'a> StagerServe<'a> {
                 })
                 .collect(),
             stats: ServerStats::default(),
+            // The controller's first output is 0 (serve unreduced), so
+            // the opening fidelity is Full with or without a budget.
+            percent_in_effect: budget.as_ref().map(|c| c.percent()).unwrap_or(0.0),
+            budget,
+            window: VecDeque::with_capacity(serve.budget_window),
+            window_cap: serve.budget_window,
+            served_since_observe: 0,
+            fidelity: Fidelity::Full,
+            service_base: serve.service_base,
+            reply_per_byte: serve.reply_per_byte,
+            fault: serve.fault,
         }
     }
 
@@ -328,13 +527,13 @@ impl<'a> StagerServe<'a> {
     pub(crate) fn after_frame(&mut self, rank: &mut Rank, k: usize, nframes: usize) {
         debug_assert!(k < nframes);
         for i in 0..self.clients.len() {
-            if let Some((q, due)) = self.clients[i].deferred {
+            if let Some((q, due, arrival)) = self.clients[i].deferred {
                 if due <= k {
                     self.clients[i].deferred = None;
                     match self.resolve(q, k) {
                         Action::Ready { exact, idxs } => {
                             let reply = self.build_reply(rank, exact, &idxs);
-                            self.clients[i].ep.send_reply(rank, reply);
+                            self.ship_reply(rank, i, reply, arrival);
                         }
                         _ => unreachable!("a deferred request is servable at its due frame"),
                     }
@@ -348,23 +547,88 @@ impl<'a> StagerServe<'a> {
         };
         for i in 0..self.clients.len() {
             while self.clients[i].taken < quota && self.clients[i].deferred.is_none() {
-                let q: FrameRequest = self.clients[i].ep.recv_request(rank).msg;
+                let d = self.clients[i].ep.recv_request::<FrameRequest>(rank);
+                let (q, arrival) = (d.msg, d.arrival);
                 self.clients[i].taken += 1;
                 self.stats.requests += 1;
                 match self.resolve(q, k) {
                     Action::Ready { exact, idxs } => {
                         let reply = self.build_reply(rank, exact, &idxs);
-                        self.clients[i].ep.send_reply(rank, reply);
+                        self.ship_reply(rank, i, reply, arrival);
                     }
                     Action::Defer(due) => {
                         debug_assert!(due > k, "deferrals always point forward");
-                        self.clients[i].deferred = Some((q, due));
+                        self.clients[i].deferred = Some((q, due, arrival));
                         self.stats.deferred += 1;
                     }
-                    Action::Answer(reply) => self.clients[i].ep.send_reply(rank, reply),
+                    Action::Answer(reply) => self.ship_reply(rank, i, reply, arrival),
                 }
             }
         }
+        self.step_controller(k);
+    }
+
+    /// Encode and send one reply: charge the explicit serve cost
+    /// (`service_base + reply_per_byte × encoded bytes`) on the stager's
+    /// clock, observe the reply's latency into the controller window,
+    /// fire a scripted [`ServeFault`] if one targets this request, and
+    /// ship the encoded bytes (the wire charge is exactly their length).
+    fn ship_reply(&mut self, rank: &mut Rank, client: usize, reply: FrameReply, arrival: f64) {
+        let wire = reply.encode();
+        if let Some(f) = self.fault {
+            // `stats.requests` was incremented when the request was
+            // taken, so the fault lands after the reply is fully built
+            // and degraded but before its bytes reach the client.
+            if f.stager == self.slot as usize && self.stats.requests == f.after_requests + 1 {
+                // apc-lint: allow(unwrap-in-lib): scripted crash harness — the panic IS the fault under test
+                panic!(
+                    "stager {} injected fault after {} requests (mid-reply, fidelity {})",
+                    self.slot,
+                    f.after_requests,
+                    reply.worst_fidelity().name()
+                );
+            }
+        }
+        let cost = self.service_base + self.reply_per_byte * wire.len() as f64;
+        rank.advance(cost);
+        let latency = rank.clock() - arrival;
+        if self.window.len() == self.window_cap {
+            self.window.pop_front();
+        }
+        self.window.push_back(latency);
+        self.served_since_observe += 1;
+        if !reply.frames().is_empty() {
+            self.stats.fidelity.count(reply.worst_fidelity());
+        }
+        self.clients[client].ep.send_reply(rank, wire);
+        // Long serving batches (deep fan-in, the final-frame drain) would
+        // otherwise run hundreds of replies at a stale fidelity: re-step
+        // the controller every window's worth of replies so it reacts
+        // within a batch, not just between frames.
+        if self.served_since_observe >= self.window_cap {
+            self.step_controller(0);
+        }
+    }
+
+    /// One controller step per frame, on fresh evidence only: feed the
+    /// window's worst latency and the percent those replies were shipped
+    /// at into Algorithm 1, and move the ladder for the next frame's
+    /// replies. Regulating the window *maximum* (rather than a central
+    /// percentile) makes the controller's set point a tail bound: at
+    /// equilibrium the worst recent reply sits at the budget, so the
+    /// run-wide p99 lands at or under it.
+    fn step_controller(&mut self, _k: usize) {
+        let Some(ctrl) = self.budget.as_mut() else {
+            return;
+        };
+        if self.served_since_observe == 0 || self.window.is_empty() {
+            return;
+        }
+        let observed = percentile(self.window.iter().copied(), 100.0);
+        let next = ctrl.observe_at(observed, self.percent_in_effect);
+        self.percent_in_effect = next;
+        self.fidelity = Fidelity::for_percent(next);
+        self.served_since_observe = 0;
     }
 
     /// Drain the serving state into its totals (cache counters included).
@@ -379,6 +643,7 @@ impl<'a> StagerServe<'a> {
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cache: self.cache.stats(),
+            final_percent: self.percent_in_effect,
             ..self.stats
         }
     }
@@ -440,11 +705,16 @@ impl<'a> StagerServe<'a> {
     }
 
     /// Assemble a reply, answering each frame from the cache or the frame
-    /// store. Virtual read charges are cache-aware: a hit moves no bytes
+    /// store, then degrading it to the ladder rung currently in effect.
+    /// Virtual read charges are cache-aware: a hit moves no bytes
     /// and charges nothing; a miss charges the ranged read of exactly the
     /// encoded stream's bytes (`FrameStore::encoded` reads that byte
-    /// range and nothing more, flat or sharded).
+    /// range and nothing more, flat or sharded). The cache always holds
+    /// the *full* stream — degradation happens per reply, so a later
+    /// recovery to full fidelity serves undamaged bytes from the same
+    /// cache entry.
     fn build_reply(&mut self, rank: &mut Rank, exact: bool, idxs: &[usize]) -> FrameReply {
+        let fidelity = self.fidelity;
         let mut frames = Vec::with_capacity(idxs.len());
         for &idx in idxs {
             let it = self.iterations[idx] as u64;
@@ -471,10 +741,23 @@ impl<'a> StagerServe<'a> {
                     (s, false)
                 }
             };
+            let stream = match fidelity {
+                // Full fidelity ships the bytes as-is (no re-encode copy).
+                Fidelity::Full => stream,
+                _ => degrade_stream(&stream, fidelity).unwrap_or_else(|e| {
+                    // apc-lint: allow(unwrap-in-lib): a rendered frame that fails to re-encode means the run's own bytes are corrupt — fail loudly (poisons the session)
+                    panic!(
+                        "stager {} failed to degrade frame (iteration {it}) to {}: {e}",
+                        self.slot,
+                        fidelity.name()
+                    )
+                }),
+            };
             frames.push(ServedFrame {
                 iteration: it,
                 stager: self.slot,
                 cache_hit,
+                fidelity,
                 stream,
             });
         }
@@ -496,11 +779,20 @@ fn client_program(
 ) -> (Vec<RequestLog>, f64) {
     let mut ep = ServeClient::new(server_rank, 0);
     let mut logs = Vec::with_capacity(serve.requests_per_client);
+    // Staggered start: later client slots come online later, so offered
+    // load ramps up instead of bursting at t=0.
+    rank.advance(serve.client_ramp * client as f64);
     for j in 0..serve.requests_per_client {
         let q = gen_request(client, j, iterations, serve.requests_per_client);
         let t0 = rank.clock();
         ep.send_request(rank, q);
-        let reply: FrameReply = ep.recv_reply(rank).msg;
+        // Replies ride the wire as their encoded bytes (`Vec<u8>` meters
+        // as its length, so the virtual charge is exactly the encoded
+        // size — which is what the fidelity ladder shrinks).
+        let wire: Vec<u8> = ep.recv_reply(rank).msg;
+        let reply = FrameReply::decode(&wire)
+            // apc-lint: allow(unwrap-in-lib): end-to-end check in a rank program — a corrupt reply fails the run loudly
+            .unwrap_or_else(|e| panic!("client {client} received an undecodable reply: {e}"));
         let latency = rank.clock() - t0;
         let mut cache_hits = 0;
         for served in reply.frames() {
@@ -511,6 +803,12 @@ fn client_program(
                 .unwrap_or_else(|e| panic!("client {client} received an undecodable frame: {e}"));
             assert_eq!(frame.stager, server_slot, "frame from the wrong stager");
             assert_eq!(frame.iteration, served.iteration, "frame key mismatch");
+            if served.fidelity == Fidelity::HeaderOnly {
+                assert!(
+                    frame.pixels.is_empty(),
+                    "a header-only frame must carry no pixels"
+                );
+            }
             cache_hits += usize::from(served.cache_hit);
         }
         logs.push(RequestLog {
@@ -520,6 +818,7 @@ fn client_program(
             cache_hits,
             exact: reply.exact(),
             latency,
+            fidelity: reply.worst_fidelity(),
         });
         rank.advance(serve.think_time);
     }
@@ -730,6 +1029,17 @@ mod tests {
         cache_bytes: usize,
         shard: Option<usize>,
     ) -> (ServingRun, Arc<dyn StoreBackend>, Vec<usize>) {
+        let serve = ServeParams::new(4, 6, policy)
+            .with_think_time(0.1)
+            .with_cache_bytes(cache_bytes);
+        tiny_serving_serve(serve, shard)
+    }
+
+    /// The tiny serving fixture with full control over [`ServeParams`].
+    fn tiny_serving_serve(
+        serve: ServeParams,
+        shard: Option<usize>,
+    ) -> (ServingRun, Arc<dyn StoreBackend>, Vec<usize>) {
         let dataset = ReflectivityDataset::tiny(8, 42).unwrap();
         let iters = dataset.sample_iterations(4);
         let backend: Arc<dyn StoreBackend> = Arc::new(MemStore::new());
@@ -744,9 +1054,6 @@ mod tests {
             .deterministic()
             .with_fixed_percent(40.0)
             .with_staged(params);
-        let serve = ServeParams::new(4, 6, policy)
-            .with_think_time(0.1)
-            .with_cache_bytes(cache_bytes);
         let run = run_staged_serving_prepared(
             dataset.decomp(),
             dataset.coords(),
@@ -937,10 +1244,117 @@ mod tests {
     fn serve_params_builders() {
         let p = ServeParams::new(4, 6, ServePolicy::WaitForFrame)
             .with_think_time(0.25)
-            .with_cache_bytes(2048);
+            .with_cache_bytes(2048)
+            .with_latency_budget(0.5)
+            .with_budget_window(16)
+            .with_serve_costs(0.01, 1e-5)
+            .with_client_ramp(0.125)
+            .with_fault(ServeFault {
+                stager: 1,
+                after_requests: 3,
+            });
         assert_eq!(p.clients, 4);
         assert_eq!(p.requests_per_client, 6);
         assert_eq!(p.think_time, 0.25);
         assert_eq!(p.cache_bytes, 2048);
+        assert_eq!(p.latency_budget, Some(0.5));
+        assert_eq!(p.budget_window, 16);
+        assert_eq!(p.service_base, 0.01);
+        assert_eq!(p.reply_per_byte, 1e-5);
+        assert_eq!(p.client_ramp, 0.125);
+        assert_eq!(
+            p.fault,
+            Some(ServeFault {
+                stager: 1,
+                after_requests: 3
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "latency budget must be finite and positive")]
+    fn non_positive_budget_rejected() {
+        let _ = ServeParams::new(1, 1, ServePolicy::BestEffort).with_latency_budget(0.0);
+    }
+
+    #[test]
+    fn no_budget_ships_everything_full_fidelity() {
+        let (run, ..) = tiny_serving(ServePolicy::BestEffort, 64 << 10);
+        assert_eq!(run.degraded_replies(), 0);
+        let mix = run.fidelity_mix();
+        assert!(mix.full > 0, "frame replies were shipped");
+        assert_eq!(mix.degraded(), 0);
+        assert!(run.requests.iter().all(|r| r.fidelity == Fidelity::Full));
+        assert!(run.servers.iter().all(|s| s.final_percent == 0.0));
+    }
+
+    #[test]
+    fn generous_budget_converges_to_full_fidelity() {
+        // With explicit serve costs but a budget far above the observed
+        // latencies, the controller must settle at 0% — zero degraded
+        // replies, exactly the fixed-fidelity outcome.
+        let serve = ServeParams::new(4, 6, ServePolicy::BestEffort)
+            .with_think_time(0.1)
+            .with_serve_costs(0.01, 1e-6)
+            .with_latency_budget(1e6);
+        let (run, ..) = tiny_serving_serve(serve, None);
+        assert_eq!(run.degraded_replies(), 0, "generous budget never degrades");
+        assert!(run.servers.iter().all(|s| s.final_percent == 0.0));
+        assert!(run.requests.iter().all(|r| r.fidelity == Fidelity::Full));
+    }
+
+    #[test]
+    fn tight_budget_walks_the_fidelity_ladder() {
+        // Serve costs make every reply expensive; a budget far below the
+        // resulting latencies forces the controller up the ladder
+        // mid-run.
+        let serve = ServeParams::new(4, 6, ServePolicy::BestEffort)
+            .with_think_time(0.1)
+            .with_serve_costs(0.05, 1e-4)
+            .with_latency_budget(0.01);
+        let (run, ..) = tiny_serving_serve(serve, None);
+        let mix = run.fidelity_mix();
+        assert!(
+            mix.degraded() > 0,
+            "an unmeetable budget must degrade replies: {mix:?}"
+        );
+        assert!(
+            mix.full > 0,
+            "the controller's first frame serves unreduced (Algorithm 1 initial conditions)"
+        );
+        assert!(
+            run.servers.iter().any(|s| s.final_percent > 0.0),
+            "controllers end under pressure"
+        );
+        // Clients observed the degradation through the wire tag.
+        assert!(run
+            .requests
+            .iter()
+            .any(|r| r.fidelity != Fidelity::Full && r.frames > 0));
+        // Fidelity-mix accounting covers exactly the frame-carrying
+        // replies.
+        let frame_replies = run.requests.iter().filter(|r| r.frames > 0).count();
+        assert_eq!(mix.total(), frame_replies);
+    }
+
+    #[test]
+    fn degraded_replies_ship_fewer_bytes_for_lower_tail() {
+        // Same costs, same traffic: the adaptive run's tail latency must
+        // not exceed the fixed-fidelity run's, because every degraded
+        // reply is strictly smaller on the (per-byte-charged) wire.
+        let costs = (0.02, 2e-4);
+        let fixed = ServeParams::new(4, 6, ServePolicy::BestEffort)
+            .with_think_time(0.1)
+            .with_serve_costs(costs.0, costs.1);
+        let adaptive = fixed.with_latency_budget(0.05);
+        let (fixed_run, ..) = tiny_serving_serve(fixed, None);
+        let (adaptive_run, ..) = tiny_serving_serve(adaptive, None);
+        assert!(adaptive_run.degraded_replies() > 0);
+        assert!(
+            adaptive_run.latency_percentile(99.0) <= fixed_run.latency_percentile(99.0) + 1e-12,
+            "adaptive p99 {} vs fixed p99 {}",
+            adaptive_run.latency_percentile(99.0),
+            fixed_run.latency_percentile(99.0)
+        );
     }
 }

@@ -20,6 +20,10 @@
 //!   a [`ServePolicy`] deciding what happens when a request races frame
 //!   production (wait for the frame, or answer best-effort with the
 //!   newest one available);
+//! * [`Fidelity`] / [`degrade_stream`] — the reply-fidelity ladder the
+//!   adaptive serving executor walks under latency pressure (full →
+//!   lossy zfpx re-encode → score-ranked dropping → header-only), plus
+//!   the deterministic re-encode that implements each rung;
 //! * [`FrameCache`] — the byte-bounded LRU hot-frame cache a serving
 //!   stager answers from before falling back to store reads; since PR 8 a
 //!   [`FrameKey`]-typed alias of the generalized
@@ -43,13 +47,15 @@
 //! ```
 
 pub mod cache;
+pub mod degrade;
 pub mod frame;
 pub mod protocol;
 pub mod store;
 
 pub use cache::{FrameCache, FrameKey};
+pub use degrade::degrade_stream;
 pub use frame::Frame;
-pub use protocol::{FrameReply, FrameRequest, ServePolicy, ServedFrame};
+pub use protocol::{Fidelity, FrameReply, FrameRequest, ServePolicy, ServedFrame};
 pub use store::{frame_key, open_run, FrameSink, FrameStore, RunManifest};
 
 /// Errors of frame persistence and decoding.

@@ -19,6 +19,7 @@
 //!   [`FrameReply::NotYet`] when it has nothing.
 
 use apc_comm::Meter;
+use apc_compress::Zfpx;
 
 use crate::ServeError;
 
@@ -130,21 +131,152 @@ impl Meter for FrameRequest {
     }
 }
 
-/// One served frame: the encoded stream plus its coordinates and whether
-/// the serving stager answered it from the hot cache.
+/// How faithfully a served frame reproduces what the stager rendered.
+///
+/// The adaptive serving executor walks this ladder under latency
+/// pressure: a `BudgetController` over the stager's observed reply
+/// latencies emits a reduction percent, and [`Fidelity::for_percent`]
+/// maps it to the cheapest reply that still meets the budget. The tag
+/// rides the wire with every [`ServedFrame`] so clients (and tests) can
+/// attribute degradation instead of inferring it from byte counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fidelity {
+    /// The stream exactly as rendered and persisted.
+    Full,
+    /// Re-encoded through `Zfpx { tolerance }`: every pixel survives but
+    /// only to within `tolerance` absolute error.
+    Lossy { tolerance: f32 },
+    /// Score-ranked block dropping: only the top `keep_percent` of
+    /// pixels (by reflectivity score) survive, the rest are zeroed, and
+    /// the result is re-encoded through `Zfpx { tolerance }` (runs of
+    /// zeros compress to almost nothing).
+    Dropped { keep_percent: f32, tolerance: f32 },
+    /// Provenance only: a 0×0 frame whose header still names the
+    /// iteration, stager, triangle count and reduction percent.
+    HeaderOnly,
+}
+
+/// Wire tags of the fidelity encoding (one byte, then LE f32 operands).
+const FID_FULL: u8 = 0;
+const FID_LOSSY: u8 = 1;
+const FID_DROPPED: u8 = 2;
+const FID_HEADER_ONLY: u8 = 3;
+
+impl Fidelity {
+    /// Reduction percent (0 = no pressure, 100 = shed everything) →
+    /// ladder rung. The bands are chosen so the controller's usual
+    /// operating points land on distinct rungs:
+    ///
+    /// | percent   | fidelity                                                  |
+    /// |-----------|-----------------------------------------------------------|
+    /// | ≤ 0.5     | `Full`                                                    |
+    /// | 0.5 – 50  | `Lossy`, tolerance [`Zfpx::graded_tolerance`]`(p)`        |
+    /// | 50 – 90   | `Dropped`, keep `100 − p` %, tolerance `1e-1`             |
+    /// | > 90      | `HeaderOnly`                                              |
+    pub fn for_percent(percent: f64) -> Self {
+        let p = if percent.is_finite() {
+            percent.clamp(0.0, 100.0)
+        } else {
+            100.0
+        };
+        if p <= 0.5 {
+            Fidelity::Full
+        } else if p <= 50.0 {
+            Fidelity::Lossy {
+                tolerance: Zfpx::graded_tolerance(p),
+            }
+        } else if p <= 90.0 {
+            Fidelity::Dropped {
+                keep_percent: (100.0 - p) as f32,
+                tolerance: 1e-1,
+            }
+        } else {
+            Fidelity::HeaderOnly
+        }
+    }
+
+    /// Short stable name for CSV/report rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fidelity::Full => "full",
+            Fidelity::Lossy { .. } => "lossy",
+            Fidelity::Dropped { .. } => "dropped",
+            Fidelity::HeaderOnly => "header-only",
+        }
+    }
+
+    /// Ladder rung index: 0 = full … 3 = header-only. Orders fidelities
+    /// by severity without comparing codec parameters.
+    pub fn rung(&self) -> u8 {
+        match self {
+            Fidelity::Full => 0,
+            Fidelity::Lossy { .. } => 1,
+            Fidelity::Dropped { .. } => 2,
+            Fidelity::HeaderOnly => 3,
+        }
+    }
+
+    /// The more degraded of two fidelities (by rung).
+    pub fn worst(self, other: Self) -> Self {
+        if other.rung() > self.rung() {
+            other
+        } else {
+            self
+        }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            Fidelity::Full => out.push(FID_FULL),
+            Fidelity::Lossy { tolerance } => {
+                out.push(FID_LOSSY);
+                out.extend_from_slice(&tolerance.to_le_bytes());
+            }
+            Fidelity::Dropped {
+                keep_percent,
+                tolerance,
+            } => {
+                out.push(FID_DROPPED);
+                out.extend_from_slice(&keep_percent.to_le_bytes());
+                out.extend_from_slice(&tolerance.to_le_bytes());
+            }
+            Fidelity::HeaderOnly => out.push(FID_HEADER_ONLY),
+        }
+    }
+}
+
+impl Meter for Fidelity {
+    fn nbytes(&self) -> usize {
+        match self {
+            Fidelity::Full | Fidelity::HeaderOnly => 1,
+            Fidelity::Lossy { .. } => 1 + 4,
+            Fidelity::Dropped { .. } => 1 + 8,
+        }
+    }
+}
+
+/// One served frame: the encoded stream plus its coordinates, whether
+/// the serving stager answered it from the hot cache, and at what
+/// fidelity the stager shipped it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServedFrame {
     pub iteration: u64,
     pub stager: u32,
     /// Answered from the LRU cache (false: a store read was charged).
     pub cache_hit: bool,
+    /// Ladder rung the reply was shipped at. Anything but
+    /// [`Fidelity::Full`] means `stream` is a degraded re-encode of the
+    /// rendered frame.
+    pub fidelity: Fidelity,
     /// The frame's encoded stream (decode with `Frame::decode`).
     pub stream: Vec<u8>,
 }
 
 impl Meter for ServedFrame {
     fn nbytes(&self) -> usize {
-        8 + 4 + 1 + self.stream.len()
+        // iteration + stager + cache_hit + fidelity + stream_len + stream,
+        // matching the wire image byte for byte.
+        8 + 4 + 1 + self.fidelity.nbytes() + 4 + self.stream.len()
     }
 }
 
@@ -164,6 +296,107 @@ pub enum FrameReply {
     NoSuchIteration(u64),
 }
 
+/// Wire tags of the reply encoding (one byte, then the variant payload).
+const REPLY_FRAMES: u8 = 1;
+const REPLY_NOT_YET: u8 = 2;
+const REPLY_NO_SUCH: u8 = 3;
+
+/// Smallest possible wire image of one served frame (empty stream, Full
+/// fidelity): bounds the frame count a corrupt header can make the
+/// decoder allocate for.
+const MIN_FRAME_WIRE: usize = 8 + 4 + 1 + 1 + 4;
+
+/// A forward-only cursor over reply wire bytes: every read is
+/// bounds-checked and yields a typed [`ServeError::Corrupt`] on
+/// truncation, so the decoder stays total under arbitrary damage.
+struct WireReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        WireReader { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(ServeError::Corrupt(format!(
+                "frame reply truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            ))),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, ServeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ServeError> {
+        // apc-lint: allow(unwrap-in-lib): take(4) returned exactly 4 bytes
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ServeError> {
+        // apc-lint: allow(unwrap-in-lib): take(8) returned exactly 8 bytes
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, ServeError> {
+        // apc-lint: allow(unwrap-in-lib): take(4) returned exactly 4 bytes
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+}
+
+/// A decoded fraction/tolerance must be a finite value the encoder could
+/// have produced; bit flips that land in NaN/Inf/negative space are
+/// damage, not parameters.
+fn checked_fraction(v: f32, what: &str, max: f32) -> Result<f32, ServeError> {
+    if v.is_finite() && (0.0..=max).contains(&v) {
+        Ok(v)
+    } else {
+        Err(ServeError::Corrupt(format!(
+            "frame reply {what} {v} outside [0, {max}]"
+        )))
+    }
+}
+
+fn decode_fidelity(r: &mut WireReader<'_>) -> Result<Fidelity, ServeError> {
+    match r.u8()? {
+        FID_FULL => Ok(Fidelity::Full),
+        FID_LOSSY => Ok(Fidelity::Lossy {
+            tolerance: checked_fraction(r.f32()?, "lossy tolerance", f32::MAX)?,
+        }),
+        FID_DROPPED => Ok(Fidelity::Dropped {
+            keep_percent: checked_fraction(r.f32()?, "keep percent", 100.0)?,
+            tolerance: checked_fraction(r.f32()?, "drop tolerance", f32::MAX)?,
+        }),
+        FID_HEADER_ONLY => Ok(Fidelity::HeaderOnly),
+        other => Err(ServeError::Corrupt(format!("unknown fidelity tag {other}"))),
+    }
+}
+
+fn decode_bool(r: &mut WireReader<'_>, what: &str) -> Result<bool, ServeError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(ServeError::Corrupt(format!(
+            "frame reply {what} byte is {other}, not 0/1"
+        ))),
+    }
+}
+
 impl FrameReply {
     /// Frames carried by the reply.
     pub fn frames(&self) -> &[ServedFrame] {
@@ -177,13 +410,107 @@ impl FrameReply {
     pub fn exact(&self) -> bool {
         matches!(self, FrameReply::Frames { exact: true, .. })
     }
+
+    /// The most degraded fidelity across the reply's frames ([`Fidelity::Full`]
+    /// for frameless replies) — what a client records as "how good was
+    /// this answer".
+    pub fn worst_fidelity(&self) -> Fidelity {
+        self.frames()
+            .iter()
+            .fold(Fidelity::Full, |acc, f| acc.worst(f.fidelity))
+    }
+
+    /// Serialize to the tagged wire form. The encoded length equals
+    /// [`Meter::nbytes`], so a reply costs on the virtual wire exactly
+    /// what its bytes occupy on a real one.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.nbytes());
+        match self {
+            FrameReply::Frames { exact, frames } => {
+                out.push(REPLY_FRAMES);
+                out.push(u8::from(*exact));
+                out.extend_from_slice(&(frames.len() as u32).to_le_bytes());
+                for f in frames {
+                    out.extend_from_slice(&f.iteration.to_le_bytes());
+                    out.extend_from_slice(&f.stager.to_le_bytes());
+                    out.push(u8::from(f.cache_hit));
+                    f.fidelity.encode_into(&mut out);
+                    out.extend_from_slice(&(f.stream.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&f.stream);
+                }
+            }
+            FrameReply::NotYet => out.push(REPLY_NOT_YET),
+            FrameReply::NoSuchIteration(it) => {
+                out.push(REPLY_NO_SUCH);
+                out.extend_from_slice(&it.to_le_bytes());
+            }
+        }
+        debug_assert_eq!(out.len(), self.nbytes(), "reply wire/meter drift");
+        out
+    }
+
+    /// Parse a reply off the wire. Decoding is total — truncated,
+    /// oversized, bit-flipped or semantically impossible bytes (a frame
+    /// count no payload of this length could hold, a non-boolean flag, a
+    /// NaN tolerance) come back as [`ServeError::Corrupt`], never as a
+    /// panic and never as an unbounded allocation.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        let mut r = WireReader::new(bytes);
+        let tag = r.u8().map_err(|_| {
+            ServeError::Corrupt("empty frame reply".into()) // empty wire image
+        })?;
+        let reply = match tag {
+            REPLY_FRAMES => {
+                let exact = decode_bool(&mut r, "exact")?;
+                let count = r.u32()? as usize;
+                if count.saturating_mul(MIN_FRAME_WIRE) > r.remaining() {
+                    return Err(ServeError::Corrupt(format!(
+                        "frame reply claims {count} frames but only {} payload bytes remain",
+                        r.remaining()
+                    )));
+                }
+                let mut frames = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let iteration = r.u64()?;
+                    let stager = r.u32()?;
+                    let cache_hit = decode_bool(&mut r, "cache_hit")?;
+                    let fidelity = decode_fidelity(&mut r)?;
+                    let stream_len = r.u32()? as usize;
+                    let stream = r.take(stream_len)?.to_vec();
+                    frames.push(ServedFrame {
+                        iteration,
+                        stager,
+                        cache_hit,
+                        fidelity,
+                        stream,
+                    });
+                }
+                FrameReply::Frames { exact, frames }
+            }
+            REPLY_NOT_YET => FrameReply::NotYet,
+            REPLY_NO_SUCH => FrameReply::NoSuchIteration(r.u64()?),
+            other => {
+                return Err(ServeError::Corrupt(format!(
+                    "unknown frame reply tag {other}"
+                )))
+            }
+        };
+        if r.remaining() != 0 {
+            return Err(ServeError::Corrupt(format!(
+                "frame reply has {} trailing bytes after tag {tag}",
+                r.remaining()
+            )));
+        }
+        Ok(reply)
+    }
 }
 
 impl Meter for FrameReply {
     fn nbytes(&self) -> usize {
         match self {
             FrameReply::Frames { frames, .. } => {
-                2 + frames.iter().map(Meter::nbytes).sum::<usize>()
+                // tag + exact + count + frames.
+                1 + 1 + 4 + frames.iter().map(Meter::nbytes).sum::<usize>()
             }
             FrameReply::NotYet => 1,
             FrameReply::NoSuchIteration(_) => 1 + 8,
@@ -224,22 +551,52 @@ mod tests {
         assert_eq!(FrameRequest::Range { start: 1, end: 4 }.nbytes(), 17);
     }
 
+    fn served(iteration: u64, fidelity: Fidelity, stream: Vec<u8>) -> ServedFrame {
+        ServedFrame {
+            iteration,
+            stager: 0,
+            cache_hit: iteration.is_multiple_of(2),
+            fidelity,
+            stream,
+        }
+    }
+
     #[test]
     fn reply_meters_its_streams() {
         let frame = ServedFrame {
             iteration: 3,
             stager: 0,
             cache_hit: true,
+            fidelity: Fidelity::Full,
             stream: vec![0; 100],
         };
-        assert_eq!(frame.nbytes(), 113);
+        // 8 iteration + 4 stager + 1 cache_hit + 1 fidelity tag +
+        // 4 stream_len + 100 stream.
+        assert_eq!(frame.nbytes(), 118);
         let reply = FrameReply::Frames {
             exact: true,
             frames: vec![frame.clone(), frame],
         };
-        assert_eq!(reply.nbytes(), 2 + 2 * 113);
+        assert_eq!(reply.nbytes(), 6 + 2 * 118);
         assert_eq!(FrameReply::NotYet.nbytes(), 1);
         assert_eq!(FrameReply::NoSuchIteration(9).nbytes(), 9);
+        // Parameterized fidelities widen the frame by their operands.
+        assert_eq!(
+            served(0, Fidelity::Lossy { tolerance: 0.5 }, vec![0; 10]).nbytes(),
+            8 + 4 + 1 + 5 + 4 + 10
+        );
+        assert_eq!(
+            served(
+                0,
+                Fidelity::Dropped {
+                    keep_percent: 25.0,
+                    tolerance: 0.1
+                },
+                vec![]
+            )
+            .nbytes(),
+            8 + 4 + 1 + 9 + 4
+        );
     }
 
     #[test]
@@ -250,6 +607,7 @@ mod tests {
                 iteration: 1,
                 stager: 0,
                 cache_hit: false,
+                fidelity: Fidelity::Full,
                 stream: vec![],
             }],
         };
@@ -258,6 +616,192 @@ mod tests {
         assert!(!FrameReply::NotYet.exact());
         assert!(FrameReply::NotYet.frames().is_empty());
         assert!(!FrameReply::NoSuchIteration(2).exact());
+    }
+
+    #[test]
+    fn fidelity_ladder_bands() {
+        assert_eq!(Fidelity::for_percent(0.0), Fidelity::Full);
+        assert_eq!(Fidelity::for_percent(-3.0), Fidelity::Full);
+        assert_eq!(Fidelity::for_percent(0.5), Fidelity::Full);
+        assert!(matches!(
+            Fidelity::for_percent(10.0),
+            Fidelity::Lossy { .. }
+        ));
+        assert!(matches!(
+            Fidelity::for_percent(70.0),
+            Fidelity::Dropped { .. }
+        ));
+        assert_eq!(Fidelity::for_percent(95.0), Fidelity::HeaderOnly);
+        assert_eq!(Fidelity::for_percent(1e9), Fidelity::HeaderOnly);
+
+        // Lossy tolerance grows monotonically with pressure; Dropped
+        // keeps less as pressure rises.
+        let (t_low, t_high) = match (Fidelity::for_percent(5.0), Fidelity::for_percent(45.0)) {
+            (Fidelity::Lossy { tolerance: a }, Fidelity::Lossy { tolerance: b }) => (a, b),
+            other => panic!("expected lossy rungs, got {other:?}"),
+        };
+        assert!(t_low < t_high, "{t_low} !< {t_high}");
+        match (Fidelity::for_percent(55.0), Fidelity::for_percent(85.0)) {
+            (
+                Fidelity::Dropped {
+                    keep_percent: a, ..
+                },
+                Fidelity::Dropped {
+                    keep_percent: b, ..
+                },
+            ) => assert!(a > b, "{a} !> {b}"),
+            other => panic!("expected dropped rungs, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fidelity_worst_orders_by_rung() {
+        let lossy = Fidelity::Lossy { tolerance: 0.1 };
+        let dropped = Fidelity::Dropped {
+            keep_percent: 10.0,
+            tolerance: 0.1,
+        };
+        assert_eq!(Fidelity::Full.worst(lossy), lossy);
+        assert_eq!(lossy.worst(Fidelity::Full), lossy);
+        assert_eq!(dropped.worst(Fidelity::HeaderOnly), Fidelity::HeaderOnly);
+        assert_eq!(Fidelity::Full.worst(Fidelity::Full), Fidelity::Full);
+        for (f, name) in [
+            (Fidelity::Full, "full"),
+            (lossy, "lossy"),
+            (dropped, "dropped"),
+            (Fidelity::HeaderOnly, "header-only"),
+        ] {
+            assert_eq!(f.name(), name);
+        }
+    }
+
+    fn reply_cases() -> Vec<FrameReply> {
+        vec![
+            FrameReply::Frames {
+                exact: true,
+                frames: vec![],
+            },
+            FrameReply::Frames {
+                exact: false,
+                frames: vec![served(4, Fidelity::Full, vec![1, 2, 3])],
+            },
+            FrameReply::Frames {
+                exact: true,
+                frames: vec![
+                    served(1, Fidelity::Lossy { tolerance: 0.25 }, vec![9; 40]),
+                    served(
+                        2,
+                        Fidelity::Dropped {
+                            keep_percent: 12.5,
+                            tolerance: 0.1,
+                        },
+                        vec![7; 8],
+                    ),
+                    served(3, Fidelity::HeaderOnly, vec![]),
+                ],
+            },
+            FrameReply::NotYet,
+            FrameReply::NoSuchIteration(u64::MAX),
+        ]
+    }
+
+    #[test]
+    fn reply_codec_round_trips_and_matches_meter() {
+        for reply in reply_cases() {
+            let wire = reply.encode();
+            assert_eq!(wire.len(), reply.nbytes(), "{reply:?} wire/meter mismatch");
+            assert_eq!(FrameReply::decode(&wire).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn reply_decode_rejects_empty_and_unknown_tags() {
+        assert!(FrameReply::decode(&[]).is_err());
+        for tag in [0u8, 4, 9, 0xff] {
+            let err = FrameReply::decode(&[tag]).unwrap_err();
+            assert!(matches!(err, ServeError::Corrupt(_)), "tag {tag}: {err}");
+        }
+    }
+
+    #[test]
+    fn reply_decode_rejects_every_truncation() {
+        for reply in reply_cases() {
+            let wire = reply.encode();
+            for cut in 0..wire.len() {
+                let err = FrameReply::decode(&wire[..cut]).unwrap_err();
+                assert!(
+                    matches!(err, ServeError::Corrupt(_)),
+                    "{reply:?} cut at {cut} must be Corrupt, got {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reply_decode_rejects_trailing_bytes() {
+        for reply in reply_cases() {
+            let mut wire = reply.encode();
+            wire.push(0);
+            let err = FrameReply::decode(&wire).unwrap_err();
+            assert!(matches!(err, ServeError::Corrupt(_)), "{reply:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn reply_decode_bounds_claimed_frame_counts() {
+        // A frames header promising more frames than the payload could
+        // possibly hold must fail before allocating for them.
+        let mut wire = Vec::new();
+        wire.push(1u8); // REPLY_FRAMES
+        wire.push(1u8); // exact
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = FrameReply::decode(&wire).unwrap_err();
+        match err {
+            ServeError::Corrupt(msg) => assert!(msg.contains("claims"), "{msg}"),
+            other => panic!("expected Corrupt, got {other}"),
+        }
+    }
+
+    #[test]
+    fn reply_decode_rejects_non_finite_fidelity_params() {
+        for fid in [
+            Fidelity::Lossy {
+                tolerance: f32::NAN,
+            },
+            Fidelity::Lossy { tolerance: -1.0 },
+            Fidelity::Dropped {
+                keep_percent: 120.0,
+                tolerance: 0.1,
+            },
+            Fidelity::Dropped {
+                keep_percent: f32::INFINITY,
+                tolerance: 0.1,
+            },
+        ] {
+            let reply = FrameReply::Frames {
+                exact: true,
+                frames: vec![served(0, fid, vec![])],
+            };
+            let err = FrameReply::decode(&reply.encode()).unwrap_err();
+            assert!(matches!(err, ServeError::Corrupt(_)), "{fid:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn reply_decode_survives_single_bit_flips() {
+        // Bit-flipped replies either decode to some valid reply or fail
+        // as Corrupt; they never panic and never over-allocate. The
+        // invariant under attack is totality, not detection.
+        for reply in reply_cases() {
+            let wire = reply.encode();
+            for byte in 0..wire.len() {
+                for bit in 0..8 {
+                    let mut flipped = wire.clone();
+                    flipped[byte] ^= 1 << bit;
+                    let _ = FrameReply::decode(&flipped);
+                }
+            }
+        }
     }
 
     #[test]

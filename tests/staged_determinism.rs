@@ -20,8 +20,9 @@ use std::sync::Arc;
 use insitu::cm1::ReflectivityDataset;
 use insitu::comm::NetModel;
 use insitu::pipeline::{
-    run_staged_prepared, run_staged_serving_prepared, BackpressurePolicy, ExecPolicy, FrameSink,
-    PipelineConfig, Prepared, ServeParams, ServePolicy, ServingRun, StagedParams, StagedRun,
+    run_staged_prepared, run_staged_serving_prepared, BackpressurePolicy, ExecPolicy, Fidelity,
+    FrameSink, PipelineConfig, Prepared, ServeParams, ServePolicy, ServingRun, StagedParams,
+    StagedRun,
 };
 use insitu::store::{CodecKind, MemStore};
 
@@ -195,6 +196,17 @@ fn staged_mode_cuts_simulation_visible_time() {
 /// races production, and a fresh `MemStore` per run so nothing persists
 /// across runs except what the run itself writes.
 fn serving_once(policy: ServePolicy, exec: ExecPolicy) -> ServingRun {
+    let serve = ServeParams::new(3, 6, policy)
+        .with_think_time(0.1)
+        // A deliberately tight byte budget: evictions happen mid-run and
+        // must still replay bit-identically.
+        .with_cache_bytes(2048);
+    serving_once_serve(serve, exec)
+}
+
+/// The serving fixture with full control over [`ServeParams`] — the
+/// adaptive-serving pins feed budgets and serve costs through here.
+fn serving_once_serve(serve: ServeParams, exec: ExecPolicy) -> ServingRun {
     let dataset = ReflectivityDataset::tiny(8, 42).unwrap();
     let iters = dataset.sample_iterations(4);
     let sink = FrameSink::new(Arc::new(MemStore::new()), "det", CodecKind::Fpz);
@@ -205,11 +217,6 @@ fn serving_once(policy: ServePolicy, exec: ExecPolicy) -> ServingRun {
         .with_target(20.0)
         .with_exec(exec)
         .with_staged(params);
-    let serve = ServeParams::new(3, 6, policy)
-        .with_think_time(0.1)
-        // A deliberately tight byte budget: evictions happen mid-run and
-        // must still replay bit-identically.
-        .with_cache_bytes(2048);
     run_staged_serving_prepared(
         dataset.decomp(),
         dataset.coords(),
@@ -219,6 +226,21 @@ fn serving_once(policy: ServePolicy, exec: ExecPolicy) -> ServingRun {
         NetModel::blue_waters(),
         |it, rank| dataset.rank_blocks(it, rank),
     )
+}
+
+/// [`ServeParams`] for the adaptive-serving pins: explicit serve costs
+/// plus either no budget (fixed full fidelity) or a deliberately
+/// unmeetable one, so the controller must walk the fidelity ladder
+/// mid-run.
+fn adaptive_serve(policy: ServePolicy, budget: Option<f64>) -> ServeParams {
+    let serve = ServeParams::new(3, 6, policy)
+        .with_think_time(0.1)
+        .with_cache_bytes(2048)
+        .with_serve_costs(0.05, 1e-4);
+    match budget {
+        Some(b) => serve.with_latency_budget(b),
+        None => serve,
+    }
 }
 
 fn assert_serving_bit_identical(a: &ServingRun, b: &ServingRun, label: &str) {
@@ -291,6 +313,97 @@ fn serving_session_reuse_is_invisible() {
         assert_eq!(sync.len(), iters.len());
         let second = prepared.run_staged_serving(config, &iters, &serve);
         assert_serving_bit_identical(&first, &second, "session reuse");
+    }
+}
+
+/// Adaptive serving (per-stager `BudgetController` over observed reply
+/// latencies, degrading reply fidelity down the ladder) replays
+/// byte-identically across exec policies — with the budget on and off,
+/// for both serve policies. The tight budget forces mid-run fidelity
+/// transitions; the controller state, the degraded re-encodes and every
+/// latency they shift must all be pure virtual-time arithmetic.
+#[test]
+fn adaptive_serving_identical_across_exec_policies() {
+    for policy in [ServePolicy::WaitForFrame, ServePolicy::BestEffort] {
+        for budget in [None, Some(0.01)] {
+            let serve = adaptive_serve(policy, budget);
+            let serial = serving_once_serve(serve, ExecPolicy::Serial);
+            let threads = serving_once_serve(serve, ExecPolicy::Threads(8));
+            assert_serving_bit_identical(&serial, &threads, "adaptive Serial vs Threads(8)");
+            match budget {
+                None => assert_eq!(
+                    serial.degraded_replies(),
+                    0,
+                    "no budget, no degradation ({})",
+                    policy.name()
+                ),
+                Some(_) => {
+                    // The unmeetable budget must actually move the
+                    // ladder mid-run: full-fidelity replies before the
+                    // controller reacts, degraded ones after.
+                    let mix = serial.fidelity_mix();
+                    assert!(mix.degraded() > 0, "{}: {mix:?}", policy.name());
+                    assert!(mix.full > 0, "{}: {mix:?}", policy.name());
+                    assert!(serial.requests.iter().any(|r| r.fidelity != Fidelity::Full));
+                }
+            }
+        }
+    }
+}
+
+/// Adaptive serving runs repeat bit-identically (fresh sessions, fresh
+/// stores), and per-stager controller state lands in the run's
+/// observables identically too.
+#[test]
+fn adaptive_serving_identical_across_repeated_runs() {
+    let serve = adaptive_serve(ServePolicy::BestEffort, Some(0.01));
+    let a = serving_once_serve(serve, ExecPolicy::Serial);
+    let b = serving_once_serve(serve, ExecPolicy::Serial);
+    assert_serving_bit_identical(&a, &b, "repeated adaptive serving run");
+    for (x, y) in a.servers.iter().zip(&b.servers) {
+        assert_eq!(
+            x.final_percent.to_bits(),
+            y.final_percent.to_bits(),
+            "controller state drifted between replays"
+        );
+    }
+}
+
+/// Adaptive serving through a `Prepared`'s persistent session replays
+/// bit-identically across session reuse, budget on and off.
+#[test]
+fn adaptive_serving_session_reuse_is_invisible() {
+    let iters = ReflectivityDataset::tiny(8, 42)
+        .unwrap()
+        .sample_iterations(3);
+    let prepared = Prepared::from_dataset(
+        ReflectivityDataset::tiny(8, 42).unwrap(),
+        iters.clone(),
+        ExecPolicy::Serial,
+        NetModel::blue_waters(),
+    );
+    for budget in [None, Some(0.01)] {
+        let sink = FrameSink::new(Arc::new(MemStore::new()), "reuse-adaptive", CodecKind::Fpz);
+        let params = StagedParams::new(2, 2, BackpressurePolicy::Block)
+            .with_sim_compute(5.0)
+            .with_persist(sink);
+        let config = PipelineConfig::default()
+            .with_fixed_percent(40.0)
+            .with_staged(params);
+        let serve = match budget {
+            Some(b) => adaptive_serve(ServePolicy::BestEffort, Some(b)),
+            None => adaptive_serve(ServePolicy::BestEffort, None),
+        };
+        let serve = ServeParams {
+            requests_per_client: 5,
+            ..serve
+        };
+        let first = prepared.run_staged_serving(config.clone(), &iters, &serve);
+        let second = prepared.run_staged_serving(config, &iters, &serve);
+        assert_serving_bit_identical(&first, &second, "adaptive session reuse");
+        if budget.is_some() {
+            assert!(first.degraded_replies() > 0, "tight budget must degrade");
+        }
     }
 }
 
